@@ -1,0 +1,276 @@
+// Package aliaslab reproduces the empirical study of Erik Ruf's
+// "Context-Insensitive Alias Analysis Reconsidered" (PLDI 1995): a
+// flow-sensitive, context-insensitive points-to analysis for a C subset,
+// a maximally context-sensitive variant of the same analysis, and the
+// instrumentation needed to compare their precision.
+//
+// This package is the public facade. It exposes the pipeline
+// (parse → typecheck → VDG → analyze) and result views that do not leak
+// internal representations; the cmd/ tools, examples/, and the
+// experiment harness sit on the same internals.
+//
+// Basic use:
+//
+//	prog, err := aliaslab.ParseProgram("demo.c", source, aliaslab.Options{})
+//	res, err := prog.Analyze()                    // context-insensitive
+//	for _, pt := range res.StoreAtExit() { ... }  // location -> referent
+//	cs, err := prog.AnalyzeContextSensitive(0)    // the paper's comparator
+package aliaslab
+
+import (
+	"fmt"
+	"sort"
+
+	"aliaslab/internal/baseline"
+	"aliaslab/internal/core"
+	"aliaslab/internal/corpus"
+	"aliaslab/internal/driver"
+	"aliaslab/internal/modref"
+	"aliaslab/internal/stats"
+	"aliaslab/internal/vdg"
+)
+
+// Options configures program construction.
+type Options struct {
+	// KeepScalarsInStore disables the SSA-like store removal of
+	// non-addressed scalars (ablation; the paper's representation
+	// removes them).
+	KeepScalarsInStore bool
+
+	// SingleHeapBase names all heap storage with one base location
+	// instead of one per allocation site (ablation).
+	SingleHeapBase bool
+
+	// RecursiveLocalsSingle treats address-taken locals of recursive
+	// procedures as single-instance locations instead of summary
+	// locations (the top-instance half of Cooper's scheme; see paper
+	// footnote 4).
+	RecursiveLocalsSingle bool
+}
+
+func (o Options) internal() vdg.Options {
+	return vdg.Options{
+		NoSSA:                 o.KeepScalarsInStore,
+		SingleHeapBase:        o.SingleHeapBase,
+		RecursiveLocalsSingle: o.RecursiveLocalsSingle,
+	}
+}
+
+// Program is a parsed, checked, VDG-built translation unit.
+type Program struct {
+	unit *driver.Unit
+}
+
+// ParseProgram builds a Program from source text.
+func ParseProgram(name, src string, opts Options) (*Program, error) {
+	u, err := driver.LoadString(name, src, opts.internal())
+	if err != nil {
+		return nil, err
+	}
+	return &Program{unit: u}, nil
+}
+
+// ParseFile builds a Program from a file on disk.
+func ParseFile(path string, opts Options) (*Program, error) {
+	u, err := driver.LoadFile(path, opts.internal())
+	if err != nil {
+		return nil, err
+	}
+	return &Program{unit: u}, nil
+}
+
+// Benchmark loads one of the embedded corpus programs by name
+// (see BenchmarkNames).
+func Benchmark(name string, opts Options) (*Program, error) {
+	u, err := corpus.Load(name, opts.internal())
+	if err != nil {
+		return nil, err
+	}
+	return &Program{unit: u}, nil
+}
+
+// BenchmarkNames returns the names of the embedded benchmark corpus in
+// the paper's Figure 2 order.
+func BenchmarkNames() []string { return corpus.Names() }
+
+// Sizes reports the program's Figure 2 statistics.
+func (p *Program) Sizes() (lines, vdgNodes, aliasRelatedOutputs int) {
+	s := stats.Sizes(p.unit.Name, p.unit.SourceLines, p.unit.Graph)
+	return s.Lines, s.Nodes, s.AliasOutputs
+}
+
+// PointsTo is one points-to pair rendered as interned-path strings.
+type PointsTo struct {
+	Path     string // the pointer-holding location (or ε for values)
+	Referent string // the location pointed to
+}
+
+// IndirectOp describes one indirect memory operation and the locations
+// it may touch under an analysis.
+type IndirectOp struct {
+	Kind      string // "read" or "write"
+	Pos       string // source position
+	Function  string
+	Referents []string
+}
+
+// Result is an analysis outcome.
+type Result struct {
+	prog  *Program
+	ci    *core.Result // non-nil for CI results (call graph, mod/ref)
+	sets  map[*vdg.Output]*core.PairSet
+	label string
+
+	// TransferFns and MeetOps count analysis work in the paper's terms
+	// (applications of flow-in and flow-out).
+	TransferFns int
+	MeetOps     int
+}
+
+// Analyze runs the context-insensitive analysis (paper Figure 1).
+func (p *Program) Analyze() (*Result, error) {
+	ci := core.AnalyzeInsensitive(p.unit.Graph)
+	return &Result{
+		prog: p, ci: ci, sets: ci.Sets, label: "context-insensitive",
+		TransferFns: ci.Metrics.FlowIns, MeetOps: ci.Metrics.FlowOuts,
+	}, nil
+}
+
+// AnalyzeContextSensitive runs the maximally context-sensitive analysis
+// (paper Figure 5) with the §4.2 optimizations, then strips assumption
+// sets. maxSteps bounds the work (0 = unlimited); the analysis is
+// exponential in the worst case.
+func (p *Program) AnalyzeContextSensitive(maxSteps int) (*Result, error) {
+	ci := core.AnalyzeInsensitive(p.unit.Graph)
+	cs := core.AnalyzeSensitive(p.unit.Graph, core.SensitiveOptions{CI: ci, MaxSteps: maxSteps})
+	if cs.Aborted {
+		return nil, fmt.Errorf("aliaslab: context-sensitive analysis exceeded %d steps", maxSteps)
+	}
+	return &Result{
+		prog: p, ci: ci, sets: cs.Strip(), label: "context-sensitive",
+		TransferFns: cs.Metrics.FlowIns, MeetOps: cs.Metrics.FlowOuts,
+	}, nil
+}
+
+// AnalyzeBaseline runs the Weihl-style program-wide, flow-insensitive
+// baseline the pre-1990 literature used.
+func (p *Program) AnalyzeBaseline() (*Result, error) {
+	b := baseline.Analyze(p.unit.Graph)
+	return &Result{
+		prog: p, sets: b.Sets(), label: "program-wide baseline",
+		TransferFns: b.Metrics.FlowIns, MeetOps: b.Metrics.FlowOuts,
+	}, nil
+}
+
+// Label names the analysis that produced this result.
+func (r *Result) Label() string { return r.label }
+
+// TotalPairs counts points-to pairs over all node outputs (the Figure
+// 3/6 "total" column).
+func (r *Result) TotalPairs() int {
+	return stats.Census(r.prog.unit.Graph, r.sets).Total
+}
+
+// StoreAtExit returns the points-to pairs holding in the store when
+// main returns, sorted by path then referent.
+func (r *Result) StoreAtExit() []PointsTo {
+	g := r.prog.unit.Graph
+	if g.Entry == nil || g.Entry.ReturnStore() == nil {
+		return nil
+	}
+	s := r.sets[g.Entry.ReturnStore()]
+	if s == nil {
+		return nil
+	}
+	var out []PointsTo
+	for _, pr := range s.Sorted() {
+		out = append(out, PointsTo{Path: pr.Path.String(), Referent: pr.Ref.String()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Path != out[j].Path {
+			return out[i].Path < out[j].Path
+		}
+		return out[i].Referent < out[j].Referent
+	})
+	return out
+}
+
+// IndirectOps lists every indirect memory operation with the locations
+// it may reference under this result (the paper's Figure 4 subjects).
+func (r *Result) IndirectOps() []IndirectOp {
+	var out []IndirectOp
+	for _, fg := range r.prog.unit.Graph.Funcs {
+		for _, n := range fg.Nodes {
+			if (n.Kind != vdg.KLookup && n.Kind != vdg.KUpdate) || !n.Indirect {
+				continue
+			}
+			op := IndirectOp{Kind: "read", Pos: n.Pos.String(), Function: fg.Fn.Name}
+			if n.Kind == vdg.KUpdate {
+				op.Kind = "write"
+			}
+			if s := r.sets[n.Loc()]; s != nil {
+				for _, ref := range s.Referents() {
+					op.Referents = append(op.Referents, ref.String())
+				}
+			}
+			sort.Strings(op.Referents)
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// ModRef reports, per function, the locations it (transitively) may
+// modify and reference. Available on results that ran the
+// context-insensitive pre-pass (Analyze and AnalyzeContextSensitive).
+func (r *Result) ModRef() (mod, ref map[string][]string, err error) {
+	if r.ci == nil {
+		return nil, nil, fmt.Errorf("aliaslab: ModRef requires a context-insensitive result")
+	}
+	info := modref.Compute(r.ci)
+	mod = make(map[string][]string)
+	ref = make(map[string][]string)
+	for _, fg := range r.prog.unit.Graph.Funcs {
+		if fg.Fn.Body == nil {
+			continue
+		}
+		for _, p := range info.Mod[fg].Sorted() {
+			mod[fg.Fn.Name] = append(mod[fg.Fn.Name], p.String())
+		}
+		for _, p := range info.Ref[fg].Sorted() {
+			ref[fg.Fn.Name] = append(ref[fg.Fn.Name], p.String())
+		}
+	}
+	return mod, ref, nil
+}
+
+// CallGraph reports discovered call edges as caller -> callee names.
+// Available on results that ran the context-insensitive pre-pass
+// (Analyze and AnalyzeContextSensitive).
+func (r *Result) CallGraph() (map[string][]string, error) {
+	if r.ci == nil {
+		return nil, fmt.Errorf("aliaslab: CallGraph requires a context-insensitive result")
+	}
+	out := make(map[string][]string)
+	for _, fg := range r.prog.unit.Graph.Funcs {
+		for _, call := range fg.Calls {
+			for _, callee := range r.ci.Callees[call] {
+				out[fg.Fn.Name] = append(out[fg.Fn.Name], callee.Fn.Name)
+			}
+		}
+	}
+	for k := range out {
+		sort.Strings(out[k])
+	}
+	return out, nil
+}
+
+// Compare reports how two results differ: the number of pairs in a but
+// not b (a must over-approximate b for meaningful spurious counts), and
+// the number of indirect operations whose referent sets differ.
+func Compare(a, b *Result) (spuriousPairs, indirectDiffs int) {
+	g := a.prog.unit.Graph
+	spuriousPairs = len(stats.SpuriousPairs(g, a.sets, b.sets))
+	indirectDiffs = len(stats.IndirectDiff(g, a.sets, b.sets))
+	return
+}

@@ -1,0 +1,203 @@
+package aliaslab_test
+
+import (
+	"strings"
+	"testing"
+
+	"aliaslab"
+)
+
+const demo = `
+int a, b;
+int *p, *q;
+void choose(int **dst, int *x, int *y, int c) {
+	if (c) {
+		*dst = x;
+	} else {
+		*dst = y;
+	}
+}
+int main(void) {
+	choose(&p, &a, &b, 1);
+	choose(&q, &b, &b, 0);
+	return *p;
+}
+`
+
+func TestFacadePipeline(t *testing.T) {
+	prog, err := aliaslab.ParseProgram("demo.c", demo, aliaslab.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines, nodes, aliasOuts := prog.Sizes()
+	if lines == 0 || nodes == 0 || aliasOuts == 0 {
+		t.Fatalf("sizes: %d %d %d", lines, nodes, aliasOuts)
+	}
+
+	res, err := prog.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := res.StoreAtExit()
+	find := func(path string) []string {
+		var refs []string
+		for _, pt := range store {
+			if pt.Path == path {
+				refs = append(refs, pt.Referent)
+			}
+		}
+		return refs
+	}
+	if got := strings.Join(find("p"), ","); got != "a,b" {
+		t.Errorf("p -> %v, want a,b (CI merges both branches and calls)", got)
+	}
+	if got := strings.Join(find("q"), ","); got != "a,b" {
+		t.Errorf("q -> %v, want a,b under CI pollution", got)
+	}
+
+	ops := res.IndirectOps()
+	if len(ops) == 0 {
+		t.Fatal("no indirect operations found")
+	}
+	var loads int
+	for _, op := range ops {
+		if op.Kind == "read" && op.Function == "main" {
+			loads++
+			if strings.Join(op.Referents, ",") != "a,b" {
+				t.Errorf("*p reads %v", op.Referents)
+			}
+		}
+	}
+	if loads != 1 {
+		t.Errorf("found %d reads in main, want 1", loads)
+	}
+}
+
+func TestFacadeSensitivityComparison(t *testing.T) {
+	prog, err := aliaslab.ParseProgram("demo.c", demo, aliaslab.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, err := prog.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := prog.AnalyzeContextSensitive(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spurious, diffs := aliaslab.Compare(ci, cs)
+	if spurious == 0 {
+		t.Error("expected CI to carry spurious pairs on this program (q -> a)")
+	}
+	// The paper's phenomenon in miniature: the spurious q -> a pair is
+	// never dereferenced, and *p legitimately reaches both targets (the
+	// imprecision at p is a branch merge, not a context merge), so no
+	// indirect operation differs.
+	if diffs != 0 {
+		t.Errorf("%d indirect operations differ; the pollution should be invisible to dereferences", diffs)
+	}
+	// The CS result can never exceed CI.
+	if cs.TotalPairs() > ci.TotalPairs() {
+		t.Errorf("CS has %d pairs, CI %d", cs.TotalPairs(), ci.TotalPairs())
+	}
+}
+
+func TestFacadeBaselineIsCoarsest(t *testing.T) {
+	prog, err := aliaslab.ParseProgram("demo.c", demo, aliaslab.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, _ := prog.Analyze()
+	bl, err := prog.AnalyzeBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The flow-insensitive baseline must not be more precise than CI at
+	// indirect operations.
+	ciOps := ci.IndirectOps()
+	blOps := bl.IndirectOps()
+	if len(ciOps) != len(blOps) {
+		t.Fatalf("op counts differ: %d vs %d", len(ciOps), len(blOps))
+	}
+	for i := range ciOps {
+		if len(blOps[i].Referents) < len(ciOps[i].Referents) {
+			t.Errorf("baseline more precise than CI at %s", ciOps[i].Pos)
+		}
+	}
+}
+
+func TestFacadeModRefAndCallGraph(t *testing.T) {
+	prog, err := aliaslab.ParseProgram("demo.c", demo, aliaslab.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := prog.Analyze()
+	mod, _, err := res.ModRef()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(mod["choose"], ",")
+	if got != "p,q" {
+		t.Errorf("choose mods %q, want p,q", got)
+	}
+	cg, err := res.CallGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cg["main"]) != 2 {
+		t.Errorf("main calls %v", cg["main"])
+	}
+
+	// Context-sensitive results keep the CI pre-pass, so the clients
+	// remain available.
+	cs, err := prog.AnalyzeContextSensitive(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cs.ModRef(); err != nil {
+		t.Errorf("ModRef on a CS result: %v", err)
+	}
+
+	// The baseline never runs the CI pre-pass.
+	bl, err := prog.AnalyzeBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := bl.ModRef(); err == nil {
+		t.Error("ModRef on the baseline result must error")
+	}
+	if _, err := bl.CallGraph(); err == nil {
+		t.Error("CallGraph on the baseline result must error")
+	}
+}
+
+func TestFacadeBenchmarks(t *testing.T) {
+	names := aliaslab.BenchmarkNames()
+	if len(names) != 13 {
+		t.Fatalf("corpus has %d programs", len(names))
+	}
+	prog, err := aliaslab.Benchmark("part", aliaslab.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalPairs() == 0 {
+		t.Fatal("no pairs on part")
+	}
+	if _, err := aliaslab.Benchmark("nonexistent", aliaslab.Options{}); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+}
+
+func TestFacadeParseErrors(t *testing.T) {
+	if _, err := aliaslab.ParseProgram("bad.c", "int f( {", aliaslab.Options{}); err == nil {
+		t.Fatal("syntax errors must be reported")
+	}
+	if _, err := aliaslab.ParseProgram("bad.c", "int main(void) { return undeclared; }", aliaslab.Options{}); err == nil {
+		t.Fatal("semantic errors must be reported")
+	}
+}

@@ -1,0 +1,345 @@
+// Benchmarks regenerating the paper's evaluation, one per table/figure.
+// Run with: go test -bench=. -benchmem
+//
+// Each BenchmarkFigureN measures the work needed to reproduce that
+// figure over the whole 13-program corpus; the -v companion tests in
+// internal/experiments render the actual tables. Custom metrics report
+// the figure's headline quantities so a bench run doubles as a
+// regression check on the result *shape*.
+package aliaslab_test
+
+import (
+	"io"
+	"testing"
+
+	"aliaslab/internal/baseline"
+	"aliaslab/internal/core"
+	"aliaslab/internal/corpus"
+	"aliaslab/internal/driver"
+	"aliaslab/internal/experiments"
+	"aliaslab/internal/modref"
+	"aliaslab/internal/stats"
+	"aliaslab/internal/vdg"
+)
+
+// loadAll builds the corpus once per bench invocation.
+func loadAll(b *testing.B, opts vdg.Options) []*driver.Unit {
+	b.Helper()
+	var units []*driver.Unit
+	for _, name := range corpus.Names() {
+		u, err := corpus.Load(name, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		units = append(units, u)
+	}
+	return units
+}
+
+// BenchmarkFigure2 measures front-end cost (parse, check, VDG build)
+// and reports the corpus-wide size statistics of Figure 2.
+func BenchmarkFigure2(b *testing.B) {
+	var nodes, aliasOuts int
+	for i := 0; i < b.N; i++ {
+		nodes, aliasOuts = 0, 0
+		for _, name := range corpus.Names() {
+			u, err := corpus.Load(name, vdg.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := stats.Sizes(name, u.SourceLines, u.Graph)
+			nodes += s.Nodes
+			aliasOuts += s.AliasOutputs
+		}
+	}
+	b.ReportMetric(float64(nodes), "vdg-nodes")
+	b.ReportMetric(float64(aliasOuts), "alias-outputs")
+}
+
+// BenchmarkFigure3 measures the context-insensitive analysis over the
+// corpus and reports the total pair census.
+func BenchmarkFigure3(b *testing.B) {
+	units := loadAll(b, vdg.Options{})
+	b.ResetTimer()
+	var total stats.PairCensus
+	for i := 0; i < b.N; i++ {
+		total = stats.PairCensus{}
+		for _, u := range units {
+			res := core.AnalyzeInsensitive(u.Graph)
+			total.Add(stats.Census(u.Graph, res.Sets))
+		}
+	}
+	b.ReportMetric(float64(total.Total), "ci-pairs")
+	b.ReportMetric(float64(total.Store), "store-pairs")
+}
+
+// BenchmarkFigure4 measures CI analysis plus the indirect-operation
+// statistics and reports the corpus-wide averages.
+func BenchmarkFigure4(b *testing.B) {
+	units := loadAll(b, vdg.Options{})
+	b.ResetTimer()
+	var reads, writes stats.OpHistogram
+	for i := 0; i < b.N; i++ {
+		reads, writes = stats.OpHistogram{}, stats.OpHistogram{}
+		for _, u := range units {
+			res := core.AnalyzeInsensitive(u.Graph)
+			io := stats.CountIndirect(u.Graph, res.Sets)
+			reads.Total += io.Reads.Total
+			reads.SumRefs += io.Reads.SumRefs
+			writes.Total += io.Writes.Total
+			writes.SumRefs += io.Writes.SumRefs
+		}
+	}
+	b.ReportMetric(reads.Avg(), "avg-read-locs")
+	b.ReportMetric(writes.Avg(), "avg-write-locs")
+}
+
+// BenchmarkFigure6 measures the full CI-vs-CS comparison (both analyses
+// plus the spurious computation) and reports the headline quantities:
+// percent spurious pairs and the number of indirect operations whose
+// referents differ (the paper found zero).
+func BenchmarkFigure6(b *testing.B) {
+	units := loadAll(b, vdg.Options{})
+	b.ResetTimer()
+	var ciTotal, csTotal, diffs int
+	for i := 0; i < b.N; i++ {
+		ciTotal, csTotal, diffs = 0, 0, 0
+		for _, u := range units {
+			ci := core.AnalyzeInsensitive(u.Graph)
+			cs := core.AnalyzeSensitive(u.Graph, core.SensitiveOptions{CI: ci, MaxSteps: experiments.MaxCSSteps})
+			if cs.Aborted {
+				b.Fatal("CS aborted")
+			}
+			csSets := cs.Strip()
+			ciTotal += stats.Census(u.Graph, ci.Sets).Total
+			csTotal += stats.Census(u.Graph, csSets).Total
+			diffs += len(stats.IndirectDiff(u.Graph, ci.Sets, csSets))
+		}
+	}
+	b.ReportMetric(100*float64(ciTotal-csTotal)/float64(ciTotal), "pct-spurious")
+	b.ReportMetric(float64(diffs), "indirect-diffs")
+}
+
+// BenchmarkFigure7 measures the pooled type-breakdown computation and
+// reports the share of spurious pairs that point at heap storage (the
+// paper's dominant cell).
+func BenchmarkFigure7(b *testing.B) {
+	units := loadAll(b, vdg.Options{})
+	b.ResetTimer()
+	var heapShare float64
+	for i := 0; i < b.N; i++ {
+		spur := stats.NewTypeMatrix()
+		for _, u := range units {
+			ci := core.AnalyzeInsensitive(u.Graph)
+			cs := core.AnalyzeSensitive(u.Graph, core.SensitiveOptions{CI: ci, MaxSteps: experiments.MaxCSSteps})
+			spur.Merge(stats.BreakdownSpurious(stats.SpuriousPairs(u.Graph, ci.Sets, cs.Strip())))
+		}
+		heapShare = 0
+		for _, pc := range stats.PathClasses {
+			heapShare += spur.Percent(pc, stats.RefClasses[3])
+		}
+	}
+	b.ReportMetric(heapShare, "pct-spurious-to-heap")
+}
+
+// BenchmarkCIvsCS reports the paper's §4.2 cost comparison as bench
+// metrics: flow-in and flow-out ratios pooled over the corpus.
+func BenchmarkCIvsCS(b *testing.B) {
+	units := loadAll(b, vdg.Options{})
+	b.ResetTimer()
+	var ciIns, csIns, ciOuts, csOuts int
+	for i := 0; i < b.N; i++ {
+		ciIns, csIns, ciOuts, csOuts = 0, 0, 0, 0
+		for _, u := range units {
+			ci := core.AnalyzeInsensitive(u.Graph)
+			cs := core.AnalyzeSensitive(u.Graph, core.SensitiveOptions{CI: ci, MaxSteps: experiments.MaxCSSteps})
+			ciIns += ci.Metrics.FlowIns
+			csIns += cs.Metrics.FlowIns
+			ciOuts += ci.Metrics.FlowOuts
+			csOuts += cs.Metrics.FlowOuts
+		}
+	}
+	b.ReportMetric(float64(csIns)/float64(ciIns), "flowin-ratio")
+	b.ReportMetric(float64(csOuts)/float64(ciOuts), "flowout-ratio")
+}
+
+// BenchmarkInsensitivePerProgram times the CI analysis alone on each
+// benchmark (the paper's §3.2 "1 to 35 seconds" measurement).
+func BenchmarkInsensitivePerProgram(b *testing.B) {
+	for _, name := range corpus.Names() {
+		u, err := corpus.Load(name, vdg.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.AnalyzeInsensitive(u.Graph)
+			}
+		})
+	}
+}
+
+// BenchmarkSensitivePerProgram times the CS analysis (with the §4.2
+// optimizations) on each benchmark.
+func BenchmarkSensitivePerProgram(b *testing.B) {
+	for _, name := range corpus.Names() {
+		u, err := corpus.Load(name, vdg.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ci := core.AnalyzeInsensitive(u.Graph)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cs := core.AnalyzeSensitive(u.Graph, core.SensitiveOptions{CI: ci, MaxSteps: experiments.MaxCSSteps})
+				if cs.Aborted {
+					b.Fatal("aborted")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBaseline times the Weihl-style program-wide analysis and
+// reports how many extra pairs it finds relative to CI (the precision
+// gap the paper's generation of analyses closed).
+func BenchmarkBaseline(b *testing.B) {
+	units := loadAll(b, vdg.Options{})
+	b.ResetTimer()
+	var blTotal, ciTotal int
+	for i := 0; i < b.N; i++ {
+		blTotal, ciTotal = 0, 0
+		for _, u := range units {
+			bl := baseline.Analyze(u.Graph)
+			ci := core.AnalyzeInsensitive(u.Graph)
+			blTotal += stats.Census(u.Graph, bl.Sets()).Total
+			ciTotal += stats.Census(u.Graph, ci.Sets).Total
+		}
+	}
+	b.ReportMetric(float64(blTotal)/float64(ciTotal), "baseline-blowup")
+}
+
+// BenchmarkModRef times the mod/ref client over the corpus.
+func BenchmarkModRef(b *testing.B) {
+	units := loadAll(b, vdg.Options{})
+	var results []*core.Result
+	for _, u := range units {
+		results = append(results, core.AnalyzeInsensitive(u.Graph))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, res := range results {
+			modref.Compute(res)
+		}
+	}
+}
+
+// --- ablation benches (design choices from §5.1.1) -------------------
+
+// BenchmarkAblationNoSSA runs CI with every scalar kept in the store
+// (disabling the paper's sparse representation) and reports the pair
+// blowup relative to the default build.
+func BenchmarkAblationNoSSA(b *testing.B) {
+	dflt := loadAll(b, vdg.Options{})
+	nossa := loadAll(b, vdg.Options{NoSSA: true})
+	b.ResetTimer()
+	var dfltPairs, nossaPairs int
+	for i := 0; i < b.N; i++ {
+		dfltPairs, nossaPairs = 0, 0
+		for j := range dflt {
+			dfltPairs += stats.Census(dflt[j].Graph, core.AnalyzeInsensitive(dflt[j].Graph).Sets).Total
+			nossaPairs += stats.Census(nossa[j].Graph, core.AnalyzeInsensitive(nossa[j].Graph).Sets).Total
+		}
+	}
+	b.ReportMetric(float64(nossaPairs)/float64(dfltPairs), "pair-blowup")
+}
+
+// BenchmarkAblationSingleHeap runs CI with one heap base location for
+// every allocation site (coarse heap naming, §5.1.1) and reports the
+// effect on the average locations referenced by indirect reads.
+func BenchmarkAblationSingleHeap(b *testing.B) {
+	dflt := loadAll(b, vdg.Options{})
+	single := loadAll(b, vdg.Options{SingleHeapBase: true})
+	b.ResetTimer()
+	var dfltAvg, singleAvg float64
+	for i := 0; i < b.N; i++ {
+		var d, s stats.OpHistogram
+		for j := range dflt {
+			rd := core.AnalyzeInsensitive(dflt[j].Graph)
+			rs := core.AnalyzeInsensitive(single[j].Graph)
+			iod := stats.CountIndirect(dflt[j].Graph, rd.Sets)
+			ios := stats.CountIndirect(single[j].Graph, rs.Sets)
+			d.Total += iod.Reads.Total
+			d.SumRefs += iod.Reads.SumRefs
+			s.Total += ios.Reads.Total
+			s.SumRefs += ios.Reads.SumRefs
+		}
+		dfltAvg, singleAvg = d.Avg(), s.Avg()
+	}
+	b.ReportMetric(dfltAvg, "avg-read-locs")
+	b.ReportMetric(singleAvg, "avg-read-locs-singleheap")
+}
+
+// BenchmarkAblationNoOptimizations runs the CS analysis without the
+// §4.2 CI-driven pruning on the programs where that is feasible, and
+// reports the extra meet operations the optimizations avoid.
+func BenchmarkAblationNoOptimizations(b *testing.B) {
+	// The unoptimized analysis is exponential; restrict to the smaller
+	// benchmarks, as the paper did ("could only be applied to very
+	// small examples").
+	names := []string{"allroots", "lex315", "span", "yacr2", "compress"}
+	var units []*driver.Unit
+	for _, name := range names {
+		u, err := corpus.Load(name, vdg.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		units = append(units, u)
+	}
+	b.ResetTimer()
+	var optOuts, unoptOuts int
+	for i := 0; i < b.N; i++ {
+		optOuts, unoptOuts = 0, 0
+		for _, u := range units {
+			ci := core.AnalyzeInsensitive(u.Graph)
+			opt := core.AnalyzeSensitive(u.Graph, core.SensitiveOptions{CI: ci, MaxSteps: experiments.MaxCSSteps})
+			unopt := core.AnalyzeSensitive(u.Graph, core.SensitiveOptions{MaxSteps: experiments.MaxCSSteps})
+			optOuts += opt.Metrics.FlowOuts
+			unoptOuts += unopt.Metrics.FlowOuts
+		}
+	}
+	b.ReportMetric(float64(unoptOuts)/float64(optOuts), "meets-saved-ratio")
+}
+
+// BenchmarkFullReport measures rendering every figure end to end (what
+// cmd/experiments does).
+func BenchmarkFullReport(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.RunAll(true, vdg.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.WriteAll(io.Discard, rs)
+	}
+}
+
+// BenchmarkAblationBoundedAssumptions runs the CS analysis with
+// [LR92]-style bounded assumption sets (paper §4.2) and reports how much
+// of the unbounded analysis' precision the k=1 bound gives up.
+func BenchmarkAblationBoundedAssumptions(b *testing.B) {
+	units := loadAll(b, vdg.Options{})
+	b.ResetTimer()
+	var fullPairs, boundedPairs, ciPairs int
+	for i := 0; i < b.N; i++ {
+		fullPairs, boundedPairs, ciPairs = 0, 0, 0
+		for _, u := range units {
+			ci := core.AnalyzeInsensitive(u.Graph)
+			full := core.AnalyzeSensitive(u.Graph, core.SensitiveOptions{CI: ci, MaxSteps: experiments.MaxCSSteps})
+			bounded := core.AnalyzeSensitive(u.Graph, core.SensitiveOptions{CI: ci, MaxSteps: experiments.MaxCSSteps, MaxAssumptions: 1})
+			ciPairs += stats.Census(u.Graph, ci.Sets).Total
+			fullPairs += stats.Census(u.Graph, full.Strip()).Total
+			boundedPairs += stats.Census(u.Graph, bounded.Strip()).Total
+		}
+	}
+	b.ReportMetric(100*float64(ciPairs-fullPairs)/float64(ciPairs), "pct-spurious-unbounded")
+	b.ReportMetric(100*float64(ciPairs-boundedPairs)/float64(ciPairs), "pct-spurious-k1")
+}

@@ -1,0 +1,202 @@
+// Command aliaslab analyzes a mini-C source file with the points-to
+// analyses of the study and prints the results.
+//
+// Usage:
+//
+//	aliaslab [flags] file.c
+//	aliaslab -corpus part            # analyze an embedded benchmark
+//
+// Flags select the analysis (-analysis ci|cs|baseline), what to print
+// (-print pointsto|indirect|modref|callgraph|sizes), and ablations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"aliaslab/internal/baseline"
+	"aliaslab/internal/core"
+	"aliaslab/internal/corpus"
+	"aliaslab/internal/driver"
+	"aliaslab/internal/modref"
+	"aliaslab/internal/report"
+	"aliaslab/internal/stats"
+	"aliaslab/internal/vdg"
+)
+
+func main() {
+	analysis := flag.String("analysis", "ci", "analysis to run: ci, cs, or baseline")
+	print_ := flag.String("print", "indirect", "what to print: pointsto, indirect, modref, callgraph, sizes, dot")
+	fn := flag.String("fn", "main", "function to render with -print dot")
+	corpusName := flag.String("corpus", "", "analyze an embedded corpus program instead of a file")
+	noSSA := flag.Bool("nossa", false, "ablation: keep non-addressed scalars in the store")
+	singleHeap := flag.Bool("singleheap", false, "ablation: one heap base location for all allocation sites")
+	maxSteps := flag.Int("maxsteps", 50_000_000, "context-sensitive analysis step bound")
+	flag.Parse()
+
+	opts := vdg.Options{NoSSA: *noSSA, SingleHeapBase: *singleHeap}
+
+	var u *driver.Unit
+	var err error
+	switch {
+	case *corpusName != "":
+		u, err = corpus.Load(*corpusName, opts)
+	case flag.NArg() == 1:
+		u, err = driver.LoadFile(flag.Arg(0), opts)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: aliaslab [flags] file.c  (or -corpus <name>)")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aliaslab:", err)
+		os.Exit(1)
+	}
+
+	// Run the selected analysis, always materializing a per-output pair
+	// map plus a CI result for clients that need the call graph.
+	ci := core.AnalyzeInsensitive(u.Graph)
+	sets := ci.Sets
+	label := "context-insensitive"
+	switch *analysis {
+	case "ci":
+	case "cs":
+		cs := core.AnalyzeSensitive(u.Graph, core.SensitiveOptions{CI: ci, MaxSteps: *maxSteps})
+		if cs.Aborted {
+			fmt.Fprintln(os.Stderr, "aliaslab: context-sensitive analysis exceeded the step bound")
+			os.Exit(1)
+		}
+		sets = cs.Strip()
+		label = "context-sensitive"
+	case "baseline":
+		sets = baseline.Analyze(u.Graph).Sets()
+		label = "program-wide (Weihl baseline)"
+	default:
+		fmt.Fprintln(os.Stderr, "aliaslab: unknown analysis", *analysis)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	switch *print_ {
+	case "sizes":
+		s := stats.Sizes(u.Name, u.SourceLines, u.Graph)
+		fmt.Fprintf(w, "%s: %d lines, %d VDG nodes, %d alias-related outputs\n",
+			s.Name, s.Lines, s.Nodes, s.AliasOutputs)
+	case "pointsto":
+		printPointsTo(w, u, sets, label)
+	case "indirect":
+		printIndirect(w, u, sets, label)
+	case "modref":
+		printModRef(w, u, ci)
+	case "callgraph":
+		printCallGraph(w, u, ci)
+	case "dot":
+		fg := u.Graph.FuncOf[u.Prog.FuncMap[*fn]]
+		if fg == nil {
+			fmt.Fprintf(os.Stderr, "aliaslab: no function %q\n", *fn)
+			os.Exit(1)
+		}
+		vdg.WriteDot(w, fg)
+	default:
+		fmt.Fprintln(os.Stderr, "aliaslab: unknown -print mode", *print_)
+		os.Exit(2)
+	}
+}
+
+// printPointsTo dumps the final store at main's return: the pairs a
+// human usually wants to see.
+func printPointsTo(w *os.File, u *driver.Unit, sets map[*vdg.Output]*core.PairSet, label string) {
+	fmt.Fprintf(w, "%s points-to pairs in the store at main's return:\n", label)
+	if u.Graph.Entry == nil || u.Graph.Entry.ReturnStore() == nil {
+		fmt.Fprintln(w, "  (no main return store)")
+		return
+	}
+	s := sets[u.Graph.Entry.ReturnStore()]
+	if s == nil || s.Len() == 0 {
+		fmt.Fprintln(w, "  (empty)")
+		return
+	}
+	var lines []string
+	for _, p := range s.Sorted() {
+		lines = append(lines, fmt.Sprintf("  %s -> %s", p.Path, p.Ref))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+	census := stats.Census(u.Graph, sets)
+	fmt.Fprintf(w, "total pairs over all outputs: %d (pointer %d, function %d, aggregate %d, store %d)\n",
+		census.Total, census.Pointer, census.Function, census.Aggregate, census.Store)
+}
+
+// printIndirect lists every indirect memory operation with its referents.
+func printIndirect(w *os.File, u *driver.Unit, sets map[*vdg.Output]*core.PairSet, label string) {
+	fmt.Fprintf(w, "%s referents of indirect memory operations:\n", label)
+	for _, fg := range u.Graph.Funcs {
+		for _, n := range fg.Nodes {
+			if (n.Kind != vdg.KLookup && n.Kind != vdg.KUpdate) || !n.Indirect {
+				continue
+			}
+			kind := "read"
+			if n.Kind == vdg.KUpdate {
+				kind = "write"
+			}
+			var refs []string
+			if s := sets[n.Loc()]; s != nil {
+				for _, r := range s.Referents() {
+					refs = append(refs, r.String())
+				}
+			}
+			sort.Strings(refs)
+			fmt.Fprintf(w, "  %-5s %-18s in %-12s -> %v\n", kind, n.Pos, fg.Fn.Name, refs)
+		}
+	}
+	io := stats.CountIndirect(u.Graph, sets)
+	fmt.Fprintf(w, "reads: %d ops avg %.2f max %d; writes: %d ops avg %.2f max %d\n",
+		io.Reads.Total, io.Reads.Avg(), io.Reads.Max,
+		io.Writes.Total, io.Writes.Avg(), io.Writes.Max)
+}
+
+// printModRef renders the transitive mod/ref sets per function.
+func printModRef(w *os.File, u *driver.Unit, ci *core.Result) {
+	info := modref.Compute(ci)
+	for _, fg := range u.Graph.Funcs {
+		if fg.Fn.Body == nil {
+			continue
+		}
+		fmt.Fprintf(w, "%s:\n", fg.Fn.Name)
+		var mods, refs []string
+		for _, p := range info.Mod[fg].Sorted() {
+			mods = append(mods, p.String())
+		}
+		for _, p := range info.Ref[fg].Sorted() {
+			refs = append(refs, p.String())
+		}
+		fmt.Fprintf(w, "  mod: %v\n", mods)
+		fmt.Fprintf(w, "  ref: %v\n", refs)
+	}
+}
+
+// printCallGraph renders discovered call edges and the §5.1.2 stats.
+func printCallGraph(w *os.File, u *driver.Unit, ci *core.Result) {
+	for _, fg := range u.Graph.Funcs {
+		for _, call := range fg.Calls {
+			var names []string
+			for _, callee := range ci.Callees[call] {
+				names = append(names, callee.Fn.Name)
+			}
+			fmt.Fprintf(w, "  %s at %s -> %v\n", fg.Fn.Name, call.Pos, names)
+		}
+	}
+	cg := stats.CallGraph(ci)
+	fmt.Fprintf(w, "%d called procedures, %.1f avg callers, %d single-caller (%s)\n",
+		cg.Procedures, cg.AvgCallers, cg.SingleCaller, report.Pct(100*float64(cg.SingleCaller)/float64(max(cg.Procedures, 1)))+"%")
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

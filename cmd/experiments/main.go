@@ -1,0 +1,58 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation over the embedded benchmark corpus.
+//
+// Usage:
+//
+//	experiments              # all figures + cost table
+//	experiments -fig 4       # one figure (2, 3, 4, 6, or 7)
+//	experiments -costs       # CI vs CS work/time comparison only
+//	experiments -nossa       # ablation: keep scalars in the store
+//	experiments -singleheap  # ablation: one heap base for all sites
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aliaslab/internal/experiments"
+	"aliaslab/internal/vdg"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "render one figure (2, 3, 4, 6, 7); 0 = everything")
+	costs := flag.Bool("costs", false, "render only the CI vs CS cost comparison")
+	noSSA := flag.Bool("nossa", false, "ablation: keep non-addressed scalars in the store")
+	singleHeap := flag.Bool("singleheap", false, "ablation: name all heap storage with one base")
+	flag.Parse()
+
+	opts := vdg.Options{NoSSA: *noSSA, SingleHeapBase: *singleHeap}
+	needCS := *costs || *fig == 0 || *fig == 6 || *fig == 7
+
+	rs, err := experiments.RunAll(needCS, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	switch {
+	case *costs:
+		experiments.Costs(w, rs)
+	case *fig == 2:
+		experiments.Figure2(w, rs)
+	case *fig == 3:
+		experiments.Figure3(w, rs)
+	case *fig == 4:
+		experiments.Figure4(w, rs)
+	case *fig == 6:
+		experiments.Figure6(w, rs)
+	case *fig == 7:
+		experiments.Figure7(w, rs)
+	case *fig != 0:
+		fmt.Fprintln(os.Stderr, "experiments: unknown figure", *fig)
+		os.Exit(2)
+	default:
+		experiments.WriteAll(w, rs)
+	}
+}

@@ -1,0 +1,3 @@
+module aliaslab
+
+go 1.22

@@ -1,0 +1,423 @@
+package ast
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"aliaslab/internal/token"
+)
+
+// Fprint writes a readable, C-like rendering of the file to w. The
+// output is meant for debugging dumps and golden tests, not for
+// round-tripping: types print in a normalized postfix spelling.
+func Fprint(w io.Writer, f *File) {
+	p := &printer{w: w}
+	for i, d := range f.Decls {
+		if i > 0 {
+			p.nl()
+		}
+		p.decl(d)
+	}
+}
+
+// Sprint renders a file to a string.
+func Sprint(f *File) string {
+	var sb strings.Builder
+	Fprint(&sb, f)
+	return sb.String()
+}
+
+// ExprString renders a single expression.
+func ExprString(e Expr) string {
+	p := &printer{w: &strings.Builder{}}
+	p.expr(e)
+	return p.w.(*strings.Builder).String()
+}
+
+// TypeString renders a type expression in normalized form.
+func TypeString(t TypeExpr) string {
+	p := &printer{w: &strings.Builder{}}
+	p.typeExpr(t)
+	return p.w.(*strings.Builder).String()
+}
+
+type printer struct {
+	w      io.Writer
+	indent int
+}
+
+func (p *printer) printf(format string, args ...any) {
+	fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *printer) nl() {
+	p.printf("\n%s", strings.Repeat("\t", p.indent))
+}
+
+// ---------------------------------------------------------------------------
+// Types
+
+func (p *printer) typeExpr(t TypeExpr) {
+	switch t := t.(type) {
+	case *BaseType:
+		p.printf("%s", t.Name)
+	case *NamedType:
+		p.printf("%s", t.Name)
+	case *PointerType:
+		p.typeExpr(t.Elem)
+		p.printf("*")
+	case *ArrayType:
+		p.typeExpr(t.Elem)
+		if t.Len < 0 {
+			p.printf("[]")
+		} else {
+			p.printf("[%d]", t.Len)
+		}
+	case *StructType:
+		kw := "struct"
+		if t.Union {
+			kw = "union"
+		}
+		p.printf("%s", kw)
+		if t.Tag != "" {
+			p.printf(" %s", t.Tag)
+		}
+		if t.Fields != nil {
+			p.printf(" {")
+			p.indent++
+			for _, f := range t.Fields {
+				p.nl()
+				p.typeExpr(f.Type)
+				p.printf(" %s;", f.Name)
+			}
+			p.indent--
+			p.nl()
+			p.printf("}")
+		}
+	case *EnumType:
+		p.printf("enum")
+		if t.Tag != "" {
+			p.printf(" %s", t.Tag)
+		}
+		if t.Defined {
+			p.printf(" {")
+			for i, m := range t.Members {
+				if i > 0 {
+					p.printf(",")
+				}
+				p.printf(" %s", m.Name)
+				if m.Value != nil {
+					p.printf(" = ")
+					p.expr(m.Value)
+				}
+			}
+			p.printf(" }")
+		}
+	case *FuncType:
+		p.printf("func(")
+		for i, prm := range t.Params {
+			if i > 0 {
+				p.printf(", ")
+			}
+			p.typeExpr(prm.Type)
+			if prm.Name != "" {
+				p.printf(" %s", prm.Name)
+			}
+		}
+		if t.Variadic {
+			if len(t.Params) > 0 {
+				p.printf(", ")
+			}
+			p.printf("...")
+		}
+		p.printf(") ")
+		p.typeExpr(t.Result)
+	default:
+		p.printf("<?type %T>", t)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+func (p *printer) decl(d Decl) {
+	switch d := d.(type) {
+	case *VarDecl:
+		p.varDecl(d)
+		p.printf(";")
+	case *FuncDecl:
+		p.typeExpr(d.Type.Result)
+		p.printf(" %s(", d.Name)
+		for i, prm := range d.Type.Params {
+			if i > 0 {
+				p.printf(", ")
+			}
+			p.typeExpr(prm.Type)
+			if prm.Name != "" {
+				p.printf(" %s", prm.Name)
+			}
+		}
+		if d.Type.Variadic {
+			p.printf(", ...")
+		}
+		p.printf(")")
+		if d.Body == nil {
+			p.printf(";")
+			return
+		}
+		p.printf(" ")
+		p.block(d.Body)
+	case *TypedefDecl:
+		p.printf("typedef ")
+		p.typeExpr(d.Type)
+		p.printf(" %s;", d.Name)
+	case *TagDecl:
+		p.typeExpr(d.Type)
+		p.printf(";")
+	default:
+		p.printf("<?decl %T>", d)
+	}
+}
+
+func (p *printer) varDecl(d *VarDecl) {
+	if d.Static {
+		p.printf("static ")
+	}
+	if d.Extern {
+		p.printf("extern ")
+	}
+	p.typeExpr(d.Type)
+	p.printf(" %s", d.Name)
+	if d.Init != nil {
+		p.printf(" = ")
+		p.expr(d.Init)
+	}
+	if d.InitList != nil {
+		p.printf(" = {")
+		for i, e := range d.InitList {
+			if i > 0 {
+				p.printf(", ")
+			}
+			p.expr(e)
+		}
+		p.printf("}")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (p *printer) block(b *Block) {
+	p.printf("{")
+	p.indent++
+	for _, s := range b.Stmts {
+		p.nl()
+		p.stmt(s)
+	}
+	p.indent--
+	p.nl()
+	p.printf("}")
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *Block:
+		p.block(s)
+	case *Empty:
+		p.printf(";")
+	case *ExprStmt:
+		p.expr(s.X)
+		p.printf(";")
+	case *DeclStmt:
+		p.varDecl(s.Decl)
+		p.printf(";")
+	case *If:
+		p.printf("if (")
+		p.expr(s.Cond)
+		p.printf(") ")
+		p.stmt(s.Then)
+		if s.Else != nil {
+			p.printf(" else ")
+			p.stmt(s.Else)
+		}
+	case *While:
+		if s.DoWhile {
+			p.printf("do ")
+			p.stmt(s.Body)
+			p.printf(" while (")
+			p.expr(s.Cond)
+			p.printf(");")
+			return
+		}
+		p.printf("while (")
+		p.expr(s.Cond)
+		p.printf(") ")
+		p.stmt(s.Body)
+	case *For:
+		p.printf("for (")
+		switch init := s.Init.(type) {
+		case nil:
+		case *ExprStmt:
+			p.expr(init.X)
+		case *DeclStmt:
+			p.varDecl(init.Decl)
+		default:
+			p.printf("<?init>")
+		}
+		p.printf("; ")
+		if s.Cond != nil {
+			p.expr(s.Cond)
+		}
+		p.printf("; ")
+		if s.Post != nil {
+			p.expr(s.Post)
+		}
+		p.printf(") ")
+		p.stmt(s.Body)
+	case *Return:
+		p.printf("return")
+		if s.Value != nil {
+			p.printf(" ")
+			p.expr(s.Value)
+		}
+		p.printf(";")
+	case *Break:
+		p.printf("break;")
+	case *Continue:
+		p.printf("continue;")
+	case *Switch:
+		p.printf("switch (")
+		p.expr(s.Tag)
+		p.printf(") {")
+		for _, c := range s.Cases {
+			p.nl()
+			if len(c.Values) == 0 {
+				p.printf("default:")
+			} else {
+				for i, v := range c.Values {
+					if i > 0 {
+						p.nl()
+					}
+					p.printf("case ")
+					p.expr(v)
+					p.printf(":")
+				}
+			}
+			p.indent++
+			for _, st := range c.Body {
+				p.nl()
+				p.stmt(st)
+			}
+			p.indent--
+		}
+		p.nl()
+		p.printf("}")
+	default:
+		p.printf("<?stmt %T>", s)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+//
+// Everything parenthesizes its non-atomic children, which keeps the
+// printer simple and the output unambiguous.
+
+func (p *printer) expr(e Expr) {
+	switch e := e.(type) {
+	case *Ident:
+		p.printf("%s", e.Name)
+	case *IntLit:
+		p.printf("%d", e.Value)
+	case *FloatLit:
+		p.printf("%g", e.Value)
+	case *CharLit:
+		p.printf("%q", rune(e.Value))
+	case *StringLit:
+		p.printf("%q", e.Value)
+	case *Unary:
+		p.printf("%s", unarySpelling(e.Op))
+		p.child(e.X)
+	case *Postfix:
+		p.child(e.X)
+		p.printf("%s", e.Op.String())
+	case *Binary:
+		p.child(e.X)
+		p.printf(" %s ", e.Op.String())
+		p.child(e.Y)
+	case *Assign:
+		p.child(e.LHS)
+		p.printf(" %s ", e.Op.String())
+		p.child(e.RHS)
+	case *Cond:
+		p.child(e.Cond)
+		p.printf(" ? ")
+		p.child(e.Then)
+		p.printf(" : ")
+		p.child(e.Else)
+	case *Call:
+		p.child(e.Fun)
+		p.printf("(")
+		for i, a := range e.Args {
+			if i > 0 {
+				p.printf(", ")
+			}
+			p.expr(a)
+		}
+		p.printf(")")
+	case *Index:
+		p.child(e.X)
+		p.printf("[")
+		p.expr(e.Idx)
+		p.printf("]")
+	case *Member:
+		p.child(e.X)
+		if e.Arrow {
+			p.printf("->%s", e.Name)
+		} else {
+			p.printf(".%s", e.Name)
+		}
+	case *Cast:
+		p.printf("(")
+		p.typeExpr(e.Type)
+		p.printf(") ")
+		p.child(e.X)
+	case *SizeofExpr:
+		p.printf("sizeof(")
+		if e.X != nil {
+			p.expr(e.X)
+		} else {
+			p.typeExpr(e.Type)
+		}
+		p.printf(")")
+	case *Comma:
+		p.child(e.X)
+		p.printf(", ")
+		p.child(e.Y)
+	default:
+		p.printf("<?expr %T>", e)
+	}
+}
+
+// child prints a subexpression, parenthesizing anything non-atomic.
+func (p *printer) child(e Expr) {
+	switch e.(type) {
+	case *Ident, *IntLit, *FloatLit, *CharLit, *StringLit, *Call, *Index, *Member:
+		p.expr(e)
+	default:
+		p.printf("(")
+		p.expr(e)
+		p.printf(")")
+	}
+}
+
+func unarySpelling(k token.Kind) string {
+	switch k {
+	case token.MUL:
+		return "*"
+	case token.AND:
+		return "&"
+	}
+	return k.String()
+}

@@ -1,0 +1,115 @@
+package ast_test
+
+import (
+	"strings"
+	"testing"
+
+	"aliaslab/internal/ast"
+	"aliaslab/internal/parser"
+)
+
+func parse(t *testing.T, src string) *ast.File {
+	t.Helper()
+	f, errs := parser.ParseFile("t.c", src)
+	if len(errs) > 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	return f
+}
+
+func TestSprintRoundTripReparses(t *testing.T) {
+	// The printer's output is not the original text, but it must parse
+	// back to an equivalent tree (same printed form — a fixpoint).
+	src := `
+struct node { struct node *next; int v; };
+int g;
+int *find(struct node *l, int want) {
+	while (l != 0) {
+		if (l->v == want) {
+			return &l->v;
+		}
+		l = l->next;
+	}
+	return 0;
+}
+int main(void) {
+	return g;
+}
+`
+	f1 := parse(t, src)
+	out1 := ast.Sprint(f1)
+	f2 := parse(t, out1)
+	out2 := ast.Sprint(f2)
+	if out1 != out2 {
+		t.Fatalf("printer not a fixpoint:\n-- first --\n%s\n-- second --\n%s", out1, out2)
+	}
+}
+
+func TestSprintCoversStatements(t *testing.T) {
+	src := `
+typedef int T;
+enum color { RED, GREEN = 3 };
+union u { int i; char c; };
+T arr[4] = {1, 2, 3, 4};
+static int s = 5;
+int f(int n, ...);
+int f(int n, ...) {
+	int i;
+	do { n--; } while (n > 0);
+	for (i = 0; i < 3; i++) {
+		if (i == 1) continue;
+		else n += i;
+	}
+	switch (n) {
+	case 0:
+	case 1:
+		n = 2;
+		break;
+	default:
+		;
+	}
+	n = (int) (n ? sizeof(T) : sizeof n);
+	return n;
+}
+`
+	f := parse(t, src)
+	out := ast.Sprint(f)
+	for _, want := range []string{
+		"typedef", "enum", "union", "= {1, 2, 3, 4}", "static int s",
+		"do {", "while (", "for (", "continue;", "break;", "switch (",
+		"default:", "case 0:", "sizeof(", "...",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed output missing %q:\n%s", want, out)
+		}
+	}
+	// Note: the printed form uses normalized postfix type spellings
+	// ("int[4] arr"), which is intentionally not C syntax; no re-parse.
+}
+
+func TestExprAndTypeString(t *testing.T) {
+	f := parse(t, `int *x = &(*((int (*)(int)) 0));`)
+	_ = f
+	f2 := parse(t, `
+int g(int a, int b) { return a * (b + 1); }
+`)
+	fd := f2.Decls[0].(*ast.FuncDecl)
+	ret := fd.Body.Stmts[0].(*ast.Return)
+	if got := ast.ExprString(ret.Value); got != "a * (b + 1)" {
+		t.Errorf("ExprString = %q", got)
+	}
+	if got := ast.TypeString(fd.Type.Params[0].Type); got != "int" {
+		t.Errorf("TypeString = %q", got)
+	}
+}
+
+func TestFilePosHelpers(t *testing.T) {
+	f := parse(t, "int x;\nint y;")
+	if f.Pos().Line != 1 {
+		t.Errorf("file pos %v", f.Pos())
+	}
+	empty := &ast.File{Name: "e.c"}
+	if empty.Pos().File != "e.c" {
+		t.Errorf("empty file pos %v", empty.Pos())
+	}
+}

@@ -1,0 +1,276 @@
+// Package baseline implements a Weihl-style completely flow-insensitive,
+// program-wide points-to analysis: one global store approximation shared
+// by every program point, no kills, no strong updates. This is the
+// comparator used by the pre-1992 literature the paper discusses
+// ([Wei80], [Cou86]); the paper's point-specific analyses were known to
+// beat it, and reproducing it lets the benches quantify by how much.
+package baseline
+
+import (
+	"aliaslab/internal/core"
+	"aliaslab/internal/paths"
+	"aliaslab/internal/vdg"
+)
+
+// Result holds the program-wide solution: per-output value pair sets
+// plus a single global store set standing in for every store output.
+type Result struct {
+	Graph *vdg.Graph
+
+	// Values maps non-store outputs to their pair sets.
+	Values map[*vdg.Output]*core.PairSet
+
+	// Store is the single program-wide store approximation.
+	Store *core.PairSet
+
+	// Callees is the discovered call graph.
+	Callees map[*vdg.Node][]*vdg.FuncGraph
+	Callers map[*vdg.FuncGraph][]*vdg.Node
+
+	Metrics core.Metrics
+}
+
+// Pairs returns the pair set of o: the global store set for store
+// outputs, the per-output set otherwise.
+func (r *Result) Pairs(o *vdg.Output) *core.PairSet {
+	if o.IsStore {
+		return r.Store
+	}
+	if s, ok := r.Values[o]; ok {
+		return s
+	}
+	return &core.PairSet{}
+}
+
+// Sets materializes a per-output map compatible with the stats package:
+// every store output shares the global set.
+func (r *Result) Sets() map[*vdg.Output]*core.PairSet {
+	out := make(map[*vdg.Output]*core.PairSet)
+	r.Graph.Outputs(func(o *vdg.Output) {
+		if o.IsStore {
+			out[o] = r.Store
+		} else if s, ok := r.Values[o]; ok {
+			out[o] = s
+		}
+	})
+	return out
+}
+
+type workItem struct {
+	in   *vdg.Input
+	pair core.Pair
+}
+
+type analyzer struct {
+	g    *vdg.Graph
+	res  *Result
+	work []workItem
+	head int
+}
+
+// Analyze runs the program-wide analysis to a fixpoint.
+func Analyze(g *vdg.Graph) *Result {
+	a := &analyzer{
+		g: g,
+		res: &Result{
+			Graph:   g,
+			Values:  make(map[*vdg.Output]*core.PairSet),
+			Store:   &core.PairSet{},
+			Callees: make(map[*vdg.Node][]*vdg.FuncGraph),
+			Callers: make(map[*vdg.FuncGraph][]*vdg.Node),
+		},
+	}
+	empty := g.Universe.Empty()
+	for _, fg := range g.Funcs {
+		for _, n := range fg.Nodes {
+			if n.Kind == vdg.KAddr || n.Kind == vdg.KAlloc {
+				a.flowOut(n.Outputs[0], core.Pair{Path: empty, Ref: n.Path})
+			}
+		}
+	}
+	for a.head < len(a.work) {
+		item := a.work[a.head]
+		a.head++
+		a.res.Metrics.FlowIns++
+		a.flowIn(item.in, item.pair)
+	}
+	a.work = nil
+	return a.res
+}
+
+// flowOut adds a pair to an output. All store outputs share the global
+// set; adding to it notifies the consumers of *every* store output.
+func (a *analyzer) flowOut(out *vdg.Output, pair core.Pair) {
+	a.res.Metrics.FlowOuts++
+	if out.IsStore {
+		if !a.res.Store.Add(pair) {
+			return
+		}
+		a.res.Metrics.Pairs++
+		a.g.Outputs(func(o *vdg.Output) {
+			if !o.IsStore {
+				return
+			}
+			for _, in := range o.Consumers {
+				a.work = append(a.work, workItem{in: in, pair: pair})
+			}
+		})
+		return
+	}
+	s, ok := a.res.Values[out]
+	if !ok {
+		s = &core.PairSet{}
+		a.res.Values[out] = s
+	}
+	if !s.Add(pair) {
+		return
+	}
+	a.res.Metrics.Pairs++
+	for _, in := range out.Consumers {
+		a.work = append(a.work, workItem{in: in, pair: pair})
+	}
+}
+
+func (a *analyzer) pairsAt(src *vdg.Output) []core.Pair {
+	if src.IsStore {
+		return a.res.Store.List()
+	}
+	if s, ok := a.res.Values[src]; ok {
+		return s.List()
+	}
+	return nil
+}
+
+func (a *analyzer) flowIn(in *vdg.Input, pair core.Pair) {
+	n := in.Node
+	u := a.g.Universe
+	switch n.Kind {
+	case vdg.KLookup:
+		out := n.Outputs[0]
+		switch in.Index {
+		case 0:
+			if !pair.Path.IsEmptyOffset() {
+				return
+			}
+			for _, ps := range a.res.Store.List() {
+				if paths.Dom(pair.Ref, ps.Path) {
+					a.flowOut(out, core.Pair{Path: u.Subtract(ps.Path, pair.Ref), Ref: ps.Ref})
+				}
+			}
+		case 1:
+			for _, pl := range a.pairsAt(n.Loc()) {
+				if !pl.Path.IsEmptyOffset() {
+					continue
+				}
+				if paths.Dom(pl.Ref, pair.Path) {
+					a.flowOut(out, core.Pair{Path: u.Subtract(pair.Path, pl.Ref), Ref: pair.Ref})
+				}
+			}
+		}
+	case vdg.KUpdate:
+		// No strong updates, no kills: every write only adds to the
+		// global store.
+		out := n.Outputs[0]
+		switch in.Index {
+		case 0:
+			if !pair.Path.IsEmptyOffset() {
+				return
+			}
+			for _, pv := range a.pairsAt(n.Value()) {
+				a.flowOut(out, core.Pair{Path: u.Append(pair.Ref, pv.Path), Ref: pv.Ref})
+			}
+		case 2:
+			for _, pl := range a.pairsAt(n.Loc()) {
+				if !pl.Path.IsEmptyOffset() {
+					continue
+				}
+				a.flowOut(out, core.Pair{Path: u.Append(pl.Ref, pair.Path), Ref: pair.Ref})
+			}
+		case 1:
+			// The global store set is shared; nothing to forward.
+		}
+	case vdg.KCall:
+		switch in.Index {
+		case 0:
+			if !pair.Path.IsEmptyOffset() || pair.Ref.Depth() != 0 {
+				return
+			}
+			callee := a.g.FuncByBase[pair.Ref.Base()]
+			if callee == nil {
+				return
+			}
+			a.addCallEdge(n, callee)
+		case 1:
+			// Store is global: nothing to forward.
+		default:
+			argIdx := in.Index - 2
+			for _, callee := range a.res.Callees[n] {
+				if argIdx < len(callee.ParamOuts) {
+					a.flowOut(callee.ParamOuts[argIdx], pair)
+				}
+			}
+		}
+	case vdg.KReturn:
+		if in.Index == 1 {
+			for _, call := range a.res.Callers[n.Fn] {
+				if res := vdg.CallResultOut(call); res != nil {
+					a.flowOut(res, pair)
+				}
+			}
+		}
+	case vdg.KGamma:
+		if !n.Outputs[0].IsStore {
+			a.flowOut(n.Outputs[0], pair)
+		}
+	case vdg.KPrimop:
+		if n.Transparent {
+			a.flowOut(n.Outputs[0], pair)
+		}
+	case vdg.KAlloc:
+		a.flowOut(n.Outputs[0], pair)
+	case vdg.KFieldAddr:
+		if pair.Path.IsEmptyOffset() {
+			var ref *paths.Path
+			if n.Transparent {
+				ref = u.UnionField(pair.Ref, n.Field)
+			} else {
+				ref = u.Field(pair.Ref, n.Field)
+			}
+			a.flowOut(n.Outputs[0], core.Pair{Path: pair.Path, Ref: ref})
+		}
+	case vdg.KIndexAddr:
+		if pair.Path.IsEmptyOffset() {
+			a.flowOut(n.Outputs[0], core.Pair{Path: pair.Path, Ref: u.Index(pair.Ref)})
+		}
+	case vdg.KExtract:
+		want := paths.Op{Field: n.Field, Union: n.Transparent}
+		if op, ok := pair.Path.FirstOp(); ok && op.Overlaps(want) {
+			a.flowOut(n.Outputs[0], core.Pair{Path: u.TailAfterFirst(pair.Path), Ref: pair.Ref})
+		}
+	}
+}
+
+func (a *analyzer) addCallEdge(n *vdg.Node, callee *vdg.FuncGraph) {
+	for _, c := range a.res.Callees[n] {
+		if c == callee {
+			return
+		}
+	}
+	a.res.Callees[n] = append(a.res.Callees[n], callee)
+	a.res.Callers[callee] = append(a.res.Callers[callee], n)
+	for i, argIn := range vdg.CallArgs(n) {
+		if i >= len(callee.ParamOuts) {
+			break
+		}
+		for _, pair := range a.pairsAt(argIn.Src) {
+			a.flowOut(callee.ParamOuts[i], pair)
+		}
+	}
+	if rv := callee.ReturnValue(); rv != nil {
+		if res := vdg.CallResultOut(n); res != nil {
+			for _, pair := range a.pairsAt(rv) {
+				a.flowOut(res, pair)
+			}
+		}
+	}
+}

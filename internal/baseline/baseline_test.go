@@ -1,0 +1,164 @@
+package baseline_test
+
+import (
+	"strings"
+	"testing"
+
+	"aliaslab/internal/baseline"
+	"aliaslab/internal/core"
+	"aliaslab/internal/corpus"
+	"aliaslab/internal/driver"
+	"aliaslab/internal/vdg"
+)
+
+func load(t *testing.T, src string) *driver.Unit {
+	t.Helper()
+	u, err := driver.LoadString("t.c", src, vdg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+// TestNoKills: the program-wide analysis has no strong updates, so a
+// pointer reassignment keeps both targets — unlike CI.
+func TestNoKills(t *testing.T) {
+	u := load(t, `
+int a, b;
+int *p;
+int main(void) {
+	p = &a;
+	p = &b;
+	return *p;
+}
+`)
+	bl := baseline.Analyze(u.Graph)
+	var refs []string
+	for _, pr := range bl.Store.Sorted() {
+		if base := pr.Path.Base(); base != nil && base.Name == "p" {
+			refs = append(refs, pr.Ref.String())
+		}
+	}
+	if strings.Join(refs, ",") != "a,b" {
+		t.Fatalf("baseline p -> %v, want both targets (no kills)", refs)
+	}
+
+	// CI, by contrast, strongly updates and keeps only b.
+	ci := core.AnalyzeInsensitive(u.Graph)
+	final := ci.Pairs(u.Graph.Entry.ReturnStore())
+	ciRefs := 0
+	for _, pr := range final.List() {
+		if base := pr.Path.Base(); base != nil && base.Name == "p" {
+			ciRefs++
+		}
+	}
+	if ciRefs != 1 {
+		t.Fatalf("CI keeps %d targets for p, want 1", ciRefs)
+	}
+}
+
+// TestFlowInsensitivity: a pair that holds anywhere holds everywhere —
+// the read before the assignment still sees it.
+func TestFlowInsensitivity(t *testing.T) {
+	u := load(t, `
+int a;
+int *p;
+int use(void) { return *p; }
+int main(void) {
+	int x;
+	x = use();
+	p = &a;
+	return x + use();
+}
+`)
+	bl := baseline.Analyze(u.Graph)
+	// In use(), *p reads the global store: it must see a.
+	fg := u.Graph.FuncOf[u.Graph.Prog.FuncMap["use"]]
+	found := false
+	for _, n := range fg.Nodes {
+		if n.Kind == vdg.KLookup && n.Indirect {
+			for _, r := range bl.Pairs(n.Loc()).Referents() {
+				if r.String() == "a" {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("program-wide store must expose p -> a to every read")
+	}
+}
+
+// TestBaselineNeverMorePreciseThanCI on the whole corpus: at every
+// indirect operation the baseline's referent set contains CI's.
+func TestBaselineNeverMorePreciseThanCI(t *testing.T) {
+	for _, name := range corpus.Names() {
+		u, err := corpus.Load(name, vdg.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ci := core.AnalyzeInsensitive(u.Graph)
+		bl := baseline.Analyze(u.Graph)
+		for _, fg := range u.Graph.Funcs {
+			for _, n := range fg.Nodes {
+				if (n.Kind != vdg.KLookup && n.Kind != vdg.KUpdate) || !n.Indirect {
+					continue
+				}
+				blRefs := make(map[string]bool)
+				for _, r := range bl.Pairs(n.Loc()).Referents() {
+					blRefs[r.String()] = true
+				}
+				for _, r := range ci.Pairs(n.Loc()).Referents() {
+					if !blRefs[r.String()] {
+						t.Errorf("%s: baseline misses CI referent %s at %s", name, r, n.Pos)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCallGraphDiscovery: function pointers resolve through the global
+// value sets exactly as in CI.
+func TestCallGraphDiscovery(t *testing.T) {
+	u := load(t, `
+int one(void) { return 1; }
+int two(void) { return 2; }
+int (*fp)(void);
+int main(void) {
+	fp = one;
+	fp = two;
+	return fp();
+}
+`)
+	bl := baseline.Analyze(u.Graph)
+	total := 0
+	for _, callees := range bl.Callees {
+		total += len(callees)
+	}
+	if total != 2 {
+		t.Fatalf("discovered %d callees, want 2 (no kills: both assignments live)", total)
+	}
+}
+
+// TestSetsViewSharesGlobalStore: every store output maps to the same
+// PairSet instance.
+func TestSetsViewSharesGlobalStore(t *testing.T) {
+	u := load(t, `int a; int *p; int main(void) { p = &a; return *p; }`)
+	bl := baseline.Analyze(u.Graph)
+	sets := bl.Sets()
+	var stores []*core.PairSet
+	u.Graph.Outputs(func(o *vdg.Output) {
+		if o.IsStore {
+			stores = append(stores, sets[o])
+		}
+	})
+	if len(stores) < 2 {
+		t.Skip("not enough store outputs")
+	}
+	for _, s := range stores {
+		if s != bl.Store {
+			t.Fatal("store outputs must share the single global set")
+		}
+	}
+}

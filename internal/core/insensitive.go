@@ -1,0 +1,322 @@
+package core
+
+import (
+	"aliaslab/internal/paths"
+	"aliaslab/internal/vdg"
+)
+
+// Metrics counts analysis work in the paper's terms: flow-in is one
+// transfer-function application (processing one (input, pair) arrival);
+// flow-out is one meet operation (attempting to add a pair to an
+// output's set).
+type Metrics struct {
+	FlowIns  int
+	FlowOuts int
+	Pairs    int // pairs actually added across all outputs
+}
+
+// Result is the output of the context-insensitive analysis: a points-to
+// pair set for every node output, plus the discovered call graph.
+type Result struct {
+	Graph *vdg.Graph
+	Sets  map[*vdg.Output]*PairSet
+
+	// Callees maps each call node to the function graphs its function
+	// input may denote (discovered on the fly from function pairs).
+	Callees map[*vdg.Node][]*vdg.FuncGraph
+	// Callers is the inverse: the call nodes that may invoke a function.
+	Callers map[*vdg.FuncGraph][]*vdg.Node
+
+	Metrics Metrics
+}
+
+// Pairs returns the pair set of o (possibly empty, never nil).
+func (r *Result) Pairs(o *vdg.Output) *PairSet {
+	if s, ok := r.Sets[o]; ok {
+		return s
+	}
+	return &PairSet{}
+}
+
+// LocReferents returns the distinct locations the location input of a
+// lookup/update node may denote.
+func (r *Result) LocReferents(n *vdg.Node) []*paths.Path {
+	return r.Pairs(n.Loc()).Referents()
+}
+
+// workItem is one (input, pair) arrival, as in the paper's worklist.
+type workItem struct {
+	in   *vdg.Input
+	pair Pair
+}
+
+// insensitive is the analysis state.
+type insensitive struct {
+	g    *vdg.Graph
+	res  *Result
+	work []workItem // FIFO queue
+	head int
+}
+
+// AnalyzeInsensitive runs the context-insensitive points-to analysis of
+// [Ruf95, Figure 1] over the whole-program VDG.
+func AnalyzeInsensitive(g *vdg.Graph) *Result {
+	a := &insensitive{
+		g: g,
+		res: &Result{
+			Graph:   g,
+			Sets:    make(map[*vdg.Output]*PairSet),
+			Callees: make(map[*vdg.Node][]*vdg.FuncGraph),
+			Callers: make(map[*vdg.FuncGraph][]*vdg.Node),
+		},
+	}
+	empty := g.Universe.Empty()
+
+	// Seed: every base-location constant points to its location.
+	for _, fg := range g.Funcs {
+		for _, n := range fg.Nodes {
+			if n.Kind == vdg.KAddr || n.Kind == vdg.KAlloc {
+				a.flowOut(n.Outputs[0], Pair{Path: empty, Ref: n.Path})
+			}
+		}
+	}
+
+	for a.head < len(a.work) {
+		item := a.work[a.head]
+		a.head++
+		a.res.Metrics.FlowIns++
+		a.flowIn(item.in, item.pair)
+	}
+	a.work = nil
+	return a.res
+}
+
+// flowOut adds pair to the set on out; new pairs are queued at every
+// consumer.
+func (a *insensitive) flowOut(out *vdg.Output, pair Pair) {
+	a.res.Metrics.FlowOuts++
+	s, ok := a.res.Sets[out]
+	if !ok {
+		s = &PairSet{}
+		a.res.Sets[out] = s
+	}
+	if !s.Add(pair) {
+		return
+	}
+	a.res.Metrics.Pairs++
+	for _, in := range out.Consumers {
+		a.work = append(a.work, workItem{in: in, pair: pair})
+	}
+}
+
+// pairsAt returns the current set on the source feeding in.
+func (a *insensitive) pairsAt(src *vdg.Output) []Pair {
+	if s, ok := a.res.Sets[src]; ok {
+		return s.List()
+	}
+	return nil
+}
+
+// flowIn implements the per-node transfer functions.
+func (a *insensitive) flowIn(in *vdg.Input, pair Pair) {
+	n := in.Node
+	switch n.Kind {
+	case vdg.KLookup:
+		a.lookupFlow(n, in, pair)
+	case vdg.KUpdate:
+		a.updateFlow(n, in, pair)
+	case vdg.KCall:
+		a.callFlow(n, in, pair)
+	case vdg.KReturn:
+		a.returnFlow(n, in, pair)
+	case vdg.KGamma:
+		a.flowOut(n.Outputs[0], pair)
+	case vdg.KPrimop:
+		if n.Transparent {
+			a.flowOut(n.Outputs[0], pair)
+		}
+	case vdg.KAlloc:
+		// realloc: the old block's pairs flow through.
+		a.flowOut(n.Outputs[0], pair)
+	case vdg.KFieldAddr:
+		if pair.Path.IsEmptyOffset() {
+			ref := a.extendField(n, pair.Ref)
+			a.flowOut(n.Outputs[0], Pair{Path: pair.Path, Ref: ref})
+		}
+	case vdg.KIndexAddr:
+		if pair.Path.IsEmptyOffset() {
+			a.flowOut(n.Outputs[0], Pair{Path: pair.Path, Ref: a.g.Universe.Index(pair.Ref)})
+		}
+	case vdg.KExtract:
+		want := paths.Op{Field: n.Field, Union: n.Transparent}
+		if op, ok := pair.Path.FirstOp(); ok && op.Overlaps(want) {
+			tail := a.g.Universe.TailAfterFirst(pair.Path)
+			a.flowOut(n.Outputs[0], Pair{Path: tail, Ref: pair.Ref})
+		}
+	}
+}
+
+// extendField applies a member operator; union members use the
+// overlapping operator (the builder marks union accesses on the node).
+func (a *insensitive) extendField(n *vdg.Node, p *paths.Path) *paths.Path {
+	if n.Transparent { // union member
+		return a.g.Universe.UnionField(p, n.Field)
+	}
+	return a.g.Universe.Field(p, n.Field)
+}
+
+// lookupFlow: a new location dereferences every store pair it may
+// observe; a new store pair is observed by every location.
+func (a *insensitive) lookupFlow(n *vdg.Node, in *vdg.Input, pair Pair) {
+	u := a.g.Universe
+	out := n.Outputs[0]
+	switch in.Index {
+	case 0: // location input
+		if !pair.Path.IsEmptyOffset() {
+			return
+		}
+		rl := pair.Ref
+		for _, ps := range a.pairsAt(n.StoreIn()) {
+			if paths.Dom(rl, ps.Path) {
+				a.flowOut(out, Pair{Path: u.Subtract(ps.Path, rl), Ref: ps.Ref})
+			}
+		}
+	case 1: // store input
+		for _, pl := range a.pairsAt(n.Loc()) {
+			if !pl.Path.IsEmptyOffset() {
+				continue
+			}
+			if paths.Dom(pl.Ref, pair.Path) {
+				a.flowOut(out, Pair{Path: u.Subtract(pair.Path, pl.Ref), Ref: pair.Ref})
+			}
+		}
+	}
+}
+
+// updateFlow implements strong updates: a store pair passes through only
+// via location referents that do not definitely overwrite it, and store
+// pairs are blocked entirely until the first location arrives (the
+// dual-worklist behaviour of [CWZ90]).
+func (a *insensitive) updateFlow(n *vdg.Node, in *vdg.Input, pair Pair) {
+	u := a.g.Universe
+	out := n.Outputs[0]
+	switch in.Index {
+	case 0: // location input
+		if !pair.Path.IsEmptyOffset() {
+			return
+		}
+		rl := pair.Ref
+		for _, pv := range a.pairsAt(n.Value()) {
+			a.flowOut(out, Pair{Path: u.Append(rl, pv.Path), Ref: pv.Ref})
+		}
+		for _, ps := range a.pairsAt(n.StoreIn()) {
+			if !paths.StrongDom(rl, ps.Path) {
+				a.flowOut(out, ps)
+			}
+		}
+	case 1: // store input
+		for _, pl := range a.pairsAt(n.Loc()) {
+			if !pl.Path.IsEmptyOffset() {
+				continue
+			}
+			if !paths.StrongDom(pl.Ref, pair.Path) {
+				a.flowOut(out, pair)
+			}
+		}
+	case 2: // value input
+		for _, pl := range a.pairsAt(n.Loc()) {
+			if !pl.Path.IsEmptyOffset() {
+				continue
+			}
+			a.flowOut(out, Pair{Path: u.Append(pl.Ref, pair.Path), Ref: pair.Ref})
+		}
+	}
+}
+
+// callFlow: actuals propagate to the formals of every callee; a new
+// function value updates the call graph and repropagates existing
+// information to the new callee (and its returns to this call).
+func (a *insensitive) callFlow(n *vdg.Node, in *vdg.Input, pair Pair) {
+	switch in.Index {
+	case 0: // function input
+		if !pair.Path.IsEmptyOffset() {
+			return
+		}
+		base := pair.Ref.Base()
+		if base == nil || pair.Ref.Depth() != 0 {
+			return
+		}
+		callee := a.g.FuncByBase[base]
+		if callee == nil {
+			return
+		}
+		a.addCallEdge(n, callee)
+	case 1: // store input
+		for _, callee := range a.res.Callees[n] {
+			a.flowOut(callee.StoreParam, pair)
+		}
+	default: // actuals
+		argIdx := in.Index - 2
+		for _, callee := range a.res.Callees[n] {
+			if argIdx < len(callee.ParamOuts) {
+				a.flowOut(callee.ParamOuts[argIdx], pair)
+			}
+		}
+	}
+}
+
+// addCallEdge records call → callee and repropagates both directions.
+func (a *insensitive) addCallEdge(n *vdg.Node, callee *vdg.FuncGraph) {
+	for _, c := range a.res.Callees[n] {
+		if c == callee {
+			return
+		}
+	}
+	a.res.Callees[n] = append(a.res.Callees[n], callee)
+	a.res.Callers[callee] = append(a.res.Callers[callee], n)
+
+	// Forward: existing actuals and store flow to the new callee.
+	for _, pair := range a.pairsAt(n.StoreIn()) {
+		a.flowOut(callee.StoreParam, pair)
+	}
+	for i, argIn := range vdg.CallArgs(n) {
+		if i >= len(callee.ParamOuts) {
+			break
+		}
+		for _, pair := range a.pairsAt(argIn.Src) {
+			a.flowOut(callee.ParamOuts[i], pair)
+		}
+	}
+
+	// Backward: the callee's existing returns flow to this call site.
+	if rs := callee.ReturnStore(); rs != nil {
+		for _, pair := range a.pairsAt(rs) {
+			a.flowOut(vdg.CallStoreOut(n), pair)
+		}
+	}
+	if rv := callee.ReturnValue(); rv != nil {
+		if res := vdg.CallResultOut(n); res != nil {
+			for _, pair := range a.pairsAt(rv) {
+				a.flowOut(res, pair)
+			}
+		}
+	}
+}
+
+// returnFlow: values and stores reaching a function's return sink flow
+// to the corresponding outputs at every call site.
+func (a *insensitive) returnFlow(n *vdg.Node, in *vdg.Input, pair Pair) {
+	fg := n.Fn
+	switch in.Index {
+	case 0: // store
+		for _, call := range a.res.Callers[fg] {
+			a.flowOut(vdg.CallStoreOut(call), pair)
+		}
+	case 1: // value
+		for _, call := range a.res.Callers[fg] {
+			if res := vdg.CallResultOut(call); res != nil {
+				a.flowOut(res, pair)
+			}
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package core_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"aliaslab/internal/core"
+	"aliaslab/internal/driver"
+	"aliaslab/internal/vdg"
+)
+
+// load builds a unit from source, failing the test on any diagnostic.
+func load(t *testing.T, src string) *driver.Unit {
+	t.Helper()
+	u, err := driver.LoadString("test.c", src, vdg.Options{})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return u
+}
+
+// refNames returns the sorted referent names of a pointer variable's
+// final store contents: it finds the variable's base, then collects the
+// referents of pairs whose path is exactly that base in the store
+// reaching main's return.
+func refNamesAt(t *testing.T, u *driver.Unit, res *core.Result, varName string) []string {
+	t.Helper()
+	ret := u.Graph.Entry.ReturnStore()
+	if ret == nil {
+		t.Fatalf("main has no return store")
+	}
+	var names []string
+	for _, p := range res.Pairs(ret).List() {
+		if p.Path.Base() != nil && p.Path.Base().Name == varName && p.Path.Depth() == 0 {
+			names = append(names, p.Ref.String())
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+func TestBasicPointsTo(t *testing.T) {
+	u := load(t, `
+int g;
+int *p;
+int main(void) {
+	int x;
+	p = &g;
+	*p = 5;
+	x = *p;
+	return x;
+}
+`)
+	res := core.AnalyzeInsensitive(u.Graph)
+	if got := refNamesAt(t, u, res, "p"); len(got) != 1 || got[0] != "g" {
+		t.Fatalf("p points to %v, want [g]", got)
+	}
+
+	// The indirect store *p = 5 must reference exactly one location: g.
+	found := false
+	for _, fg := range u.Graph.Funcs {
+		for _, n := range fg.Nodes {
+			if n.Kind == vdg.KUpdate && n.Indirect {
+				found = true
+				refs := res.LocReferents(n)
+				if len(refs) != 1 || refs[0].String() != "g" {
+					t.Errorf("indirect update references %v, want [g]", refs)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no indirect update node found")
+	}
+}
+
+func TestContextPollution(t *testing.T) {
+	// The classic CI imprecision: one setter called from two sites
+	// pollutes both callers' targets.
+	u := load(t, `
+int a, b;
+int *pa, *pb;
+void set(int **r, int *v) { *r = v; }
+int main(void) {
+	set(&pa, &a);
+	set(&pb, &b);
+	return 0;
+}
+`)
+	res := core.AnalyzeInsensitive(u.Graph)
+	got := refNamesAt(t, u, res, "pa")
+	if strings.Join(got, ",") != "a,b" {
+		t.Fatalf("CI: pa points to %v, want [a b] (cross-call pollution)", got)
+	}
+}
+
+func TestStrongUpdateKillsOldTarget(t *testing.T) {
+	u := load(t, `
+int a, b;
+int *p;
+int main(void) {
+	p = &a;
+	p = &b;
+	*p = 1;
+	return 0;
+}
+`)
+	res := core.AnalyzeInsensitive(u.Graph)
+	// p is a strongly-updateable global: the second assignment kills the
+	// first, so the final store has p -> b only.
+	if got := refNamesAt(t, u, res, "p"); strings.Join(got, ",") != "b" {
+		t.Fatalf("p points to %v, want [b] (strong update)", got)
+	}
+}
+
+func TestWeakUpdateInLoopKeepsBoth(t *testing.T) {
+	u := load(t, `
+int a, b;
+int *p;
+int main(void) {
+	int i;
+	p = &a;
+	for (i = 0; i < 10; i++) {
+		if (i > 5) p = &b;
+	}
+	return 0;
+}
+`)
+	res := core.AnalyzeInsensitive(u.Graph)
+	if got := refNamesAt(t, u, res, "p"); strings.Join(got, ",") != "a,b" {
+		t.Fatalf("p points to %v, want [a b]", got)
+	}
+}
+
+func TestHeapAllocationSites(t *testing.T) {
+	u := load(t, `
+struct node { struct node *next; int v; };
+struct node *head;
+int main(void) {
+	struct node *n;
+	n = (struct node *) malloc(sizeof(struct node));
+	n->next = head;
+	head = n;
+	n = (struct node *) malloc(sizeof(struct node));
+	n->next = head;
+	head = n;
+	return 0;
+}
+`)
+	res := core.AnalyzeInsensitive(u.Graph)
+	// head = n is a strong update of a single-location global, so after
+	// the second push head points only to the second allocation site...
+	got := refNamesAt(t, u, res, "head")
+	if len(got) != 1 || !strings.HasPrefix(got[0], "malloc@") {
+		t.Fatalf("head points to %v, want exactly the second malloc site", got)
+	}
+	// ...while the second node's next field points at the first site:
+	// the two allocation sites stay distinct.
+	ret := u.Graph.Entry.ReturnStore()
+	heapNext := make(map[string]bool)
+	for _, p := range res.Pairs(ret).List() {
+		if b := p.Path.Base(); b != nil && strings.HasPrefix(b.Name, "malloc@") && p.Path.Depth() == 1 {
+			heapNext[p.Path.String()+"->"+p.Ref.String()] = true
+		}
+	}
+	foundCrossSite := false
+	for k := range heapNext {
+		if strings.Contains(k, ".next->malloc@") && !strings.Contains(k, got[0]+".next->"+got[0]) {
+			foundCrossSite = true
+		}
+	}
+	if !foundCrossSite {
+		t.Fatalf("no cross-site next link found; store heap pairs: %v", heapNext)
+	}
+}
+
+func TestFunctionPointerCall(t *testing.T) {
+	u := load(t, `
+int g;
+void setg(int v) { g = v; }
+void (*fp)(int);
+int main(void) {
+	fp = setg;
+	fp(3);
+	return 0;
+}
+`)
+	res := core.AnalyzeInsensitive(u.Graph)
+	// The indirect call must resolve to setg.
+	var calls int
+	for _, fg := range u.Graph.Funcs {
+		for _, n := range fg.Nodes {
+			if n.Kind == vdg.KCall {
+				calls++
+				callees := res.Callees[n]
+				if len(callees) != 1 || callees[0].Fn.Name != "setg" {
+					t.Errorf("call resolves to %v, want [setg]", calleeNames(callees))
+				}
+			}
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("found %d calls, want 1", calls)
+	}
+}
+
+func calleeNames(fgs []*vdg.FuncGraph) []string {
+	var out []string
+	for _, fg := range fgs {
+		out = append(out, fg.Fn.Name)
+	}
+	return out
+}
+
+func TestStructFieldsSeparate(t *testing.T) {
+	u := load(t, `
+int a, b;
+struct pairs { int *x; int *y; } s;
+int main(void) {
+	s.x = &a;
+	s.y = &b;
+	return 0;
+}
+`)
+	res := core.AnalyzeInsensitive(u.Graph)
+	ret := u.Graph.Entry.ReturnStore()
+	want := map[string]string{"s.x": "a", "s.y": "b"}
+	got := make(map[string]string)
+	for _, p := range res.Pairs(ret).List() {
+		got[p.Path.String()] = p.Ref.String()
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("store has %s -> %q, want %q (all pairs: %v)", k, got[k], v, got)
+		}
+	}
+}
+
+func TestUnionMembersOverlap(t *testing.T) {
+	u := load(t, `
+int a;
+union uu { int *ip; char *cp; } uv;
+char *result;
+int main(void) {
+	uv.ip = &a;
+	result = uv.cp;
+	return 0;
+}
+`)
+	res := core.AnalyzeInsensitive(u.Graph)
+	// Reading the cp member must observe the write to ip (overlap).
+	if got := refNamesAt(t, u, res, "result"); strings.Join(got, ",") != "a" {
+		t.Fatalf("result points to %v, want [a] (union overlap)", got)
+	}
+}

@@ -1,0 +1,311 @@
+// Package core implements the paper's analyses: the context-insensitive
+// points-to analysis of Figure 1 and the maximally context-sensitive
+// variant of Figure 5 with its assumption sets, subsumption rule, and
+// the two CI-driven pruning optimizations of §4.2.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aliaslab/internal/paths"
+	"aliaslab/internal/vdg"
+)
+
+// Pair is one points-to pair (path, referent): indirecting through any
+// location (or offset) denoted by Path may return any location denoted
+// by Ref. Paths are interned, so Pair is comparable.
+type Pair struct {
+	Path *paths.Path
+	Ref  *paths.Path
+}
+
+func (p Pair) String() string {
+	return fmt.Sprintf("(%s → %s)", p.Path, p.Ref)
+}
+
+// less orders pairs deterministically by interned path IDs.
+func (p Pair) less(q Pair) bool {
+	if p.Path.ID() != q.Path.ID() {
+		return p.Path.ID() < q.Path.ID()
+	}
+	return p.Ref.ID() < q.Ref.ID()
+}
+
+// PairSet is an insertion-ordered set of pairs. Iterating the List gives
+// a deterministic order when the construction sequence is deterministic,
+// which the FIFO worklist guarantees.
+type PairSet struct {
+	m    map[Pair]struct{}
+	list []Pair
+}
+
+// Add inserts p, reporting whether it was new.
+func (s *PairSet) Add(p Pair) bool {
+	if s.m == nil {
+		s.m = make(map[Pair]struct{})
+	}
+	if _, ok := s.m[p]; ok {
+		return false
+	}
+	s.m[p] = struct{}{}
+	s.list = append(s.list, p)
+	return true
+}
+
+// Has reports membership.
+func (s *PairSet) Has(p Pair) bool {
+	_, ok := s.m[p]
+	return ok
+}
+
+// Len returns the number of pairs.
+func (s *PairSet) Len() int { return len(s.list) }
+
+// List returns the pairs in insertion order. The caller must not mutate
+// the returned slice.
+func (s *PairSet) List() []Pair { return s.list }
+
+// Sorted returns the pairs ordered by interned path IDs.
+func (s *PairSet) Sorted() []Pair {
+	out := append([]Pair(nil), s.list...)
+	sort.Slice(out, func(i, j int) bool { return out[i].less(out[j]) })
+	return out
+}
+
+// Referents returns the distinct referent locations of the set's
+// ε-path pairs — the locations a pointer value may denote.
+func (s *PairSet) Referents() []*paths.Path {
+	var out []*paths.Path
+	seen := make(map[*paths.Path]bool)
+	for _, p := range s.list {
+		if p.Path.IsEmptyOffset() && !seen[p.Ref] {
+			seen[p.Ref] = true
+			out = append(out, p.Ref)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Assumption sets (context-sensitive analysis)
+
+// Assumption states that Pair must hold on the formal-parameter output
+// Formal of the enclosing procedure for a qualified pair to be valid.
+type Assumption struct {
+	Formal *vdg.Output
+	P      Pair
+}
+
+func (a Assumption) String() string {
+	return fmt.Sprintf("(%s, %s)", a.Formal, a.P)
+}
+
+func (a Assumption) less(b Assumption) bool {
+	if a.Formal.ID != b.Formal.ID {
+		return a.Formal.ID < b.Formal.ID
+	}
+	return a.P.less(b.P)
+}
+
+// ASet is an interned, canonically sorted assumption set. Interning
+// makes subset tests cheap to memoize and equality a pointer compare.
+type ASet struct {
+	Elems []Assumption // sorted, no duplicates
+	key   string
+}
+
+// Empty reports whether the set has no assumptions.
+func (s *ASet) Empty() bool { return len(s.Elems) == 0 }
+
+// Len returns the number of assumptions.
+func (s *ASet) Len() int { return len(s.Elems) }
+
+func (s *ASet) String() string {
+	var parts []string
+	for _, a := range s.Elems {
+		parts = append(parts, a.String())
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// SubsetOf reports whether every assumption of s is in t.
+// Both are sorted, so this is a linear merge.
+func (s *ASet) SubsetOf(t *ASet) bool {
+	if s == t {
+		return true
+	}
+	if len(s.Elems) > len(t.Elems) {
+		return false
+	}
+	i := 0
+	for _, a := range t.Elems {
+		if i == len(s.Elems) {
+			return true
+		}
+		if s.Elems[i] == a {
+			i++
+		} else if s.Elems[i].less(a) {
+			return false // passed the point where s.Elems[i] could appear
+		}
+	}
+	return i == len(s.Elems)
+}
+
+// ATable interns assumption sets.
+type ATable struct {
+	sets  map[string]*ASet
+	empty *ASet
+}
+
+// NewATable returns an empty intern table.
+func NewATable() *ATable {
+	t := &ATable{sets: make(map[string]*ASet)}
+	t.empty = &ASet{key: ""}
+	t.sets[""] = t.empty
+	return t
+}
+
+// EmptySet returns the interned empty assumption set.
+func (t *ATable) EmptySet() *ASet { return t.empty }
+
+func aKey(elems []Assumption) string {
+	var sb strings.Builder
+	for _, a := range elems {
+		fmt.Fprintf(&sb, "%d:%d:%d;", a.Formal.ID, a.P.Path.ID(), a.P.Ref.ID())
+	}
+	return sb.String()
+}
+
+// Make interns the set containing the given assumptions (deduplicated
+// and sorted).
+func (t *ATable) Make(elems ...Assumption) *ASet {
+	if len(elems) == 0 {
+		return t.empty
+	}
+	sorted := append([]Assumption(nil), elems...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].less(sorted[j]) })
+	dedup := sorted[:1]
+	for _, a := range sorted[1:] {
+		if a != dedup[len(dedup)-1] {
+			dedup = append(dedup, a)
+		}
+	}
+	key := aKey(dedup)
+	if s, ok := t.sets[key]; ok {
+		return s
+	}
+	s := &ASet{Elems: dedup, key: key}
+	t.sets[key] = s
+	return s
+}
+
+// Union returns the interned union of a and b.
+func (t *ATable) Union(a, b *ASet) *ASet {
+	if a == b || b.Empty() {
+		return a
+	}
+	if a.Empty() {
+		return b
+	}
+	merged := make([]Assumption, 0, len(a.Elems)+len(b.Elems))
+	i, j := 0, 0
+	for i < len(a.Elems) && j < len(b.Elems) {
+		switch {
+		case a.Elems[i] == b.Elems[j]:
+			merged = append(merged, a.Elems[i])
+			i++
+			j++
+		case a.Elems[i].less(b.Elems[j]):
+			merged = append(merged, a.Elems[i])
+			i++
+		default:
+			merged = append(merged, b.Elems[j])
+			j++
+		}
+	}
+	merged = append(merged, a.Elems[i:]...)
+	merged = append(merged, b.Elems[j:]...)
+	key := aKey(merged)
+	if s, ok := t.sets[key]; ok {
+		return s
+	}
+	s := &ASet{Elems: merged, key: key}
+	t.sets[key] = s
+	return s
+}
+
+// QPair is a qualified points-to pair: the pair holds on an output
+// whenever every assumption in A holds on entry to the enclosing
+// procedure.
+type QPair struct {
+	P Pair
+	A *ASet
+}
+
+func (q QPair) String() string { return q.P.String() + q.A.String() }
+
+// QSet stores qualified pairs per plain pair as a minimal antichain of
+// assumption sets: arrivals subsumed by an existing weaker set are
+// discarded, and existing stronger sets are dropped when a weaker one
+// arrives (they have already propagated; keeping them adds nothing).
+type QSet struct {
+	m     map[Pair][]*ASet
+	pairs []Pair // insertion order of first appearance
+}
+
+// Add inserts q, reporting whether it survived subsumption (and thus
+// must be propagated).
+func (s *QSet) Add(q QPair) bool {
+	if s.m == nil {
+		s.m = make(map[Pair][]*ASet)
+	}
+	sets, seen := s.m[q.P]
+	if !seen {
+		s.pairs = append(s.pairs, q.P)
+	}
+	for _, a := range sets {
+		if a.SubsetOf(q.A) {
+			return false // already holds under a weaker assumption
+		}
+	}
+	kept := sets[:0]
+	for _, a := range sets {
+		if !q.A.SubsetOf(a) {
+			kept = append(kept, a)
+		}
+	}
+	s.m[q.P] = append(kept, q.A)
+	return true
+}
+
+// Pairs returns the distinct plain pairs in first-appearance order.
+func (s *QSet) Pairs() []Pair { return s.pairs }
+
+// Sets returns the antichain of assumption sets under which p holds.
+func (s *QSet) Sets(p Pair) []*ASet { return s.m[p] }
+
+// All returns every qualified pair currently stored, in deterministic
+// order.
+func (s *QSet) All() []QPair {
+	var out []QPair
+	for _, p := range s.pairs {
+		for _, a := range s.m[p] {
+			out = append(out, QPair{P: p, A: a})
+		}
+	}
+	return out
+}
+
+// Len returns the number of stored qualified pairs.
+func (s *QSet) Len() int {
+	n := 0
+	for _, sets := range s.m {
+		n += len(sets)
+	}
+	return n
+}
+
+// PairCount returns the number of distinct plain pairs.
+func (s *QSet) PairCount() int { return len(s.pairs) }

@@ -1,0 +1,526 @@
+package core
+
+import (
+	"aliaslab/internal/paths"
+	"aliaslab/internal/vdg"
+)
+
+// SensitiveOptions configures the context-sensitive analysis.
+type SensitiveOptions struct {
+	// CI supplies the context-insensitive result used by the §4.2
+	// pruning optimizations. When nil the optimizations are disabled
+	// and the analysis runs in its unoptimized (much slower) form.
+	CI *Result
+
+	// MaxSteps aborts the analysis after this many flow-in applications
+	// (0 = unlimited). The unoptimized algorithm is exponential; the
+	// paper could only run it on the smallest examples.
+	MaxSteps int
+
+	// MaxAssumptions, when positive, bounds assumption-set sizes the way
+	// [LR92]-style systems do (paper §4.2: such systems "must
+	// arbitrarily choose which assumptions to discard when the bound is
+	// reached"). Discarding assumptions soundly weakens a qualified
+	// pair — it then holds in more contexts — so the bounded analysis
+	// over-approximates the unbounded one, trading precision for a
+	// polynomially bounded context space. Sets are truncated to their
+	// first MaxAssumptions elements in canonical order.
+	MaxAssumptions int
+}
+
+// SensitiveResult is the output of the context-sensitive analysis.
+type SensitiveResult struct {
+	Graph *vdg.Graph
+	QSets map[*vdg.Output]*QSet
+
+	// Callees/Callers: the call graph. Function values are propagated
+	// context-insensitively, as in the paper (§4.1: assumptions on
+	// function values were not implemented; verified harmless).
+	Callees map[*vdg.Node][]*vdg.FuncGraph
+	Callers map[*vdg.FuncGraph][]*vdg.Node
+
+	Metrics Metrics
+
+	// Aborted is set when MaxSteps was exhausted; results are then a
+	// sound under-approximation of the fixpoint and must not be used
+	// for precision comparisons.
+	Aborted bool
+}
+
+// QPairs returns the qualified pair set of o (possibly empty, never nil).
+func (r *SensitiveResult) QPairs(o *vdg.Output) *QSet {
+	if s, ok := r.QSets[o]; ok {
+		return s
+	}
+	return &QSet{}
+}
+
+// Strip computes the ordinary points-to pairs on each output by removing
+// assumption sets and deduplicating (§4.1, final paragraph).
+func (r *SensitiveResult) Strip() map[*vdg.Output]*PairSet {
+	out := make(map[*vdg.Output]*PairSet, len(r.QSets))
+	for o, qs := range r.QSets {
+		ps := &PairSet{}
+		for _, p := range qs.Pairs() {
+			ps.Add(p)
+		}
+		out[o] = ps
+	}
+	return out
+}
+
+// qItem is one (input, qualified-pair) arrival.
+type qItem struct {
+	in *vdg.Input
+	q  QPair
+}
+
+// retEntry is one qualified pair at a function's return sink, tagged
+// with which return input (store or value) it arrived on.
+type retEntry struct {
+	q       QPair
+	isStore bool
+}
+
+type sensitive struct {
+	g    *vdg.Graph
+	res  *SensitiveResult
+	at   *ATable
+	opts SensitiveOptions
+
+	work []qItem
+	head int
+
+	// CI-derived node facts for the optimizations.
+	singleLoc map[*vdg.Node]bool          // lookup/update references ≤1 location
+	ciLocRefs map[*vdg.Node][]*paths.Path // CI location referents per update
+
+	// retNeeds indexes the qualified pairs at each function's return
+	// sink by the (formal, pair) assumptions they carry, so that a new
+	// actual pair at a call site only re-triggers propagate-return for
+	// the return pairs whose assumptions it can newly satisfy (instead
+	// of re-running every return pair, which dominates the running time
+	// on recursion-heavy programs).
+	retNeeds map[*vdg.Output]map[Pair][]retEntry
+}
+
+// AnalyzeSensitive runs the maximally context-sensitive analysis of
+// [Ruf95, Figure 5], qualified-pair propagation with assumption sets,
+// using the context-insensitive result (when provided) to prune
+// assumption introduction without affecting precision (§4.2).
+func AnalyzeSensitive(g *vdg.Graph, opts SensitiveOptions) *SensitiveResult {
+	a := &sensitive{
+		g: g,
+		res: &SensitiveResult{
+			Graph:   g,
+			QSets:   make(map[*vdg.Output]*QSet),
+			Callees: make(map[*vdg.Node][]*vdg.FuncGraph),
+			Callers: make(map[*vdg.FuncGraph][]*vdg.Node),
+		},
+		at:       NewATable(),
+		opts:     opts,
+		retNeeds: make(map[*vdg.Output]map[Pair][]retEntry),
+	}
+	if opts.CI != nil {
+		a.singleLoc = make(map[*vdg.Node]bool)
+		a.ciLocRefs = make(map[*vdg.Node][]*paths.Path)
+		for _, fg := range g.Funcs {
+			for _, n := range fg.Nodes {
+				if n.Kind == vdg.KLookup || n.Kind == vdg.KUpdate {
+					refs := opts.CI.LocReferents(n)
+					a.singleLoc[n] = len(refs) <= 1
+					a.ciLocRefs[n] = refs
+				}
+			}
+		}
+	}
+
+	empty := g.Universe.Empty()
+	for _, fg := range g.Funcs {
+		for _, n := range fg.Nodes {
+			if n.Kind == vdg.KAddr || n.Kind == vdg.KAlloc {
+				a.flowOut(n.Outputs[0], QPair{P: Pair{Path: empty, Ref: n.Path}, A: a.at.EmptySet()})
+			}
+		}
+	}
+
+	for a.head < len(a.work) {
+		if opts.MaxSteps > 0 && a.res.Metrics.FlowIns >= opts.MaxSteps {
+			a.res.Aborted = true
+			break
+		}
+		item := a.work[a.head]
+		a.head++
+		a.res.Metrics.FlowIns++
+		a.flowIn(item.in, item.q)
+	}
+	a.work = nil
+	return a.res
+}
+
+// bound enforces MaxAssumptions by truncating oversized sets (a sound
+// weakening: fewer assumptions means the pair holds more broadly).
+func (a *sensitive) bound(s *ASet) *ASet {
+	k := a.opts.MaxAssumptions
+	if k <= 0 || s.Len() <= k {
+		return s
+	}
+	return a.at.Make(s.Elems[:k]...)
+}
+
+func (a *sensitive) flowOut(out *vdg.Output, q QPair) {
+	a.res.Metrics.FlowOuts++
+	q.A = a.bound(q.A)
+	s, ok := a.res.QSets[out]
+	if !ok {
+		s = &QSet{}
+		a.res.QSets[out] = s
+	}
+	if !s.Add(q) {
+		return // subsumed: already holds under weaker assumptions
+	}
+	a.res.Metrics.Pairs++
+	for _, in := range out.Consumers {
+		a.work = append(a.work, qItem{in: in, q: q})
+	}
+}
+
+func (a *sensitive) qpairsAt(src *vdg.Output) []QPair {
+	if s, ok := a.res.QSets[src]; ok {
+		return s.All()
+	}
+	return nil
+}
+
+func (a *sensitive) flowIn(in *vdg.Input, q QPair) {
+	n := in.Node
+	switch n.Kind {
+	case vdg.KLookup:
+		a.lookupFlow(n, in, q)
+	case vdg.KUpdate:
+		a.updateFlow(n, in, q)
+	case vdg.KCall:
+		a.callFlow(n, in, q)
+	case vdg.KReturn:
+		a.returnFlow(n, in, q)
+	case vdg.KGamma:
+		a.flowOut(n.Outputs[0], q)
+	case vdg.KPrimop:
+		if n.Transparent {
+			a.flowOut(n.Outputs[0], q)
+		}
+	case vdg.KAlloc:
+		a.flowOut(n.Outputs[0], q)
+	case vdg.KFieldAddr:
+		if q.P.Path.IsEmptyOffset() {
+			var ref *paths.Path
+			if n.Transparent {
+				ref = a.g.Universe.UnionField(q.P.Ref, n.Field)
+			} else {
+				ref = a.g.Universe.Field(q.P.Ref, n.Field)
+			}
+			a.flowOut(n.Outputs[0], QPair{P: Pair{Path: q.P.Path, Ref: ref}, A: q.A})
+		}
+	case vdg.KIndexAddr:
+		if q.P.Path.IsEmptyOffset() {
+			a.flowOut(n.Outputs[0], QPair{P: Pair{Path: q.P.Path, Ref: a.g.Universe.Index(q.P.Ref)}, A: q.A})
+		}
+	case vdg.KExtract:
+		want := paths.Op{Field: n.Field, Union: n.Transparent}
+		if op, ok := q.P.Path.FirstOp(); ok && op.Overlaps(want) {
+			tail := a.g.Universe.TailAfterFirst(q.P.Path)
+			a.flowOut(n.Outputs[0], QPair{P: Pair{Path: tail, Ref: q.P.Ref}, A: q.A})
+		}
+	}
+}
+
+// locAssumptions implements §4.2 optimization 1: when the CI analysis
+// proved the operation references a single location, the location is
+// context-invariant and its assumptions need not be tracked.
+func (a *sensitive) locAssumptions(n *vdg.Node, al *ASet) *ASet {
+	if a.singleLoc != nil && a.singleLoc[n] {
+		return a.at.EmptySet()
+	}
+	return al
+}
+
+func (a *sensitive) lookupFlow(n *vdg.Node, in *vdg.Input, q QPair) {
+	u := a.g.Universe
+	out := n.Outputs[0]
+	switch in.Index {
+	case 0: // location
+		if !q.P.Path.IsEmptyOffset() {
+			return
+		}
+		rl := q.P.Ref
+		al := a.locAssumptions(n, q.A)
+		for _, qs := range a.qpairsAt(n.StoreIn()) {
+			if paths.Dom(rl, qs.P.Path) {
+				a.flowOut(out, QPair{
+					P: Pair{Path: u.Subtract(qs.P.Path, rl), Ref: qs.P.Ref},
+					A: a.at.Union(al, qs.A),
+				})
+			}
+		}
+	case 1: // store
+		for _, ql := range a.qpairsAt(n.Loc()) {
+			if !ql.P.Path.IsEmptyOffset() {
+				continue
+			}
+			if paths.Dom(ql.P.Ref, q.P.Path) {
+				al := a.locAssumptions(n, ql.A)
+				a.flowOut(out, QPair{
+					P: Pair{Path: u.Subtract(q.P.Path, ql.P.Ref), Ref: q.P.Ref},
+					A: a.at.Union(al, q.A),
+				})
+			}
+		}
+	}
+}
+
+// ciUnmodifiable implements §4.2 optimization 2: a store pair whose path
+// cannot be modified by any CI-possible location of this update passes
+// through without new location assumptions.
+func (a *sensitive) ciUnmodifiable(n *vdg.Node, p *paths.Path) bool {
+	if a.ciLocRefs == nil {
+		return false
+	}
+	for _, r := range a.ciLocRefs[n] {
+		if paths.Dom(r, p) {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *sensitive) updateFlow(n *vdg.Node, in *vdg.Input, q QPair) {
+	u := a.g.Universe
+	out := n.Outputs[0]
+	switch in.Index {
+	case 0: // location
+		if !q.P.Path.IsEmptyOffset() {
+			return
+		}
+		rl := q.P.Ref
+		al := a.locAssumptions(n, q.A)
+		for _, qv := range a.qpairsAt(n.Value()) {
+			a.flowOut(out, QPair{
+				P: Pair{Path: u.Append(rl, qv.P.Path), Ref: qv.P.Ref},
+				A: a.at.Union(al, qv.A),
+			})
+		}
+		for _, qs := range a.qpairsAt(n.StoreIn()) {
+			if a.ciUnmodifiable(n, qs.P.Path) {
+				// Optimization 2 handles these on arrival; re-emitting
+				// per location would only add redundant assumptions.
+				continue
+			}
+			if !paths.StrongDom(rl, qs.P.Path) {
+				a.flowOut(out, QPair{P: qs.P, A: a.at.Union(al, qs.A)})
+			}
+		}
+	case 1: // store
+		if a.ciUnmodifiable(n, q.P.Path) {
+			a.flowOut(out, q)
+			return
+		}
+		for _, ql := range a.qpairsAt(n.Loc()) {
+			if !ql.P.Path.IsEmptyOffset() {
+				continue
+			}
+			if !paths.StrongDom(ql.P.Ref, q.P.Path) {
+				al := a.locAssumptions(n, ql.A)
+				a.flowOut(out, QPair{P: q.P, A: a.at.Union(al, q.A)})
+			}
+		}
+	case 2: // value
+		for _, ql := range a.qpairsAt(n.Loc()) {
+			if !ql.P.Path.IsEmptyOffset() {
+				continue
+			}
+			al := a.locAssumptions(n, ql.A)
+			a.flowOut(out, QPair{
+				P: Pair{Path: u.Append(ql.P.Ref, q.P.Path), Ref: q.P.Ref},
+				A: a.at.Union(al, q.A),
+			})
+		}
+	}
+}
+
+// callFlow introduces fresh assumption sets at call boundaries: a pair
+// entering a callee holds only under the assumption that it held on the
+// corresponding formal.
+func (a *sensitive) callFlow(n *vdg.Node, in *vdg.Input, q QPair) {
+	switch in.Index {
+	case 0: // function values stay context-insensitive
+		if !q.P.Path.IsEmptyOffset() || q.P.Ref.Depth() != 0 {
+			return
+		}
+		callee := a.g.FuncByBase[q.P.Ref.Base()]
+		if callee == nil {
+			return
+		}
+		a.addCallEdge(n, callee)
+	case 1: // store
+		for _, callee := range a.res.Callees[n] {
+			a.propagateToFormal(callee.StoreParam, q)
+			// A new store pair may satisfy return assumptions that were
+			// previously unsatisfiable at this call site (Figure 5).
+			a.retriggerReturns(n, callee.StoreParam, q.P)
+		}
+	default: // actuals
+		argIdx := in.Index - 2
+		for _, callee := range a.res.Callees[n] {
+			if argIdx < len(callee.ParamOuts) {
+				a.propagateToFormal(callee.ParamOuts[argIdx], q)
+				a.retriggerReturns(n, callee.ParamOuts[argIdx], q.P)
+			}
+		}
+	}
+}
+
+// propagateToFormal enters a qualified pair into a callee: the caller's
+// assumptions are replaced by the single assumption that the pair holds
+// on the formal.
+func (a *sensitive) propagateToFormal(formal *vdg.Output, q QPair) {
+	a.flowOut(formal, QPair{P: q.P, A: a.at.Make(Assumption{Formal: formal, P: q.P})})
+}
+
+// reproplicateReturns re-runs propagate-return for every qualified pair
+// currently at the callee's return sink, targeted at call site n (used
+// when a whole new call edge appears).
+func (a *sensitive) reproplicateReturns(n *vdg.Node, callee *vdg.FuncGraph) {
+	if rs := callee.ReturnStore(); rs != nil {
+		for _, q := range a.qpairsAt(rs) {
+			a.propagateReturn(n, vdg.CallStoreOut(n), q)
+		}
+	}
+	if rv := callee.ReturnValue(); rv != nil {
+		if res := vdg.CallResultOut(n); res != nil {
+			for _, q := range a.qpairsAt(rv) {
+				a.propagateReturn(n, res, q)
+			}
+		}
+	}
+}
+
+// retriggerReturns re-runs propagate-return at call site n for exactly
+// the return pairs that carry an assumption (formal, pair) — the ones a
+// new actual pair can newly satisfy.
+func (a *sensitive) retriggerReturns(n *vdg.Node, formal *vdg.Output, pair Pair) {
+	byPair := a.retNeeds[formal]
+	if byPair == nil {
+		return
+	}
+	for _, e := range byPair[pair] {
+		if e.isStore {
+			a.propagateReturn(n, vdg.CallStoreOut(n), e.q)
+		} else if res := vdg.CallResultOut(n); res != nil {
+			a.propagateReturn(n, res, e.q)
+		}
+	}
+}
+
+// indexReturn records a return-sink pair under every assumption it
+// carries.
+func (a *sensitive) indexReturn(q QPair, isStore bool) {
+	for _, asm := range q.A.Elems {
+		byPair := a.retNeeds[asm.Formal]
+		if byPair == nil {
+			byPair = make(map[Pair][]retEntry)
+			a.retNeeds[asm.Formal] = byPair
+		}
+		byPair[asm.P] = append(byPair[asm.P], retEntry{q: q, isStore: isStore})
+	}
+}
+
+func (a *sensitive) addCallEdge(n *vdg.Node, callee *vdg.FuncGraph) {
+	for _, c := range a.res.Callees[n] {
+		if c == callee {
+			return
+		}
+	}
+	a.res.Callees[n] = append(a.res.Callees[n], callee)
+	a.res.Callers[callee] = append(a.res.Callers[callee], n)
+
+	for _, q := range a.qpairsAt(n.StoreIn()) {
+		a.propagateToFormal(callee.StoreParam, q)
+	}
+	for i, argIn := range vdg.CallArgs(n) {
+		if i >= len(callee.ParamOuts) {
+			break
+		}
+		for _, q := range a.qpairsAt(argIn.Src) {
+			a.propagateToFormal(callee.ParamOuts[i], q)
+		}
+	}
+	a.reproplicateReturns(n, callee)
+}
+
+func (a *sensitive) returnFlow(n *vdg.Node, in *vdg.Input, q QPair) {
+	fg := n.Fn
+	a.indexReturn(q, in.Index == 0)
+	for _, call := range a.res.Callers[fg] {
+		switch in.Index {
+		case 0:
+			a.propagateReturn(call, vdg.CallStoreOut(call), q)
+		case 1:
+			if res := vdg.CallResultOut(call); res != nil {
+				a.propagateReturn(call, res, q)
+			}
+		}
+	}
+}
+
+// propagateReturn implements the paper's propagate-return: for each
+// assumption on the returned pair, collect the assumption sets under
+// which the assumed pair holds on the corresponding actual at this call
+// site; the Cartesian product of those collections yields every caller
+// assumption set sufficient to satisfy the callee's assumptions.
+func (a *sensitive) propagateReturn(call *vdg.Node, target *vdg.Output, q QPair) {
+	combos := []*ASet{a.at.EmptySet()}
+	for _, asm := range q.A.Elems {
+		src := a.actualFor(call, asm.Formal)
+		if src == nil {
+			return // arity mismatch: unsatisfiable at this site
+		}
+		qs, ok := a.res.QSets[src]
+		if !ok {
+			return
+		}
+		sets := qs.Sets(asm.P)
+		if len(sets) == 0 {
+			return // the assumed pair does not hold at this call site
+		}
+		next := make([]*ASet, 0, len(combos)*len(sets))
+		for _, c := range combos {
+			for _, s := range sets {
+				next = append(next, a.at.Union(c, s))
+			}
+		}
+		combos = next
+	}
+	for _, c := range combos {
+		a.flowOut(target, QPair{P: q.P, A: c})
+	}
+}
+
+// actualFor maps a callee formal output to the feeding output at a call
+// site (the store input for the store formal, argument i for parameter
+// formal i), or nil when the call does not supply it.
+func (a *sensitive) actualFor(call *vdg.Node, formal *vdg.Output) *vdg.Output {
+	fn := formal.Node.Fn
+	if formal.Node.Kind == vdg.KStoreParam {
+		return call.StoreIn()
+	}
+	for i, po := range fn.ParamOuts {
+		if po == formal {
+			args := vdg.CallArgs(call)
+			if i < len(args) {
+				return args[i].Src
+			}
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,253 @@
+package core_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"aliaslab/internal/core"
+	"aliaslab/internal/driver"
+	"aliaslab/internal/paths"
+	"aliaslab/internal/vdg"
+)
+
+// csRefNames returns the sorted referents of varName in the stripped CS
+// result at main's return store.
+func csRefNames(t *testing.T, u *driver.Unit, res *core.SensitiveResult, varName string) []string {
+	t.Helper()
+	ret := u.Graph.Entry.ReturnStore()
+	if ret == nil {
+		t.Fatalf("main has no return store")
+	}
+	var names []string
+	for _, p := range res.QPairs(ret).Pairs() {
+		if p.Path.Base() != nil && p.Path.Base().Name == varName && p.Path.Depth() == 0 {
+			names = append(names, p.Ref.String())
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+const pollutionSrc = `
+int a, b;
+int *pa, *pb;
+void set(int **r, int *v) { *r = v; }
+int main(void) {
+	set(&pa, &a);
+	set(&pb, &b);
+	return 0;
+}
+`
+
+func TestSensitiveRemovesPollution(t *testing.T) {
+	u := load(t, pollutionSrc)
+	ci := core.AnalyzeInsensitive(u.Graph)
+	cs := core.AnalyzeSensitive(u.Graph, core.SensitiveOptions{CI: ci})
+	if cs.Aborted {
+		t.Fatal("CS analysis aborted")
+	}
+
+	// CI pollutes: pa -> {a, b}. CS separates the two call sites.
+	if got := csRefNames(t, u, cs, "pa"); strings.Join(got, ",") != "a" {
+		t.Fatalf("CS: pa points to %v, want [a]", got)
+	}
+	if got := csRefNames(t, u, cs, "pb"); strings.Join(got, ",") != "b" {
+		t.Fatalf("CS: pb points to %v, want [b]", got)
+	}
+
+	// The CS result is a subset of CI on every output.
+	stripped := cs.Strip()
+	u.Graph.Outputs(func(o *vdg.Output) {
+		cis := ci.Pairs(o)
+		if stripped[o] == nil {
+			return
+		}
+		for _, p := range stripped[o].List() {
+			if !cis.Has(p) {
+				t.Errorf("CS found %v on %v but CI did not (CS must refine CI)", p, o)
+			}
+		}
+	})
+}
+
+func TestSensitiveUnoptimizedMatchesOptimized(t *testing.T) {
+	// §4.2: the CI-driven optimizations must not change the stripped
+	// solution.
+	for _, src := range []string{pollutionSrc, `
+int g1, g2;
+int *q;
+int *pick(int *x, int *y, int c) { if (c) return x; return y; }
+int main(void) {
+	q = pick(&g1, &g2, 1);
+	*q = 4;
+	return 0;
+}
+`} {
+		u := load(t, src)
+		ci := core.AnalyzeInsensitive(u.Graph)
+		opt := core.AnalyzeSensitive(u.Graph, core.SensitiveOptions{CI: ci}).Strip()
+		unopt := core.AnalyzeSensitive(u.Graph, core.SensitiveOptions{}).Strip()
+		u.Graph.Outputs(func(o *vdg.Output) {
+			a, b := opt[o], unopt[o]
+			al, bl := 0, 0
+			if a != nil {
+				al = a.Len()
+			}
+			if b != nil {
+				bl = b.Len()
+			}
+			if al != bl {
+				t.Fatalf("output %v: optimized has %d pairs, unoptimized %d", o, al, bl)
+			}
+			if a == nil {
+				return
+			}
+			for _, p := range a.List() {
+				if !b.Has(p) {
+					t.Fatalf("output %v: pair %v only in optimized result", o, p)
+				}
+			}
+		})
+	}
+}
+
+func TestSensitiveRecursionTerminates(t *testing.T) {
+	u := load(t, `
+struct node { struct node *next; int v; };
+struct node *build(int n) {
+	struct node *h;
+	if (n == 0) return 0;
+	h = (struct node *) malloc(sizeof(struct node));
+	h->next = build(n - 1);
+	h->v = n;
+	return h;
+}
+int total(struct node *l) {
+	if (l == 0) return 0;
+	return l->v + total(l->next);
+}
+struct node *list;
+int main(void) {
+	list = build(10);
+	return total(list);
+}
+`)
+	ci := core.AnalyzeInsensitive(u.Graph)
+	cs := core.AnalyzeSensitive(u.Graph, core.SensitiveOptions{CI: ci, MaxSteps: 5_000_000})
+	if cs.Aborted {
+		t.Fatal("CS aborted on recursive list builder")
+	}
+	if got := csRefNames(t, u, cs, "list"); len(got) != 1 || !strings.HasPrefix(got[0], "malloc@") {
+		t.Fatalf("list points to %v, want the single allocation site", got)
+	}
+}
+
+func TestSensitiveMatchesCIOnIndirectOpsForSharedListRoutines(t *testing.T) {
+	// The part-benchmark phenomenon (§5.2): two lists manipulated by the
+	// same routines, with elements exchanged between them — CI's
+	// cross-pollution is harmless because the lists' contents already
+	// mix at runtime.
+	u := load(t, `
+struct elem { struct elem *next; int v; };
+struct elem *la, *lb;
+void push(struct elem **list, struct elem *e) {
+	e->next = *list;
+	*list = e;
+}
+struct elem *pop(struct elem **list) {
+	struct elem *e;
+	e = *list;
+	if (e) *list = e->next;
+	return e;
+}
+int main(void) {
+	int i;
+	for (i = 0; i < 4; i++) {
+		push(&la, (struct elem *) malloc(sizeof(struct elem)));
+		push(&lb, (struct elem *) malloc(sizeof(struct elem)));
+	}
+	// Exchange elements between the lists.
+	push(&la, pop(&lb));
+	push(&lb, pop(&la));
+	return 0;
+}
+`)
+	ci := core.AnalyzeInsensitive(u.Graph)
+	cs := core.AnalyzeSensitive(u.Graph, core.SensitiveOptions{CI: ci, MaxSteps: 20_000_000})
+	if cs.Aborted {
+		t.Fatal("CS aborted")
+	}
+	stripped := cs.Strip()
+	// At every indirect memory operation, the referent sets must agree.
+	for _, fg := range u.Graph.Funcs {
+		for _, n := range fg.Nodes {
+			if (n.Kind != vdg.KLookup && n.Kind != vdg.KUpdate) || !n.Indirect {
+				continue
+			}
+			ciRefs := ci.Pairs(n.Loc()).Referents()
+			var csRefs []*paths.Path
+			if s := stripped[n.Loc()]; s != nil {
+				csRefs = s.Referents()
+			}
+			if len(ciRefs) != len(csRefs) {
+				t.Errorf("%s node at %s: CI %d referents, CS %d", n.Kind, n.Pos, len(ciRefs), len(csRefs))
+			}
+		}
+	}
+}
+
+// TestBoundedAssumptionSets: limiting assumption-set sizes ([LR92]-style,
+// paper §4.2) soundly over-approximates the unbounded analysis, and a
+// generous bound changes nothing.
+func TestBoundedAssumptionSets(t *testing.T) {
+	u := load(t, pollutionSrc)
+	ci := core.AnalyzeInsensitive(u.Graph)
+	full := core.AnalyzeSensitive(u.Graph, core.SensitiveOptions{CI: ci, MaxSteps: 5_000_000}).Strip()
+	wide := core.AnalyzeSensitive(u.Graph, core.SensitiveOptions{CI: ci, MaxSteps: 5_000_000, MaxAssumptions: 64}).Strip()
+	tight := core.AnalyzeSensitive(u.Graph, core.SensitiveOptions{CI: ci, MaxSteps: 5_000_000, MaxAssumptions: 1}).Strip()
+	zeroish := core.AnalyzeSensitive(u.Graph, core.SensitiveOptions{CI: ci, MaxSteps: 5_000_000, MaxAssumptions: 0}).Strip()
+	_ = zeroish // 0 means unbounded, by the option contract
+
+	subset := func(a, b map[*vdg.Output]*core.PairSet) bool {
+		ok := true
+		u.Graph.Outputs(func(o *vdg.Output) {
+			as := a[o]
+			if as == nil {
+				return
+			}
+			for _, p := range as.List() {
+				if b[o] == nil || !b[o].Has(p) {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+
+	// A wide bound must reproduce the unbounded result exactly.
+	if !subset(full, wide) || !subset(wide, full) {
+		t.Fatal("bound of 64 changed the solution on a tiny program")
+	}
+	// The tight bound must over-approximate (full ⊆ tight ⊆ CI).
+	if !subset(full, tight) {
+		t.Fatal("bounded analysis lost pairs the unbounded one has (unsound)")
+	}
+	ciSets := ci.Sets
+	if !subset(tight, ciSets) {
+		t.Fatal("bounded analysis exceeded CI")
+	}
+	// And with one assumption per pair, the pollution example loses its
+	// caller separation: pa picks up b again.
+	count := func(sets map[*vdg.Output]*core.PairSet) int {
+		total := 0
+		for _, s := range sets {
+			total += s.Len()
+		}
+		return total
+	}
+	if count(tight) <= count(full) {
+		t.Errorf("tight bound found %d pairs, unbounded %d; expected a precision loss",
+			count(tight), count(full))
+	}
+}

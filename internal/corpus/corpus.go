@@ -1,0 +1,122 @@
+// Package corpus embeds the 13 benchmark programs of the study. Each is
+// a mini-C workload named and shaped after the benchmark of the same
+// name in the paper's Figure 2 (Landi, Austin, FSF, and SPEC92 suites):
+// the original sources are not redistributable, so these programs
+// recreate the pointer *structure* the paper's analysis depends on —
+// single-client abstract data types, sparse call graphs, mostly
+// single-level pointers, shared list routines — at a reduced size.
+// DESIGN.md §5 documents the substitution per program.
+package corpus
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+
+	"aliaslab/internal/driver"
+	"aliaslab/internal/vdg"
+)
+
+//go:embed programs/*.c
+var programsFS embed.FS
+
+// names lists the corpus in the paper's Figure 2 order.
+var names = []string{
+	"allroots",
+	"anagram",
+	"assembler",
+	"backprop",
+	"bc",
+	"compiler",
+	"compress",
+	"lex315",
+	"loader",
+	"part",
+	"simulator",
+	"span",
+	"yacr2",
+}
+
+// descriptions summarizes each workload.
+var descriptions = map[string]string{
+	"allroots":  "polynomial real-root finder (arrays of coefficients, out-params)",
+	"anagram":   "anagram finder over a word list (char** dictionary, hash buckets)",
+	"assembler": "two-pass assembler (symbol/opcode/label lists via shared walkers)",
+	"backprop":  "neural-network trainer (malloc'd float matrices, single alloc wrapper)",
+	"bc":        "expression calculator (AST with unions, operand stacks)",
+	"compiler":  "toy compiler front end (tokens, AST, codegen; single alloc site)",
+	"compress":  "LZW-style compressor (code tables; unused library result)",
+	"lex315":    "scanner-generator fragment (transition tables via pointers)",
+	"loader":    "object-file loader (segments, relocations, symbol map)",
+	"part":      "two linked lists sharing push/pop routines, exchanging elements",
+	"simulator": "CPU simulator (memory, registers, function-pointer dispatch)",
+	"span":      "spanning-tree builder (adjacency lists; single alloc site)",
+	"yacr2":     "channel router (net structs, column maps)",
+}
+
+// Program is one corpus entry.
+type Program struct {
+	Name        string
+	Description string
+	Source      string
+}
+
+// Names returns the corpus program names in Figure 2 order.
+func Names() []string { return append([]string(nil), names...) }
+
+// Get returns the program with the given name.
+func Get(name string) (Program, error) {
+	data, err := programsFS.ReadFile("programs/" + name + ".c")
+	if err != nil {
+		return Program{}, fmt.Errorf("corpus: unknown program %q", name)
+	}
+	return Program{Name: name, Description: descriptions[name], Source: string(data)}, nil
+}
+
+// All returns every corpus program in Figure 2 order.
+func All() []Program {
+	out := make([]Program, 0, len(names))
+	for _, n := range names {
+		p, err := Get(n)
+		if err != nil {
+			panic(err) // embedded files; cannot fail after build
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Load runs a corpus program through the front end.
+func Load(name string, opts vdg.Options) (*driver.Unit, error) {
+	p, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return driver.LoadString(name+".c", p.Source, opts)
+}
+
+// Verify checks that the embedded file set matches the declared name
+// list (used by tests).
+func Verify() error {
+	entries, err := programsFS.ReadDir("programs")
+	if err != nil {
+		return err
+	}
+	var got []string
+	for _, e := range entries {
+		got = append(got, strings.TrimSuffix(e.Name(), ".c"))
+	}
+	sort.Strings(got)
+	want := append([]string(nil), names...)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		return fmt.Errorf("corpus: %d embedded programs, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Errorf("corpus: embedded %q, want %q", got[i], want[i])
+		}
+	}
+	return nil
+}

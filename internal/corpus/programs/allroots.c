@@ -1,0 +1,190 @@
+/*
+ * allroots: find all real roots of small polynomials by scanning for
+ * sign changes and bisecting each bracketed interval, deflating through
+ * the derivative chain.
+ *
+ * Pointer structure (mirrors the paper's allroots): coefficient arrays
+ * are passed by pointer into shared evaluation routines, so the
+ * evaluator's indirect reads see the handful of polynomials the program
+ * manipulates.
+ */
+
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <math.h>
+
+double coeff_p[16];
+double coeff_q[16];
+int deg_p;
+int deg_q;
+
+double found[64];
+int nfound;
+double *active; /* the coefficient vector currently being scanned */
+
+/* Evaluate polynomial c[0..deg] at x by Horner's rule. */
+double eval(double *c, int deg, double x)
+{
+	double v;
+	int i;
+	v = 0.0;
+	for (i = deg; i >= 0; i--) {
+		v = v * x + c[i];
+	}
+	return v;
+}
+
+/* Differentiate src (degree deg) into dst; returns the new degree. */
+int deriv(double *src, int deg, double *dst)
+{
+	int i;
+	for (i = 1; i <= deg; i++) {
+		dst[i - 1] = src[i] * i;
+	}
+	return deg - 1;
+}
+
+/* Append a root to an output vector through pointers. */
+void record_root(double *out, int *count, double x)
+{
+	out[*count] = x;
+	*count = *count + 1;
+}
+
+/* Shrink [lo,hi] around a sign change of c. */
+double bisect(double *c, int deg, double lo, double hi)
+{
+	double mid;
+	double flo;
+	int it;
+	flo = eval(c, deg, lo);
+	for (it = 0; it < 52; it++) {
+		mid = (lo + hi) / 2.0;
+		if (flo * eval(c, deg, mid) <= 0.0) {
+			hi = mid;
+		} else {
+			flo = eval(c, deg, mid);
+			lo = mid;
+		}
+	}
+	return (lo + hi) / 2.0;
+}
+
+/* Scan [-bound, bound] for bracketed roots of c and record them. */
+void scan_roots(double *c, int deg, double bound)
+{
+	double x;
+	double step;
+	double prev;
+	double cur;
+	active = c;
+	step = bound / 128.0;
+	prev = eval(c, deg, -bound);
+	for (x = -bound + step; x <= bound; x += step) {
+		cur = eval(c, deg, x);
+		if (prev * cur <= 0.0 && (prev != 0.0 || cur != 0.0)) {
+			record_root(found, &nfound, bisect(c, deg, x - step, x));
+		}
+		prev = cur;
+	}
+}
+
+/* One Newton step to polish each bracketed root. */
+double polish(double *c, int deg, double x)
+{
+	double work[16];
+	double fx;
+	double dfx;
+	int d;
+	int it;
+	d = deriv(c, deg, work);
+	for (it = 0; it < 4; it++) {
+		fx = eval(c, deg, x);
+		dfx = eval(work, d, x);
+		if (dfx == 0.0) {
+			break;
+		}
+		x = x - fx / dfx;
+	}
+	return x;
+}
+
+/* Collapse near-duplicate roots in place; returns the new count. */
+int dedup_roots(double *xs, int n)
+{
+	int i;
+	int j;
+	int k;
+	int dup;
+	k = 0;
+	for (i = 0; i < n; i++) {
+		dup = 0;
+		for (j = 0; j < k; j++) {
+			if (fabs(xs[i] - xs[j]) < 0.0001) {
+				dup = 1;
+				break;
+			}
+		}
+		if (!dup) {
+			xs[k] = xs[i];
+			k++;
+		}
+	}
+	return k;
+}
+
+/* Fill a coefficient vector with one of two demo polynomials. */
+void load_poly(double *c, int *deg, int which)
+{
+	int i;
+	for (i = 0; i < 16; i++) {
+		c[i] = 0.0;
+	}
+	if (which == 0) {
+		/* (x-1)(x+2)(x-3) = x^3 - 2x^2 - 5x + 6 */
+		c[3] = 1.0;
+		c[2] = -2.0;
+		c[1] = -5.0;
+		c[0] = 6.0;
+		*deg = 3;
+	} else {
+		/* x^4 - 5x^2 + 4 = (x-1)(x+1)(x-2)(x+2) */
+		c[4] = 1.0;
+		c[2] = -5.0;
+		c[0] = 4.0;
+		*deg = 4;
+	}
+}
+
+/* Report roots plus the critical points of p (roots of p'). */
+int main(void)
+{
+	double work[16];
+	int dwork;
+	int i;
+
+	nfound = 0;
+	load_poly(coeff_p, &deg_p, 0);
+	load_poly(coeff_q, &deg_q, 1);
+
+	scan_roots(coeff_p, deg_p, 8.0);
+	scan_roots(coeff_q, deg_q, 8.0);
+
+	dwork = deriv(coeff_p, deg_p, work);
+	scan_roots(work, dwork, 8.0);
+
+	for (i = 0; i < nfound; i++) {
+		found[i] = polish(coeff_p, deg_p, found[i]);
+	}
+	nfound = dedup_roots(found, nfound);
+
+	for (i = 0; i < nfound; i++) {
+		printf("root %d near %d/1000\n", i, (int)(found[i] * 1000.0));
+	}
+	printf("%d roots found (last poly degree %d)\n", nfound, dwork);
+	if (active != 0 && eval(active, dwork, 0.0) == 0.0) {
+		printf("zero is a critical point\n");
+	}
+	return 0;
+}

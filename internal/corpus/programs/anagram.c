@@ -1,0 +1,266 @@
+/*
+ * anagram: group words into anagram classes by hashing each word's
+ * sorted-letter signature.
+ *
+ * Pointer structure (mirrors the paper's anagram): words live in heap
+ * buffers produced by a single allocation site (standing in for buffers
+ * filled from input), signatures in a second single site, and hash
+ * entries in a third. Almost every indirect operation touches one
+ * location; the shared string helpers that handle both word and
+ * signature buffers account for the few two-location reads, matching
+ * the paper's avg 1.05 / max 2 shape.
+ */
+
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+enum { HASHSIZE = 31, MAXWORD = 16 };
+
+struct entry {
+	char *word;
+	char *sig;
+	struct entry *chain;
+};
+
+struct entry *buckets[HASHSIZE];
+int nwords;
+int nclasses;
+int seed;
+
+/* Single site for word buffers (stands in for input buffers). */
+char *word_alloc(void)
+{
+	return (char *) malloc(MAXWORD);
+}
+
+/* Single site for signature buffers. */
+char *sig_alloc(void)
+{
+	return (char *) malloc(MAXWORD);
+}
+
+/* Single site for hash entries. */
+struct entry *entry_alloc(void)
+{
+	return (struct entry *) malloc(sizeof(struct entry));
+}
+
+/* Shared string-length helper: sees word and signature buffers. */
+int my_len(char *s)
+{
+	int n;
+	n = 0;
+	while (s[n] != '\0') {
+		n++;
+	}
+	return n;
+}
+
+/* Deterministic pseudo-random word generator: permutes a small letter
+ * pool so anagram classes actually occur. */
+char *next_word(void)
+{
+	char *w;
+	int len;
+	int i;
+	int r;
+	char pool[6];
+
+	pool[0] = 'l';
+	pool[1] = 'i';
+	pool[2] = 's';
+	pool[3] = 't';
+	pool[4] = 'e';
+	pool[5] = 'n';
+
+	w = word_alloc();
+	seed = (seed * 1103 + 12345) % 100000;
+	len = 3 + seed % 4;
+	for (i = 0; i < len; i++) {
+		seed = (seed * 1103 + 12345) % 100000;
+		r = seed % 6;
+		w[i] = pool[r];
+	}
+	w[len] = '\0';
+	return w;
+}
+
+/* Copy src into a fresh signature buffer and sort its letters. */
+char *make_signature(char *src)
+{
+	char *sig;
+	char tmp;
+	int n;
+	int i;
+	int j;
+
+	sig = sig_alloc();
+	n = my_len(src);
+	if (n >= MAXWORD) {
+		n = MAXWORD - 1;
+	}
+	for (i = 0; i < n; i++) {
+		sig[i] = src[i];
+	}
+	sig[n] = '\0';
+
+	for (i = 0; i < n; i++) {
+		for (j = i + 1; j < n; j++) {
+			if (sig[j] < sig[i]) {
+				tmp = sig[i];
+				sig[i] = sig[j];
+				sig[j] = tmp;
+			}
+		}
+	}
+	return sig;
+}
+
+/* Shared hash helper: also sees both buffer kinds. */
+int hash_string(char *s)
+{
+	int h;
+	int i;
+	h = 0;
+	for (i = 0; s[i] != '\0'; i++) {
+		h = (h * 31 + s[i]) % HASHSIZE;
+	}
+	if (h < 0) {
+		h = -h;
+	}
+	return h;
+}
+
+/* Find the class entry for sig, or insert a fresh one. */
+struct entry *lookup_or_insert(char *word, char *sig)
+{
+	struct entry *e;
+	int h;
+	h = hash_string(sig);
+	for (e = buckets[h]; e != 0; e = e->chain) {
+		if (strcmp(e->sig, sig) == 0) {
+			return e;
+		}
+	}
+	e = entry_alloc();
+	e->word = word;
+	e->sig = sig;
+	e->chain = buckets[h];
+	buckets[h] = e;
+	nclasses++;
+	return e;
+}
+
+void insert_word(char *word)
+{
+	struct entry *e;
+	char *sig;
+	sig = make_signature(word);
+	e = lookup_or_insert(word, sig);
+	if (e->word != word) {
+		printf("%s is an anagram of %s\n", word, e->word);
+	}
+	nwords++;
+}
+
+/* --- reporting subsystem: class sizes (single client) ---------------- */
+
+int class_sizes[64];
+int size_histogram[8];
+
+/* Count members per class by re-scanning the buckets. */
+int collect_class_sizes(void)
+{
+	struct entry *e;
+	struct entry *f;
+	int h;
+	int n;
+	int members;
+
+	n = 0;
+	for (h = 0; h < HASHSIZE; h++) {
+		for (e = buckets[h]; e != 0; e = e->chain) {
+			members = 1;
+			for (f = buckets[h]; f != 0; f = f->chain) {
+				if (f != e && strcmp(f->sig, e->sig) == 0) {
+					members++;
+				}
+			}
+			if (n < 64) {
+				class_sizes[n] = members;
+				n++;
+			}
+		}
+	}
+	return n;
+}
+
+void histogram_classes(int n)
+{
+	int i;
+	for (i = 0; i < 8; i++) {
+		size_histogram[i] = 0;
+	}
+	for (i = 0; i < n; i++) {
+		if (class_sizes[i] < 8) {
+			size_histogram[class_sizes[i]]++;
+		} else {
+			size_histogram[7]++;
+		}
+	}
+}
+
+struct entry *longest_class(void)
+{
+	struct entry *e;
+	struct entry *best;
+	int h;
+	int blen;
+
+	best = 0;
+	blen = -1;
+	for (h = 0; h < HASHSIZE; h++) {
+		for (e = buckets[h]; e != 0; e = e->chain) {
+			if (my_len(e->sig) > blen) {
+				blen = my_len(e->sig);
+				best = e;
+			}
+		}
+	}
+	return best;
+}
+
+int main(void)
+{
+	int i;
+	int h;
+	struct entry *e;
+
+	seed = 7;
+	for (h = 0; h < HASHSIZE; h++) {
+		buckets[h] = 0;
+	}
+	for (i = 0; i < 40; i++) {
+		insert_word(next_word());
+	}
+
+	printf("%d words in %d classes\n", nwords, nclasses);
+	for (h = 0; h < HASHSIZE; h++) {
+		for (e = buckets[h]; e != 0; e = e->chain) {
+			printf("class %s led by %s (len %d)\n",
+			       e->sig, e->word, my_len(e->word));
+		}
+	}
+	histogram_classes(collect_class_sizes());
+	for (i = 1; i < 8; i++) {
+		if (size_histogram[i] > 0) {
+			printf("%d classes of size %d\n", size_histogram[i], i);
+		}
+	}
+	e = longest_class();
+	if (e != 0) {
+		printf("longest signature: %s\n", e->sig);
+	}
+	return 0;
+}

@@ -1,0 +1,370 @@
+/*
+ * assembler: a two-pass assembler for a toy ISA — pass one collects
+ * label definitions and sizes the image, pass two encodes instructions
+ * and patches forward references.
+ *
+ * Pointer structure (mirrors the paper's assembler, the multi-location
+ * benchmark: reads average ~2.3 locations with a population at >=4):
+ * one symbol table chains records of four kinds — opcodes, labels,
+ * forward references, and externs — allocated at four distinct sites
+ * but genuinely linked into the same list, so the shared walkers'
+ * indirect operations reference four heap locations in any analysis;
+ * name strings come from two further sites handled by one comparison
+ * helper. Because the mixing is real, context sensitivity removes no
+ * referents at these operations (the paper's §5.2 argument).
+ */
+
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+enum { MAXIMAGE = 256, MAXLINE = 32 };
+
+enum { K_LABEL = 1, K_FORWARD = 2, K_EXTERN = 3 };
+
+/* One record kind for every symbol-table entry, chained into a single
+ * list. */
+struct item {
+	struct item *next;
+	char *name;
+	int kind;
+	int value;
+};
+
+struct item *symtab; /* one unified chain, records of all three kinds */
+
+/* The opcode table is static data, as in real assemblers. */
+struct opdef {
+	char *mn;
+	int code;
+	int width;
+};
+
+struct opdef optable[7] = {
+	{"ld", 16, 2}, {"add", 17, 2}, {"st", 18, 2}, {"jmp", 19, 2},
+	{"jz", 20, 2}, {"nop", 21, 1}, {"halt", 22, 1}
+};
+
+/* Listing records: a single-client chain written by pass two only (the
+ * paper notes most abstract data types in its benchmarks have exactly
+ * one client, which keeps context-insensitive pollution low). */
+struct listing {
+	struct listing *next;
+	char *text;
+	int addr;
+	int width;
+};
+
+struct listing *listing_head;
+struct listing *listing_tail;
+int listing_count;
+
+int image[MAXIMAGE];
+int here;
+int errors;
+int patched;
+
+/* --- shared walkers: all record kinds flow through these ------------ */
+
+void tab_push(struct item *it)
+{
+	it->next = symtab;
+	symtab = it;
+}
+
+struct item *tab_find(int kind, char *name)
+{
+	struct item *it;
+	for (it = symtab; it != 0; it = it->next) {
+		if (it->kind == kind && strcmp(it->name, name) == 0) {
+			return it;
+		}
+	}
+	return 0;
+}
+
+int tab_count(int kind)
+{
+	struct item *it;
+	int n;
+	n = 0;
+	for (it = symtab; it != 0; it = it->next) {
+		if (it->kind == kind) {
+			n++;
+		}
+	}
+	return n;
+}
+
+/* --- allocation sites: one per record kind --------------------------- */
+
+struct item *label_alloc(void)
+{
+	return (struct item *) malloc(sizeof(struct item));
+}
+
+struct item *forward_alloc(void)
+{
+	return (struct item *) malloc(sizeof(struct item));
+}
+
+struct item *extern_alloc(void)
+{
+	return (struct item *) malloc(sizeof(struct item));
+}
+
+/* Find a mnemonic in the static opcode table. */
+struct opdef *op_find(char *mn)
+{
+	int i;
+	for (i = 0; i < 7; i++) {
+		if (strcmp(optable[i].mn, mn) == 0) {
+			return &optable[i];
+		}
+	}
+	return 0;
+}
+
+/* Two name-string sites sharing one copy helper each. */
+char *name_copy(char *src)
+{
+	char *s;
+	int i;
+	s = (char *) malloc(MAXLINE);
+	for (i = 0; src[i] != '\0' && i < MAXLINE - 1; i++) {
+		s[i] = src[i];
+	}
+	s[i] = '\0';
+	return s;
+}
+
+/* --- the synthetic source program ---------------------------------- */
+
+/* Each "line" is mnemonic + optional operand label. */
+char *src_mnemonic(int line)
+{
+	switch (line % 7) {
+	case 0: return "ld";
+	case 1: return "add";
+	case 2: return "st";
+	case 3: return "jmp";
+	case 4: return "jz";
+	case 5: return "nop";
+	}
+	return "halt";
+}
+
+int src_has_operand(int line)
+{
+	int m;
+	m = line % 7;
+	return m == 3 || m == 4;
+}
+
+int src_target(int line, int nlines)
+{
+	return (line + 5) % nlines;
+}
+
+void label_name_for(int line, char *buf)
+{
+	buf[0] = 'L';
+	buf[1] = (char) ('0' + line / 10 % 10);
+	buf[2] = (char) ('0' + line % 10);
+	buf[3] = '\0';
+}
+
+/* --- assembler proper ----------------------------------------------- */
+
+void define_label(char *name, int addr)
+{
+	struct item *it;
+	if (tab_find(K_LABEL, name) != 0) {
+		errors++;
+		return;
+	}
+	it = label_alloc();
+	it->name = name_copy(name);
+	it->kind = K_LABEL;
+	it->value = addr;
+	tab_push(it);
+}
+
+void note_forward(char *name, int patch_addr)
+{
+	struct item *it;
+	it = forward_alloc();
+	it->name = name_copy(name);
+	it->kind = K_FORWARD;
+	it->value = patch_addr;
+	tab_push(it);
+}
+
+void declare_extern(char *name)
+{
+	struct item *it;
+	if (tab_find(K_EXTERN, name) != 0) {
+		return;
+	}
+	it = extern_alloc();
+	it->name = name_copy(name);
+	it->kind = K_EXTERN;
+	it->value = -1;
+	tab_push(it);
+}
+
+void emit_listing(int addr, char *mn, int operand, int width);
+
+/* Pass one: lay out addresses and define labels. */
+void pass_one(int nlines)
+{
+	char buf[MAXLINE];
+	int line;
+	int addr;
+
+	addr = 0;
+	for (line = 0; line < nlines; line++) {
+		label_name_for(line, buf);
+		define_label(buf, addr);
+		addr += src_has_operand(line) ? 2 : 1;
+	}
+	here = addr;
+}
+
+/* Pass two: encode instructions, resolving or deferring operands. */
+void pass_two(int nlines)
+{
+	char buf[MAXLINE];
+	struct opdef *op;
+	struct item *lab;
+	int line;
+	int addr;
+
+	addr = 0;
+	for (line = 0; line < nlines; line++) {
+		op = op_find(src_mnemonic(line));
+		if (op == 0) {
+			errors++;
+			continue;
+		}
+		image[addr] = op->code;
+		addr++;
+		if (src_has_operand(line)) {
+			emit_listing(addr - 1, src_mnemonic(line), src_target(line, nlines), 2);
+			label_name_for(src_target(line, nlines), buf);
+			lab = tab_find(K_LABEL, buf);
+			if (lab != 0 && lab->value <= addr) {
+				image[addr] = lab->value;
+			} else if (lab != 0) {
+				/* Known but forward: defer the patch, the way real
+				 * assemblers do. */
+				note_forward(lab->name, addr);
+				image[addr] = 0;
+			} else {
+				declare_extern(buf);
+				note_forward(buf, addr);
+				image[addr] = 0;
+			}
+			addr++;
+		} else {
+			emit_listing(addr - 1, src_mnemonic(line), -1, 1);
+		}
+	}
+}
+
+/* --- listing writer: single-client helpers -------------------------- */
+
+struct listing *listing_alloc(void)
+{
+	return (struct listing *) malloc(sizeof(struct listing));
+}
+
+char *listing_text(char *mn, int operand)
+{
+	char *s;
+	int i;
+	s = (char *) malloc(16);
+	for (i = 0; mn[i] != '\0' && i < 10; i++) {
+		s[i] = mn[i];
+	}
+	if (operand >= 0) {
+		s[i] = ' ';
+		i++;
+		s[i] = (char) ('0' + operand % 10);
+		i++;
+	}
+	s[i] = '\0';
+	return s;
+}
+
+/* Append in order through a tail pointer: inline, one client. */
+void emit_listing(int addr, char *mn, int operand, int width)
+{
+	struct listing *l;
+	l = listing_alloc();
+	l->text = listing_text(mn, operand);
+	l->addr = addr;
+	l->width = width;
+	l->next = 0;
+	if (listing_tail == 0) {
+		listing_head = l;
+	} else {
+		listing_tail->next = l;
+	}
+	listing_tail = l;
+	listing_count++;
+}
+
+void print_listing(void)
+{
+	struct listing *l;
+	int shown;
+	shown = 0;
+	for (l = listing_head; l != 0 && shown < 10; l = l->next) {
+		printf("%4d  %s (%d words)\n", l->addr, l->text, l->width);
+		shown++;
+	}
+}
+
+/* Resolve deferred patches from the label records. */
+void patch_forwards(void)
+{
+	struct item *f;
+	struct item *lab;
+	for (f = symtab; f != 0; f = f->next) {
+		if (f->kind != K_FORWARD) {
+			continue;
+		}
+		lab = tab_find(K_LABEL, f->name);
+		if (lab == 0) {
+			errors++;
+			continue;
+		}
+		image[f->value] = lab->value;
+		patched++;
+	}
+}
+
+int main(void)
+{
+	int nlines;
+	int i;
+
+	symtab = 0;
+	listing_head = 0;
+	listing_tail = 0;
+
+	nlines = 40;
+	pass_one(nlines);
+	pass_two(nlines);
+	patch_forwards();
+	print_listing();
+
+	printf("%d lines -> %d words (%d listed); %d labels, %d forwards patched, %d externs, %d errors\n",
+	       nlines, here, listing_count, tab_count(K_LABEL), patched,
+	       tab_count(K_EXTERN), errors);
+	for (i = 0; i < 12; i++) {
+		printf("image[%d] = %d\n", i, image[i]);
+	}
+	return 0;
+}

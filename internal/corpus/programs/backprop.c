@@ -1,0 +1,199 @@
+/*
+ * backprop: train a tiny two-layer perceptron on a fixed boolean
+ * function by online backpropagation.
+ *
+ * Pointer structure (mirrors the paper's backprop, which has *no*
+ * indirect operation referencing more than one location): every float
+ * vector is allocated through the single vec_alloc wrapper, so each
+ * pointer dereference in the math kernels resolves to exactly one
+ * allocation-site location.
+ */
+
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <math.h>
+
+struct net {
+	double *w_in;   /* input->hidden weights, NIN*NHID */
+	double *w_out;  /* hidden->output weights, NHID    */
+	double *hid;    /* hidden activations              */
+	double *delta_h;
+	double *grad;
+};
+
+enum { NIN = 4, NHID = 6 };
+
+struct net nn;
+int trained_epochs;
+double *momentum; /* previous weight deltas, same arena as the vectors */
+
+/* Single allocation wrapper: one heap base location for all vectors. */
+double *vec_alloc(int n)
+{
+	return (double *) malloc(n * sizeof(double));
+}
+
+void vec_fill(double *v, int n, double x)
+{
+	int i;
+	for (i = 0; i < n; i++) {
+		v[i] = x;
+	}
+}
+
+double vec_dot(double *a, double *b, int n)
+{
+	double s;
+	int i;
+	s = 0.0;
+	for (i = 0; i < n; i++) {
+		s += a[i] * b[i];
+	}
+	return s;
+}
+
+void vec_axpy(double *dst, double *src, int n, double k)
+{
+	int i;
+	for (i = 0; i < n; i++) {
+		dst[i] += k * src[i];
+	}
+}
+
+double squash(double x)
+{
+	return 1.0 / (1.0 + exp(-x));
+}
+
+void net_init(struct net *p)
+{
+	p->w_in = vec_alloc(NIN * NHID);
+	p->w_out = vec_alloc(NHID);
+	p->hid = vec_alloc(NHID);
+	p->delta_h = vec_alloc(NHID);
+	p->grad = vec_alloc(NIN * NHID);
+	vec_fill(p->w_in, NIN * NHID, 0.25);
+	vec_fill(p->w_out, NHID, -0.25);
+	vec_fill(p->hid, NHID, 0.0);
+	vec_fill(p->delta_h, NHID, 0.0);
+	vec_fill(p->grad, NIN * NHID, 0.0);
+}
+
+/* Forward pass: returns the output activation for input x[0..NIN). */
+double net_forward(struct net *p, double *x)
+{
+	int h;
+	for (h = 0; h < NHID; h++) {
+		p->hid[h] = squash(vec_dot(p->w_in + h * NIN, x, NIN));
+	}
+	return squash(vec_dot(p->w_out, p->hid, NHID));
+}
+
+/* One online gradient step toward target t for input x. */
+void net_train(struct net *p, double *x, double t, double rate)
+{
+	double out;
+	double dout;
+	int h;
+	int i;
+
+	out = net_forward(p, x);
+	dout = (t - out) * out * (1.0 - out);
+
+	for (h = 0; h < NHID; h++) {
+		p->delta_h[h] = dout * p->w_out[h] * p->hid[h] * (1.0 - p->hid[h]);
+	}
+	vec_axpy(p->w_out, p->hid, NHID, rate * dout);
+	for (h = 0; h < NHID; h++) {
+		for (i = 0; i < NIN; i++) {
+			p->grad[h * NIN + i] = p->delta_h[h] * x[i];
+		}
+	}
+	/* Momentum: blend in the previous step's gradient. */
+	if (momentum != 0) {
+		vec_axpy(p->w_in, momentum, NIN * NHID, rate * 0.5);
+		for (h = 0; h < NIN * NHID; h++) {
+			momentum[h] = p->grad[h];
+		}
+	}
+	vec_axpy(p->w_in, p->grad, NIN * NHID, rate);
+}
+
+double target_of(int pattern);
+void make_input(double *x, int pattern);
+
+/* Count correct classifications over all patterns (no training). */
+int net_evaluate(struct net *p, double *x)
+{
+	int pat;
+	int correct;
+	double out;
+	correct = 0;
+	for (pat = 0; pat < 8; pat++) {
+		make_input(x, pat);
+		out = net_forward(p, x);
+		if ((out >= 0.5) == (target_of(pat) >= 0.5)) {
+			correct++;
+		}
+	}
+	return correct;
+}
+
+/* Target: odd parity of the first three inputs. */
+double target_of(int pattern)
+{
+	int bits;
+	bits = (pattern & 1) + ((pattern >> 1) & 1) + ((pattern >> 2) & 1);
+	if (bits % 2 == 1) {
+		return 1.0;
+	}
+	return 0.0;
+}
+
+void make_input(double *x, int pattern)
+{
+	int i;
+	for (i = 0; i < NIN; i++) {
+		if ((pattern >> i) & 1) {
+			x[i] = 1.0;
+		} else {
+			x[i] = 0.0;
+		}
+	}
+}
+
+int main(void)
+{
+	double *x;
+	double err;
+	double out;
+	int epoch;
+	int pat;
+
+	net_init(&nn);
+	x = vec_alloc(NIN);
+	momentum = vec_alloc(NIN * NHID);
+	vec_fill(momentum, NIN * NHID, 0.0);
+
+	for (epoch = 0; epoch < 200; epoch++) {
+		err = 0.0;
+		for (pat = 0; pat < 8; pat++) {
+			make_input(x, pat);
+			net_train(&nn, x, target_of(pat), 0.5);
+			out = net_forward(&nn, x);
+			err += fabs(target_of(pat) - out);
+		}
+		trained_epochs = epoch + 1;
+		if (err < 0.5) {
+			break;
+		}
+	}
+
+	printf("trained %d epochs, %d/8 correct\n", trained_epochs, net_evaluate(&nn, x));
+	for (pat = 0; pat < 8; pat++) {
+		make_input(x, pat);
+		printf("pattern %d -> %d\n", pat, (int)(net_forward(&nn, x) + 0.5));
+	}
+	return 0;
+}

@@ -1,0 +1,623 @@
+/*
+ * bc: an arbitrary-expression calculator — tokenize expression strings,
+ * parse to union-typed AST nodes, evaluate with an environment of named
+ * variables, simplify algebraically, and print.
+ *
+
+ * Pointer structure (mirrors the paper's bc, its largest and most
+ * multi-location benchmark): union-typed AST nodes built by four
+ * kind-specific constructors over one arena site and traversed by
+ * shared stack-machine walkers; variable cells and name strings from
+ * separate sites; a union whose members overlap; and — like the real
+ * bc, where most multi-location operations move characters, not
+ * pointers — shared scalar helpers whose pointers range over several
+ * line buffers and string literals. Scalar-valued multi-location
+ * operations introduce no assumption sets in the context-sensitive
+ * analysis (paper §4.2: only ~9%% of reads carry pointer values), which
+ * is what keeps even the paper's exponential analysis finishable.
+ */
+
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+enum {
+	K_NUM = 0, K_VAR = 1, K_BIN = 2, K_NEG = 3
+};
+
+enum {
+	B_ADD = 0, B_SUB = 1, B_MUL = 2, B_DIV = 3
+};
+
+struct binpart {
+	struct expr *left;
+	struct expr *right;
+	int op;
+};
+
+struct unpart {
+	struct expr *sub;
+	int pad;
+};
+
+union body {
+	int number;          /* K_NUM */
+	char *varname;       /* K_VAR */
+	struct binpart bin;  /* K_BIN */
+	struct unpart un;    /* K_NEG */
+};
+
+struct expr {
+	int kind;
+	union body u;
+};
+
+struct variable {
+	struct variable *next;
+	char *name;
+	int value;
+};
+
+struct variable *vars;
+int eval_errors;
+int simplified;
+
+/* Rotating input line buffers: expression text is copied here before
+ * parsing, so the scanner's character reads range over both buffers
+ * and the source literals. */
+char line_a[80];
+char line_b[80];
+int which_line;
+
+/* --- allocation sites ------------------------------------------------
+ *
+ * Node storage comes from one arena site (like bc's own allocator);
+ * the four constructors give each node kind its own shape. */
+
+struct expr *node_arena(void)
+{
+	return (struct expr *) malloc(sizeof(struct expr));
+}
+
+struct expr *num_alloc(int v)
+{
+	struct expr *e;
+	e = node_arena();
+	e->kind = K_NUM;
+	e->u.number = v;
+	return e;
+}
+
+struct expr *var_alloc(char *name)
+{
+	struct expr *e;
+	e = node_arena();
+	e->kind = K_VAR;
+	e->u.varname = name;
+	return e;
+}
+
+struct expr *bin_alloc(int op, struct expr *l, struct expr *r)
+{
+	struct expr *e;
+	e = node_arena();
+	e->kind = K_BIN;
+	e->u.bin.op = op;
+	e->u.bin.left = l;
+	e->u.bin.right = r;
+	return e;
+}
+
+struct expr *neg_alloc(struct expr *sub)
+{
+	struct expr *e;
+	e = node_arena();
+	e->kind = K_NEG;
+	e->u.un.sub = sub;
+	e->u.un.pad = 0;
+	return e;
+}
+
+struct variable *cell_alloc(void)
+{
+	return (struct variable *) malloc(sizeof(struct variable));
+}
+
+char *varname_alloc(char *src)
+{
+	char *s;
+	int i;
+	s = (char *) malloc(12);
+	for (i = 0; src[i] != '\0' && i < 11; i++) {
+		s[i] = src[i];
+	}
+	s[i] = '\0';
+	return s;
+}
+
+/* --- environment ------------------------------------------------------ */
+
+struct variable *env_find(char *name)
+{
+	struct variable *v;
+	for (v = vars; v != 0; v = v->next) {
+		if (strcmp(v->name, name) == 0) {
+			return v;
+		}
+	}
+	return 0;
+}
+
+void env_set(char *name, int value)
+{
+	struct variable *v;
+	v = env_find(name);
+	if (v == 0) {
+		v = cell_alloc();
+		v->name = varname_alloc(name);
+		v->next = vars;
+		vars = v;
+	}
+	v->value = value;
+}
+
+int env_get(char *name)
+{
+	struct variable *v;
+	v = env_find(name);
+	if (v == 0) {
+		eval_errors++;
+		return 0;
+	}
+	return v->value;
+}
+
+/* --- parser (shunting-yard over a character string) ------------------
+ *
+ * The operand and operator stacks are local to parse and manipulated
+ * inline, the way generated parsers handle their semantic stacks. */
+
+int prec_of(int c)
+{
+	if (c == '+' || c == '-') {
+		return 1;
+	}
+	if (c == '*' || c == '/') {
+		return 2;
+	}
+	return 0;
+}
+
+int binop_of(int c)
+{
+	switch (c) {
+	case '+': return B_ADD;
+	case '-': return B_SUB;
+	case '*': return B_MUL;
+	}
+	return B_DIV;
+}
+
+struct expr *parse(char *s)
+{
+	struct expr *opstack[32];
+	int opchars[32];
+	int opsp;
+	int opcsp;
+	struct expr *l;
+	struct expr *r;
+	int i;
+	int v;
+	char nm[12];
+	int ni;
+
+	opsp = 0;
+	opcsp = 0;
+	for (i = 0; s[i] != '\0'; i++) {
+		if (s[i] == ' ') {
+			continue;
+		}
+		if (s[i] >= '0' && s[i] <= '9') {
+			v = 0;
+			while (s[i] >= '0' && s[i] <= '9') {
+				v = v * 10 + (s[i] - '0');
+				i++;
+			}
+			i--;
+			opstack[opsp] = num_alloc(v);
+			opsp++;
+			continue;
+		}
+		if (s[i] >= 'a' && s[i] <= 'z') {
+			ni = 0;
+			while (s[i] >= 'a' && s[i] <= 'z' && ni < 11) {
+				nm[ni] = s[i];
+				ni++;
+				i++;
+			}
+			i--;
+			nm[ni] = '\0';
+			opstack[opsp] = var_alloc(varname_alloc(nm));
+			opsp++;
+			continue;
+		}
+		if (s[i] == '~') {
+			/* unary negation marker applies to the previous operand */
+			if (opsp > 0) {
+				opstack[opsp - 1] = neg_alloc(opstack[opsp - 1]);
+			}
+			continue;
+		}
+		if (s[i] == '(') {
+			opchars[opcsp] = '(';
+			opcsp++;
+			continue;
+		}
+		if (s[i] == ')') {
+			while (opcsp > 0 && opchars[opcsp - 1] != '(') {
+				opcsp--;
+				r = opstack[opsp - 1];
+				l = opstack[opsp - 2];
+				opsp -= 2;
+				opstack[opsp] = bin_alloc(binop_of(opchars[opcsp]), l, r);
+				opsp++;
+			}
+			if (opcsp > 0) {
+				opcsp--;
+			}
+			continue;
+		}
+		if (prec_of(s[i]) > 0) {
+			while (opcsp > 0 && prec_of(opchars[opcsp - 1]) >= prec_of(s[i])) {
+				opcsp--;
+				r = opstack[opsp - 1];
+				l = opstack[opsp - 2];
+				opsp -= 2;
+				opstack[opsp] = bin_alloc(binop_of(opchars[opcsp]), l, r);
+				opsp++;
+			}
+			opchars[opcsp] = s[i];
+			opcsp++;
+			continue;
+		}
+	}
+	while (opcsp > 0) {
+		opcsp--;
+		r = opstack[opsp - 1];
+		l = opstack[opsp - 2];
+		opsp -= 2;
+		opstack[opsp] = bin_alloc(binop_of(opchars[opcsp]), l, r);
+		opsp++;
+	}
+	if (opsp == 0) {
+		eval_errors++;
+		return num_alloc(0);
+	}
+	return opstack[opsp - 1];
+}
+
+/* --- shared walkers: every node site flows through these --------------
+ *
+ * Like the real bc, tree walks run on explicit stacks rather than by
+ * recursion: bc compiles to a stack machine and executes iteratively. */
+
+/* Evaluate by post-order traversal with an explicit machine stack. */
+int eval(struct expr *root)
+{
+	struct expr *nodes[64];
+	int state[64];
+	int vals[64];
+	int sp;
+	int vsp;
+	struct expr *e;
+	int st;
+	int r;
+
+	nodes[0] = root;
+	state[0] = 0;
+	sp = 1;
+	vsp = 0;
+	while (sp > 0) {
+		e = nodes[sp - 1];
+		st = state[sp - 1];
+		if (e->kind == K_NUM) {
+			vals[vsp] = e->u.number;
+			vsp++;
+			sp--;
+			continue;
+		}
+		if (e->kind == K_VAR) {
+			vals[vsp] = env_get(e->u.varname);
+			vsp++;
+			sp--;
+			continue;
+		}
+		if (e->kind == K_NEG) {
+			if (st == 0) {
+				state[sp - 1] = 1;
+				nodes[sp] = e->u.un.sub;
+				state[sp] = 0;
+				sp++;
+			} else {
+				vals[vsp - 1] = -vals[vsp - 1];
+				sp--;
+			}
+			continue;
+		}
+		/* K_BIN */
+		if (st == 0) {
+			state[sp - 1] = 1;
+			nodes[sp] = e->u.bin.left;
+			state[sp] = 0;
+			sp++;
+		} else if (st == 1) {
+			state[sp - 1] = 2;
+			nodes[sp] = e->u.bin.right;
+			state[sp] = 0;
+			sp++;
+		} else {
+			r = vals[vsp - 1];
+			vsp--;
+			if (e->u.bin.op == B_ADD) {
+				vals[vsp - 1] += r;
+			} else if (e->u.bin.op == B_SUB) {
+				vals[vsp - 1] -= r;
+			} else if (e->u.bin.op == B_MUL) {
+				vals[vsp - 1] *= r;
+			} else if (r != 0) {
+				vals[vsp - 1] /= r;
+			} else {
+				eval_errors++;
+				vals[vsp - 1] = 0;
+			}
+			sp--;
+		}
+	}
+	if (vsp < 1) {
+		eval_errors++;
+		return 0;
+	}
+	return vals[0];
+}
+
+/* Maximum nesting depth, by traversal with per-node depths. */
+int depth(struct expr *root)
+{
+	struct expr *nodes[64];
+	int d[64];
+	int sp;
+	int best;
+	struct expr *e;
+	int here;
+
+	nodes[0] = root;
+	d[0] = 1;
+	sp = 1;
+	best = 1;
+	while (sp > 0) {
+		sp--;
+		e = nodes[sp];
+		here = d[sp];
+		if (here > best) {
+			best = here;
+		}
+		if (e->kind == K_BIN) {
+			nodes[sp] = e->u.bin.left;
+			d[sp] = here + 1;
+			sp++;
+			nodes[sp] = e->u.bin.right;
+			d[sp] = here + 1;
+			sp++;
+		} else if (e->kind == K_NEG) {
+			nodes[sp] = e->u.un.sub;
+			d[sp] = here + 1;
+			sp++;
+		}
+	}
+	return best;
+}
+
+/* One-node rewrite: x*1 -> x, 0*x -> 0, x+0 -> x, --x -> x. */
+struct expr *peephole(struct expr *e)
+{
+	struct expr *l;
+	struct expr *r;
+	if (e->kind == K_NEG && e->u.un.sub->kind == K_NEG) {
+		simplified++;
+		return e->u.un.sub->u.un.sub;
+	}
+	if (e->kind != K_BIN) {
+		return e;
+	}
+	l = e->u.bin.left;
+	r = e->u.bin.right;
+	if (e->u.bin.op == B_MUL && r->kind == K_NUM && r->u.number == 1) {
+		simplified++;
+		return l;
+	}
+	if (e->u.bin.op == B_MUL && l->kind == K_NUM && l->u.number == 0) {
+		simplified++;
+		return l;
+	}
+	if (e->u.bin.op == B_ADD && r->kind == K_NUM && r->u.number == 0) {
+		simplified++;
+		return l;
+	}
+	return e;
+}
+
+/* Pre-order rewrite pass applying peephole at every position. */
+struct expr *simplify(struct expr *root)
+{
+	struct expr *stack[64];
+	int sp;
+	struct expr *e;
+
+	root = peephole(root);
+	stack[0] = root;
+	sp = 1;
+	while (sp > 0) {
+		sp--;
+		e = stack[sp];
+		if (e->kind == K_BIN) {
+			e->u.bin.left = peephole(e->u.bin.left);
+			e->u.bin.right = peephole(e->u.bin.right);
+			stack[sp] = e->u.bin.left;
+			sp++;
+			stack[sp] = e->u.bin.right;
+			sp++;
+		} else if (e->kind == K_NEG) {
+			e->u.un.sub = peephole(e->u.un.sub);
+			stack[sp] = e->u.un.sub;
+			sp++;
+		}
+	}
+	return root;
+}
+
+/* Print in prefix notation by pre-order traversal. */
+void print_expr(struct expr *root)
+{
+	struct expr *stack[64];
+	int sp;
+	struct expr *e;
+
+	stack[0] = root;
+	sp = 1;
+	while (sp > 0) {
+		sp--;
+		e = stack[sp];
+		switch (e->kind) {
+		case K_NUM:
+			printf(" %d", e->u.number);
+			break;
+		case K_VAR:
+			printf(" %s", e->u.varname);
+			break;
+		case K_NEG:
+			printf(" neg");
+			stack[sp] = e->u.un.sub;
+			sp++;
+			break;
+		case K_BIN:
+			if (e->u.bin.op == B_ADD) {
+				printf(" +");
+			} else if (e->u.bin.op == B_SUB) {
+				printf(" -");
+			} else if (e->u.bin.op == B_MUL) {
+				printf(" *");
+			} else {
+				printf(" /");
+			}
+			stack[sp] = e->u.bin.right;
+			sp++;
+			stack[sp] = e->u.bin.left;
+			sp++;
+			break;
+		}
+	}
+}
+
+/* Shared character copy: sees the source literals and both buffers. */
+void copy_text(char *dst, char *src)
+{
+	int i;
+	for (i = 0; src[i] != '\0' && i < 79; i++) {
+		dst[i] = src[i];
+	}
+	dst[i] = '\0';
+}
+
+/* Node census: count node kinds in a tree by iterative traversal. */
+int census[4];
+
+void count_nodes(struct expr *root)
+{
+	struct expr *stack[64];
+	int sp;
+	struct expr *e;
+
+	stack[0] = root;
+	sp = 1;
+	while (sp > 0) {
+		sp--;
+		e = stack[sp];
+		if (e->kind >= 0 && e->kind < 4) {
+			census[e->kind]++;
+		}
+		if (e->kind == K_BIN) {
+			stack[sp] = e->u.bin.left;
+			sp++;
+			stack[sp] = e->u.bin.right;
+			sp++;
+		} else if (e->kind == K_NEG) {
+			stack[sp] = e->u.un.sub;
+			sp++;
+		}
+	}
+}
+
+/* One interactive "session line": buffer, parse, simplify, evaluate,
+ * store. The input rotates between the two line buffers the way an
+ * interactive tool double-buffers its input. */
+void do_line(char *assign_to, char *text)
+{
+	struct expr *e;
+	char *buf;
+	int v;
+
+	if (which_line == 0) {
+		buf = line_a;
+		which_line = 1;
+	} else {
+		buf = line_b;
+		which_line = 0;
+	}
+	copy_text(buf, text);
+	e = parse(buf);
+	e = simplify(e);
+	count_nodes(e);
+	v = eval(e);
+	env_set(assign_to, v);
+	printf("%s =", assign_to);
+	print_expr(e);
+	printf(" = %d (depth %d)\n", v, depth(e));
+}
+
+int list_vars(void);
+
+int main(void)
+{
+	vars = 0;
+	eval_errors = 0;
+	simplified = 0;
+
+	env_set("x", 7);
+	env_set("y", 3);
+
+	do_line("a", "2 * (3 + 4) - x");
+	do_line("b", "a * 1 + 0");
+	do_line("c", "(a + b) * (y - 1) / 2");
+	do_line("d", "c ~ + a * b");
+	do_line("e", "d / (x - y - 4)"); /* division by zero path */
+	do_line("f", "(a + b) * (c + d) - e * e");
+	do_line("g", "f ~ + 100");
+
+	printf("%d simplifications, %d errors, %d vars\n",
+	       simplified, eval_errors, list_vars());
+	printf("nodes: %d num, %d var, %d bin, %d neg\n",
+	       census[K_NUM], census[K_VAR], census[K_BIN], census[K_NEG]);
+	return 0;
+}
+
+int list_vars(void)
+{
+	struct variable *v;
+	int n;
+	n = 0;
+	for (v = vars; v != 0; v = v->next) {
+		printf("var %s = %d\n", v->name, v->value);
+		n++;
+	}
+	return n;
+}

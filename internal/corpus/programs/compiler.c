@@ -1,0 +1,382 @@
+/*
+ * compiler: a toy compiler front end for arithmetic expressions over
+ * named registers — lexer, recursive-descent parser to an AST, constant
+ * folding, and stack-machine code generation.
+ *
+ * Pointer structure (mirrors the paper's compiler, which has *no*
+ * indirect operation referencing more than one location): every AST
+ * node comes from the single node_alloc site and every interned name
+ * from the single name_alloc site, so each pointer dereference resolves
+ * to exactly one location.
+ */
+
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+enum {
+	T_EOF = 0, T_NUM = 1, T_NAME = 2, T_PLUS = 3, T_MINUS = 4,
+	T_STAR = 5, T_SLASH = 6, T_LPAR = 7, T_RPAR = 8, T_ASSIGN = 9,
+	T_SEMI = 10
+};
+
+enum { N_NUM = 0, N_VAR = 1, N_BIN = 2, N_ASSIGN = 3 };
+
+struct node {
+	int kind;
+	int value;       /* N_NUM */
+	char *name;      /* N_VAR / N_ASSIGN */
+	int op;          /* N_BIN */
+	struct node *left;
+	struct node *right;
+};
+
+/* Source program: a fixed string standing in for a source file. */
+char source[256];
+int srcpos;
+
+/* Current token. */
+int tok;
+int tokval;
+char tokname[16];
+
+/* Interned names. */
+char *interned[32];
+int ninterned;
+
+int emitted;
+int folded;
+
+/* The single AST allocation site. */
+struct node *node_alloc(int kind)
+{
+	struct node *n;
+	n = (struct node *) malloc(sizeof(struct node));
+	n->kind = kind;
+	n->value = 0;
+	n->name = 0;
+	n->op = 0;
+	n->left = 0;
+	n->right = 0;
+	return n;
+}
+
+/* The single name allocation site. */
+char *name_alloc(char *src)
+{
+	char *s;
+	int i;
+	s = (char *) malloc(16);
+	for (i = 0; src[i] != '\0' && i < 15; i++) {
+		s[i] = src[i];
+	}
+	s[i] = '\0';
+	return s;
+}
+
+char *intern(char *name)
+{
+	int i;
+	for (i = 0; i < ninterned; i++) {
+		if (strcmp(interned[i], name) == 0) {
+			return interned[i];
+		}
+	}
+	interned[ninterned] = name_alloc(name);
+	ninterned++;
+	return interned[ninterned - 1];
+}
+
+int is_digit_ch(int c)
+{
+	return c >= '0' && c <= '9';
+}
+
+int is_name_ch(int c)
+{
+	return (c >= 'a' && c <= 'z') || c == '_';
+}
+
+/* Advance to the next token. */
+void next_token(void)
+{
+	int c;
+	int i;
+
+	while (source[srcpos] == ' ' || source[srcpos] == '\n') {
+		srcpos++;
+	}
+	c = source[srcpos];
+	if (c == '\0') {
+		tok = T_EOF;
+		return;
+	}
+	if (is_digit_ch(c)) {
+		tokval = 0;
+		while (is_digit_ch(source[srcpos])) {
+			tokval = tokval * 10 + (source[srcpos] - '0');
+			srcpos++;
+		}
+		tok = T_NUM;
+		return;
+	}
+	if (is_name_ch(c)) {
+		i = 0;
+		while (is_name_ch(source[srcpos]) && i < 15) {
+			tokname[i] = source[srcpos];
+			i++;
+			srcpos++;
+		}
+		tokname[i] = '\0';
+		tok = T_NAME;
+		return;
+	}
+	srcpos++;
+	switch (c) {
+	case '+': tok = T_PLUS; break;
+	case '-': tok = T_MINUS; break;
+	case '*': tok = T_STAR; break;
+	case '/': tok = T_SLASH; break;
+	case '(': tok = T_LPAR; break;
+	case ')': tok = T_RPAR; break;
+	case '=': tok = T_ASSIGN; break;
+	case ';': tok = T_SEMI; break;
+	default: tok = T_EOF; break;
+	}
+}
+
+struct node *parse_expr(void);
+
+struct node *parse_primary(void)
+{
+	struct node *n;
+	if (tok == T_NUM) {
+		n = node_alloc(N_NUM);
+		n->value = tokval;
+		next_token();
+		return n;
+	}
+	if (tok == T_NAME) {
+		n = node_alloc(N_VAR);
+		n->name = intern(tokname);
+		next_token();
+		return n;
+	}
+	if (tok == T_LPAR) {
+		next_token();
+		n = parse_expr();
+		if (tok == T_RPAR) {
+			next_token();
+		}
+		return n;
+	}
+	n = node_alloc(N_NUM);
+	n->value = 0;
+	return n;
+}
+
+struct node *parse_term(void)
+{
+	struct node *n;
+	struct node *b;
+	n = parse_primary();
+	while (tok == T_STAR || tok == T_SLASH) {
+		b = node_alloc(N_BIN);
+		b->op = tok;
+		next_token();
+		b->left = n;
+		b->right = parse_primary();
+		n = b;
+	}
+	return n;
+}
+
+struct node *parse_expr(void)
+{
+	struct node *n;
+	struct node *b;
+	n = parse_term();
+	while (tok == T_PLUS || tok == T_MINUS) {
+		b = node_alloc(N_BIN);
+		b->op = tok;
+		next_token();
+		b->left = n;
+		b->right = parse_term();
+		n = b;
+	}
+	return n;
+}
+
+struct node *parse_stmt(void)
+{
+	struct node *n;
+	char *name;
+	if (tok == T_NAME) {
+		name = intern(tokname);
+		next_token();
+		if (tok == T_ASSIGN) {
+			next_token();
+			n = node_alloc(N_ASSIGN);
+			n->name = name;
+			n->left = parse_expr();
+			return n;
+		}
+		/* Bare variable expression statement. */
+		n = node_alloc(N_VAR);
+		n->name = name;
+		return n;
+	}
+	return parse_expr();
+}
+
+/* Constant folding: collapse N_BIN over two N_NUM children. */
+struct node *fold(struct node *n)
+{
+	if (n == 0) {
+		return 0;
+	}
+	n->left = fold(n->left);
+	n->right = fold(n->right);
+	if (n->kind == N_BIN && n->left != 0 && n->right != 0 &&
+	    n->left->kind == N_NUM && n->right->kind == N_NUM) {
+		n->kind = N_NUM;
+		if (n->op == T_PLUS) {
+			n->value = n->left->value + n->right->value;
+		} else if (n->op == T_MINUS) {
+			n->value = n->left->value - n->right->value;
+		} else if (n->op == T_STAR) {
+			n->value = n->left->value * n->right->value;
+		} else if (n->right->value != 0) {
+			n->value = n->left->value / n->right->value;
+		}
+		n->left = 0;
+		n->right = 0;
+		folded++;
+	}
+	return n;
+}
+
+/* Emit stack-machine code. */
+void gen(struct node *n)
+{
+	if (n == 0) {
+		return;
+	}
+	switch (n->kind) {
+	case N_NUM:
+		printf("  push %d\n", n->value);
+		emitted++;
+		break;
+	case N_VAR:
+		printf("  load %s\n", n->name);
+		emitted++;
+		break;
+	case N_BIN:
+		gen(n->left);
+		gen(n->right);
+		if (n->op == T_PLUS) {
+			printf("  add\n");
+		} else if (n->op == T_MINUS) {
+			printf("  sub\n");
+		} else if (n->op == T_STAR) {
+			printf("  mul\n");
+		} else {
+			printf("  div\n");
+		}
+		emitted++;
+		break;
+	case N_ASSIGN:
+		gen(n->left);
+		printf("  store %s\n", n->name);
+		emitted++;
+		break;
+	}
+}
+
+/* --- symbol usage accounting: a single-client reporting pass --------- */
+
+int use_counts[32];
+int def_counts[32];
+
+int intern_index(char *name)
+{
+	int i;
+	for (i = 0; i < ninterned; i++) {
+		if (strcmp(interned[i], name) == 0) {
+			return i;
+		}
+	}
+	return -1;
+}
+
+/* Walk the AST counting definitions and uses per interned name. */
+void count_usage(struct node *n)
+{
+	int idx;
+	if (n == 0) {
+		return;
+	}
+	switch (n->kind) {
+	case N_VAR:
+		idx = intern_index(n->name);
+		if (idx >= 0) {
+			use_counts[idx]++;
+		}
+		break;
+	case N_ASSIGN:
+		idx = intern_index(n->name);
+		if (idx >= 0) {
+			def_counts[idx]++;
+		}
+		count_usage(n->left);
+		break;
+	case N_BIN:
+		count_usage(n->left);
+		count_usage(n->right);
+		break;
+	}
+}
+
+void report_usage(void)
+{
+	int i;
+	for (i = 0; i < ninterned; i++) {
+		printf("%s: %d defs, %d uses", interned[i], def_counts[i], use_counts[i]);
+		if (def_counts[i] > 0 && use_counts[i] == 0) {
+			printf(" (dead)");
+		}
+		printf("\n");
+	}
+}
+
+int main(void)
+{
+	struct node *prog;
+	int stmts;
+
+	strcpy(source, "x = 2 * (3 + 4); y = x + 10 * 2 - 6 / 3; z = y * y; z");
+	srcpos = 0;
+	ninterned = 0;
+	emitted = 0;
+	folded = 0;
+
+	next_token();
+	stmts = 0;
+	while (tok != T_EOF) {
+		prog = parse_stmt();
+		prog = fold(prog);
+		count_usage(prog);
+		gen(prog);
+		stmts++;
+		if (tok == T_SEMI) {
+			next_token();
+		} else {
+			break;
+		}
+	}
+
+	printf("%d statements, %d instrs, %d folds, %d names\n",
+	       stmts, emitted, folded, ninterned);
+	report_usage();
+	return 0;
+}

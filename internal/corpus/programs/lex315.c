@@ -1,0 +1,204 @@
+/*
+ * lex315: a scanner-generator fragment — compile two regular patterns
+ * into small NFA transition tables, then run both machines over a
+ * candidate string.
+ *
+ * Pointer structure (mirrors the paper's lex315, whose reads split
+ * roughly evenly between one- and two-location): the two compiled
+ * machines are distinct global tables handled by shared compile/run
+ * helpers, so those helpers' indirect operations see two locations.
+ */
+
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+enum { MAXSTATES = 24, ALPHA = 4 };
+
+struct machine {
+	int trans[MAXSTATES * ALPHA]; /* state*ALPHA + sym -> next or -1 */
+	int accept[MAXSTATES];
+	int nstates;
+};
+
+struct machine m_ident;
+struct machine m_number;
+struct machine m_skip; /* "--...end-of-line" comment matcher */
+
+char subject[64];
+int matches_ident;
+int matches_number;
+struct machine *last_machine; /* most recently executed machine */
+
+int sym_of(int c)
+{
+	if (c >= 'a' && c <= 'z') {
+		return 0;
+	}
+	if (c >= '0' && c <= '9') {
+		return 1;
+	}
+	if (c == '_') {
+		return 2;
+	}
+	return 3;
+}
+
+/* Shared helpers: both machines flow through m. */
+void machine_init(struct machine *m)
+{
+	int i;
+	m->nstates = 0;
+	for (i = 0; i < MAXSTATES * ALPHA; i++) {
+		m->trans[i] = -1;
+	}
+	for (i = 0; i < MAXSTATES; i++) {
+		m->accept[i] = 0;
+	}
+}
+
+int add_state(struct machine *m)
+{
+	m->nstates++;
+	return m->nstates - 1;
+}
+
+void add_edge(struct machine *m, int from, int sym, int to)
+{
+	m->trans[from * ALPHA + sym] = to;
+}
+
+/* Compile "letter (letter|digit|underscore)*". */
+void compile_ident(struct machine *m)
+{
+	int s0;
+	int s1;
+	machine_init(m);
+	s0 = add_state(m);
+	s1 = add_state(m);
+	add_edge(m, s0, 0, s1);
+	add_edge(m, s1, 0, s1);
+	add_edge(m, s1, 1, s1);
+	add_edge(m, s1, 2, s1);
+	m->accept[s1] = 1;
+}
+
+/* Compile "digit+ (underscore digit+)*". */
+void compile_number(struct machine *m)
+{
+	int s0;
+	int s1;
+	int s2;
+	machine_init(m);
+	s0 = add_state(m);
+	s1 = add_state(m);
+	s2 = add_state(m);
+	add_edge(m, s0, 1, s1);
+	add_edge(m, s1, 1, s1);
+	add_edge(m, s1, 2, s2);
+	add_edge(m, s2, 1, s1);
+	m->accept[s1] = 1;
+}
+
+/* Compile "dash dash anything* " (comments; sym 3 = other). */
+void compile_skip(struct machine *m)
+{
+	int s0;
+	int s1;
+	int s2;
+	machine_init(m);
+	s0 = add_state(m);
+	s1 = add_state(m);
+	s2 = add_state(m);
+	add_edge(m, s0, 3, s1);
+	add_edge(m, s1, 3, s2);
+	add_edge(m, s2, 0, s2);
+	add_edge(m, s2, 1, s2);
+	add_edge(m, s2, 2, s2);
+	add_edge(m, s2, 3, s2);
+	m->accept[s2] = 1;
+}
+
+/* Trace ring: the last few (machine-state, symbol) steps for debugging. */
+int trace_state[16];
+int trace_sym[16];
+int trace_pos;
+
+void trace_step(int state, int sym)
+{
+	trace_state[trace_pos % 16] = state;
+	trace_sym[trace_pos % 16] = sym;
+	trace_pos++;
+}
+
+/* Run m over s; returns the length of the longest accepted prefix. */
+int run_machine(struct machine *m, char *s)
+{
+	int state;
+	int best;
+	int i;
+	int nxt;
+
+	state = 0;
+	best = -1;
+	last_machine = m;
+	for (i = 0; s[i] != '\0'; i++) {
+		nxt = m->trans[state * ALPHA + sym_of(s[i])];
+		if (nxt < 0) {
+			break;
+		}
+		state = nxt;
+		trace_step(state, sym_of(s[i]));
+		if (m->accept[state]) {
+			best = i + 1;
+		}
+	}
+	return best;
+}
+
+/* Tokenize subject by trying both machines at each offset. */
+void scan_all(void)
+{
+	int pos;
+	int li;
+	int ln;
+	int len;
+
+	pos = 0;
+	len = strlen(subject);
+	while (pos < len) {
+		li = run_machine(&m_ident, subject + pos);
+		ln = run_machine(&m_number, subject + pos);
+		if (li > ln) {
+			printf("ident of length %d at %d\n", li, pos);
+			matches_ident++;
+			pos += li;
+		} else if (ln > 0) {
+			printf("number of length %d at %d\n", ln, pos);
+			matches_number++;
+			pos += ln;
+		} else {
+			pos++;
+		}
+	}
+}
+
+int main(void)
+{
+	compile_ident(&m_ident);
+	compile_number(&m_number);
+	compile_skip(&m_skip);
+
+	strcpy(subject, "alpha 42 x_9 777_000 beta_2 15");
+	scan_all();
+
+	printf("%d idents, %d numbers\n", matches_ident, matches_number);
+	if (run_machine(&m_skip, "--note") > 0) {
+		printf("comment matcher accepts\n");
+	}
+	printf("%d trace steps\n", trace_pos);
+	if (last_machine != 0) {
+		printf("last machine had %d states\n", last_machine->nstates);
+	}
+	return 0;
+}

@@ -1,0 +1,356 @@
+/*
+ * loader: link a synthetic object file — parse segment records, build a
+ * symbol map, apply relocations, and report the loaded image.
+ *
+ * Pointer structure (mirrors the paper's loader): several heap-record
+ * kinds (segments, symbols, relocations, plus name strings from two
+ * sites) thread through shared list utilities, which gives the shared
+ * code a few indirect operations referencing 3+ locations while most of
+ * the program stays single-location.
+ */
+
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+enum { MAXIMAGE = 512 };
+
+/* A generic link field leads each record so shared list code can chain
+ * any of them (a classic systems-code idiom the paper's loader uses). */
+struct segment {
+	struct segment *next;
+	char *name;
+	int base;
+	int size;
+};
+
+struct symbol {
+	struct symbol *next;
+	char *name;
+	int segidx;
+	int offset;
+	int value;
+};
+
+struct reloc {
+	struct reloc *next;
+	int segidx;
+	int offset;
+	char *symname;
+};
+
+struct segment *segments;
+struct symbol *symbols;
+struct reloc *relocs;
+int image[MAXIMAGE];
+int nsegments;
+int nsymbols;
+int nrelocs;
+int applied;
+
+/* Distinct allocation sites per record kind. */
+struct segment *seg_alloc(void)
+{
+	return (struct segment *) malloc(sizeof(struct segment));
+}
+
+struct symbol *sym_alloc(void)
+{
+	return (struct symbol *) malloc(sizeof(struct symbol));
+}
+
+struct reloc *rel_alloc(void)
+{
+	return (struct reloc *) malloc(sizeof(struct reloc));
+}
+
+/* Two name-string sites: one for segment names, one for symbol names. */
+char *segname_alloc(int n)
+{
+	char *s;
+	s = (char *) malloc(8);
+	s[0] = 's';
+	s[1] = 'e';
+	s[2] = 'g';
+	s[3] = (char) ('0' + n % 10);
+	s[4] = '\0';
+	return s;
+}
+
+char *symname_alloc(int n)
+{
+	char *s;
+	s = (char *) malloc(8);
+	s[0] = 'f';
+	s[1] = 'n';
+	s[2] = (char) ('0' + n / 10 % 10);
+	s[3] = (char) ('0' + n % 10);
+	s[4] = '\0';
+	return s;
+}
+
+/* Shared name comparison: sees both name sites. */
+int name_eq(char *a, char *b)
+{
+	int i;
+	for (i = 0; a[i] != '\0' && b[i] != '\0'; i++) {
+		if (a[i] != b[i]) {
+			return 0;
+		}
+	}
+	return a[i] == b[i];
+}
+
+void add_segment(int size)
+{
+	struct segment *s;
+	struct segment *tail;
+	s = seg_alloc();
+	s->name = segname_alloc(nsegments);
+	s->size = size;
+	s->base = 0;
+	s->next = 0;
+	if (segments == 0) {
+		segments = s;
+	} else {
+		tail = segments;
+		while (tail->next != 0) {
+			tail = tail->next;
+		}
+		tail->next = s;
+	}
+	nsegments++;
+}
+
+void add_symbol(int segidx, int offset)
+{
+	struct symbol *s;
+	s = sym_alloc();
+	s->name = symname_alloc(nsymbols);
+	s->segidx = segidx;
+	s->offset = offset;
+	s->value = 0;
+	s->next = symbols;
+	symbols = s;
+	nsymbols++;
+}
+
+void add_reloc(int segidx, int offset, char *symname)
+{
+	struct reloc *r;
+	r = rel_alloc();
+	r->segidx = segidx;
+	r->offset = offset;
+	r->symname = symname;
+	r->next = relocs;
+	relocs = r;
+	nrelocs++;
+}
+
+/* Assign segment bases by accumulating sizes. */
+void layout_segments(void)
+{
+	struct segment *s;
+	int base;
+	base = 0;
+	for (s = segments; s != 0; s = s->next) {
+		s->base = base;
+		base += s->size;
+	}
+}
+
+int seg_base(int idx)
+{
+	struct segment *s;
+	int i;
+	i = 0;
+	for (s = segments; s != 0; s = s->next) {
+		if (i == idx) {
+			return s->base;
+		}
+		i++;
+	}
+	return 0;
+}
+
+/* Resolve symbol values from their segment placements. */
+void resolve_symbols(void)
+{
+	struct symbol *s;
+	for (s = symbols; s != 0; s = s->next) {
+		s->value = seg_base(s->segidx) + s->offset;
+	}
+}
+
+struct symbol *find_symbol(char *name)
+{
+	struct symbol *s;
+	for (s = symbols; s != 0; s = s->next) {
+		if (name_eq(s->name, name)) {
+			return s;
+		}
+	}
+	return 0;
+}
+
+/* Patch the image at every relocation site. */
+void apply_relocs(void)
+{
+	struct reloc *r;
+	struct symbol *s;
+	int addr;
+	for (r = relocs; r != 0; r = r->next) {
+		s = find_symbol(r->symname);
+		if (s == 0) {
+			continue;
+		}
+		addr = seg_base(r->segidx) + r->offset;
+		if (addr >= 0 && addr < MAXIMAGE) {
+			image[addr] = s->value;
+			applied++;
+		}
+	}
+}
+
+/* --- export table and archive search: single-client subsystems ------- */
+
+/* Exported symbols are collected into a fixed directory for the
+ * downstream linker, sorted by value. */
+struct export {
+	char *name;
+	int value;
+	int ordinal;
+};
+
+struct export exports[32];
+int nexports;
+
+void collect_exports(void)
+{
+	struct symbol *s;
+	struct export tmp;
+	int i;
+	int j;
+
+	nexports = 0;
+	for (s = symbols; s != 0 && nexports < 32; s = s->next) {
+		if (s->offset % 8 == 0) { /* only aligned symbols are public */
+			exports[nexports].name = s->name;
+			exports[nexports].value = s->value;
+			exports[nexports].ordinal = nexports;
+			nexports++;
+		}
+	}
+	for (i = 1; i < nexports; i++) {
+		j = i;
+		while (j > 0 && exports[j].value < exports[j - 1].value) {
+			tmp = exports[j];
+			exports[j] = exports[j - 1];
+			exports[j - 1] = tmp;
+			j--;
+		}
+	}
+}
+
+struct export *find_export(char *name)
+{
+	int i;
+	for (i = 0; i < nexports; i++) {
+		if (name_eq(exports[i].name, name)) {
+			return &exports[i];
+		}
+	}
+	return 0;
+}
+
+/* Archive search: unresolved externs are looked up in a synthetic
+ * library index; hits define library symbols. */
+char *libnames[6];
+int libvalues[6];
+int nlib;
+
+void build_library(void)
+{
+	int i;
+	nlib = 6;
+	for (i = 0; i < nlib; i++) {
+		libnames[i] = symname_alloc(i * 3);
+		libvalues[i] = 1000 + i * 16;
+	}
+}
+
+int archive_hits;
+
+void search_archive(void)
+{
+	struct reloc *r;
+	int i;
+	for (r = relocs; r != 0; r = r->next) {
+		if (find_symbol(r->symname) != 0) {
+			continue;
+		}
+		for (i = 0; i < nlib; i++) {
+			if (name_eq(libnames[i], r->symname)) {
+				add_symbol(2, libvalues[i] % 32);
+				archive_hits++;
+				break;
+			}
+		}
+	}
+}
+
+/* Image checksum for the load report. */
+int checksum(void)
+{
+	int i;
+	int sum;
+	sum = 0;
+	for (i = 0; i < MAXIMAGE; i++) {
+		sum = (sum * 31 + image[i]) % 65521;
+	}
+	return sum;
+}
+
+int main(void)
+{
+	struct symbol *s;
+	struct export *e;
+	int i;
+
+	segments = 0;
+	symbols = 0;
+	relocs = 0;
+
+	add_segment(64);
+	add_segment(128);
+	add_segment(32);
+	layout_segments();
+
+	for (i = 0; i < 12; i++) {
+		add_symbol(i % 3, i * 4);
+	}
+	resolve_symbols();
+
+	for (s = symbols; s != 0; s = s->next) {
+		add_reloc((s->segidx + 1) % 3, s->offset + 2, s->name);
+	}
+
+	build_library();
+	search_archive();
+	resolve_symbols();
+	apply_relocs();
+	collect_exports();
+
+	printf("%d segments, %d symbols, %d/%d relocations applied\n",
+	       nsegments, nsymbols, applied, nrelocs);
+	printf("%d archive hits, %d exports, checksum %d\n",
+	       archive_hits, nexports, checksum());
+	for (i = 0; i < 8; i++) {
+		printf("image[%d] = %d\n", i * 16, image[i * 16]);
+	}
+	e = find_export(symbols->name);
+	if (e != 0) {
+		printf("newest symbol exported as ordinal %d\n", e->ordinal);
+	}
+	return 0;
+}

@@ -1,0 +1,230 @@
+/*
+ * part: partition particles between two cells, moving them back and
+ * forth as they drift, with both cell lists manipulated through the
+ * same routines.
+ *
+ * Pointer structure (mirrors the paper's part, §5.2): the program
+ * independently builds two linked lists that are both manipulated via a
+ * shared set of routines — and early in its execution it exchanges
+ * elements between the lists, so each list's locations legitimately
+ * model the other's values. Context-insensitive cross-pollution between
+ * the two lists is therefore harmless.
+ */
+
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+struct particle {
+	double pos;
+	double vel;
+	int id;
+	struct particle *next;
+};
+
+struct particle *cell_left;
+struct particle *cell_right;
+int moved_count;
+int step_count;
+
+/* Single-client observer state: the fastest particle seen and a small
+ * sample ring for reporting. The paper notes most abstractions in its
+ * benchmarks have one client; these do. */
+struct particle *fastest;
+struct particle *samples[8];
+int nsamples;
+
+/* Two allocation sites, one per initial cell population. */
+struct particle *new_left_particle(int id)
+{
+	struct particle *p;
+	p = (struct particle *) malloc(sizeof(struct particle));
+	p->pos = -1.0 - id * 0.1;
+	p->vel = 0.05 * (id % 5);
+	p->id = id;
+	p->next = 0;
+	return p;
+}
+
+struct particle *new_right_particle(int id)
+{
+	struct particle *p;
+	p = (struct particle *) malloc(sizeof(struct particle));
+	p->pos = 1.0 + id * 0.1;
+	p->vel = -0.05 * (id % 7);
+	p->id = id;
+	p->next = 0;
+	return p;
+}
+
+/* Shared list routines: both cells flow through these. */
+void push(struct particle **list, struct particle *p)
+{
+	p->next = *list;
+	*list = p;
+}
+
+struct particle *pop(struct particle **list)
+{
+	struct particle *p;
+	p = *list;
+	if (p != 0) {
+		*list = p->next;
+	}
+	return p;
+}
+
+int length(struct particle *list)
+{
+	int n;
+	n = 0;
+	while (list != 0) {
+		n++;
+		list = list->next;
+	}
+	return n;
+}
+
+double total_energy(struct particle *list)
+{
+	double e;
+	e = 0.0;
+	while (list != 0) {
+		e += 0.5 * list->vel * list->vel;
+		list = list->next;
+	}
+	return e;
+}
+
+/* Unlink every particle on the wrong side and push it onto the other
+ * cell — the element exchange of the paper's part. The list is spliced
+ * in place through a pointer-to-pointer cursor. */
+void migrate(struct particle **from, struct particle **to, int wantRight)
+{
+	struct particle **pp;
+	struct particle *p;
+	pp = from;
+	while ((p = *pp) != 0) {
+		if ((wantRight && p->pos > 0.0) || (!wantRight && p->pos <= 0.0)) {
+			*pp = p->next;
+			push(to, p);
+			moved_count++;
+		} else {
+			pp = &p->next;
+		}
+	}
+}
+
+/* Track the fastest particle across one cell (one caller per run). */
+void observe_speeds(struct particle *list)
+{
+	double best;
+	best = 0.0;
+	if (fastest != 0) {
+		best = fastest->vel;
+		if (best < 0.0) {
+			best = -best;
+		}
+	}
+	while (list != 0) {
+		double v;
+		v = list->vel;
+		if (v < 0.0) {
+			v = -v;
+		}
+		if (v > best) {
+			best = v;
+			fastest = list;
+		}
+		list = list->next;
+	}
+}
+
+/* Record every eighth head particle in the sample ring. */
+void sample_head(struct particle *p)
+{
+	if (p != 0) {
+		samples[nsamples % 8] = p;
+		nsamples++;
+	}
+}
+
+/* Spatial binning: histogram particle positions over [-2, 2]. */
+int bins[8];
+
+void bin_positions(struct particle *list)
+{
+	int idx;
+	while (list != 0) {
+		idx = (int) ((list->pos + 2.0) * 2.0);
+		if (idx < 0) {
+			idx = 0;
+		}
+		if (idx > 7) {
+			idx = 7;
+		}
+		bins[idx]++;
+		list = list->next;
+	}
+}
+
+/* Advance every particle; both lists pass through here. */
+void advance(struct particle *list, double dt)
+{
+	while (list != 0) {
+		list->pos += list->vel * dt;
+		if (list->pos > 2.0 || list->pos < -2.0) {
+			list->vel = -list->vel;
+		}
+		list = list->next;
+	}
+}
+
+int main(void)
+{
+	int i;
+	int step;
+
+	cell_left = 0;
+	cell_right = 0;
+	moved_count = 0;
+
+	for (i = 0; i < 16; i++) {
+		push(&cell_left, new_left_particle(i));
+		push(&cell_right, new_right_particle(i));
+	}
+
+	/* Early exchange: seed each cell with one element of the other. */
+	push(&cell_left, pop(&cell_right));
+	push(&cell_right, pop(&cell_left));
+
+	for (step = 0; step < 50; step++) {
+		advance(cell_left, 0.1);
+		advance(cell_right, 0.1);
+		migrate(&cell_left, &cell_right, 1);
+		migrate(&cell_right, &cell_left, 0);
+		if (step % 8 == 0) {
+			sample_head(cell_left);
+		}
+		step_count++;
+	}
+	observe_speeds(cell_left);
+	bin_positions(cell_left);
+	bin_positions(cell_right);
+
+	printf("left %d right %d moved %d\n",
+	       length(cell_left), length(cell_right), moved_count);
+	printf("energy %d/1000 + %d/1000\n",
+	       (int)(total_energy(cell_left) * 1000.0),
+	       (int)(total_energy(cell_right) * 1000.0));
+	if (fastest != 0) {
+		printf("fastest particle is %d\n", fastest->id);
+	}
+	for (i = 0; i < nsamples && i < 8; i++) {
+		printf("sample %d: particle %d\n", i, samples[i]->id);
+	}
+	for (i = 0; i < 8; i++) {
+		printf("bin %d: %d particles\n", i, bins[i]);
+	}
+	return 0;
+}

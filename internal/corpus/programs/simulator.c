@@ -1,0 +1,275 @@
+/*
+ * simulator: an instruction-level simulator for a tiny accumulator
+ * machine — fetch, decode through a function-pointer dispatch table,
+ * execute, with a memory image and a register file.
+ *
+ * Pointer structure (mirrors the paper's simulator): one global machine
+ * state threaded by pointer through every handler (single-location),
+ * light use of indirect function calls through the dispatch table (the
+ * paper's programs "make only light use of indirect function calls"),
+ * and a shared register-bank helper that sees the two banks
+ * (multi-location ops, as in the paper's simulator rows).
+ */
+
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+enum {
+	OP_HALT = 0, OP_LOAD = 1, OP_STORE = 2, OP_ADD = 3,
+	OP_SUB = 4, OP_JMP = 5, OP_JZ = 6, OP_MOV = 7, NOPS = 8
+};
+
+enum { MEMSIZE = 256, NREGS = 8 };
+
+struct cpu {
+	int pc;
+	int acc;
+	int running;
+	int cycles;
+	int mem[MEMSIZE];
+	int regs[NREGS];
+	int shadow[NREGS]; /* saved bank for the MOV instruction */
+};
+
+struct cpu machine;
+int executed[NOPS];
+
+/* Shared register-bank helpers: see both regs and shadow banks. */
+int bank_read(int *bank, int r)
+{
+	if (r < 0 || r >= NREGS) {
+		return 0;
+	}
+	return bank[r];
+}
+
+void bank_write(int *bank, int r, int v)
+{
+	if (r >= 0 && r < NREGS) {
+		bank[r] = v;
+	}
+}
+
+void bank_copy(int *dst, int *src)
+{
+	int i;
+	for (i = 0; i < NREGS; i++) {
+		dst[i] = src[i];
+	}
+}
+
+/* Instruction handlers: all take the machine by pointer. */
+void op_halt(struct cpu *m, int arg)
+{
+	m->running = 0;
+}
+
+void op_load(struct cpu *m, int arg)
+{
+	m->acc = bank_read(m->regs, arg);
+}
+
+void op_store(struct cpu *m, int arg)
+{
+	bank_write(m->regs, arg, m->acc);
+}
+
+void op_add(struct cpu *m, int arg)
+{
+	m->acc += bank_read(m->regs, arg);
+}
+
+void op_sub(struct cpu *m, int arg)
+{
+	m->acc -= bank_read(m->regs, arg);
+}
+
+void op_jmp(struct cpu *m, int arg)
+{
+	m->pc = arg;
+}
+
+void op_jz(struct cpu *m, int arg)
+{
+	if (m->acc == 0) {
+		m->pc = arg;
+	}
+}
+
+void op_mov(struct cpu *m, int arg)
+{
+	if (arg == 0) {
+		bank_copy(m->shadow, m->regs);
+	} else {
+		bank_copy(m->regs, m->shadow);
+	}
+}
+
+/* The dispatch table: an array of function pointers, initialized
+ * statically as real simulators do. */
+void (*dispatch[NOPS])(struct cpu *, int) = {
+	op_halt, op_load, op_store, op_add,
+	op_sub, op_jmp, op_jz, op_mov
+};
+
+/* Assemble "sum integers 1..10" into memory: each instruction is a pair
+ * of words (opcode, argument). */
+void load_program(struct cpu *m)
+{
+	int a[32];
+	int n;
+	int i;
+
+	n = 0;
+	/* r1 = counter (10), r2 = sum (0), r3 = constant 1 */
+	a[n] = OP_LOAD; a[n + 1] = 1; n += 2;  /* 0: acc = r1 */
+	a[n] = OP_JZ; a[n + 1] = 14; n += 2;   /* 2: if 0 goto done */
+	a[n] = OP_ADD; a[n + 1] = 2; n += 2;   /* 4: acc += r2 */
+	a[n] = OP_STORE; a[n + 1] = 2; n += 2; /* 6: r2 = acc */
+	a[n] = OP_LOAD; a[n + 1] = 1; n += 2;  /* 8: acc = r1 */
+	a[n] = OP_SUB; a[n + 1] = 3; n += 2;   /* 10: acc -= 1 */
+	a[n] = OP_STORE; a[n + 1] = 1; n += 2; /* 12: r1 = acc; loop */
+	/* fall through to 14 only when JZ taken */
+	a[n] = OP_JMP; a[n + 1] = 0; n += 2;   /* 14 would be next... */
+
+	/* Rewrite: place JMP back to 0 at 14, HALT at 16. */
+	a[14] = OP_JMP; a[15] = 0;
+	n = 16;
+	a[n] = OP_HALT; a[n + 1] = 0; n += 2;
+	/* Fix the JZ target to the HALT at 16. */
+	a[3] = 16;
+
+	for (i = 0; i < n; i++) {
+		m->mem[i] = a[i];
+	}
+	for (i = n; i < MEMSIZE; i++) {
+		m->mem[i] = 0;
+	}
+	bank_write(m->regs, 1, 10);
+	bank_write(m->regs, 2, 0);
+	bank_write(m->regs, 3, 1);
+	m->pc = 0;
+	m->acc = 0;
+	m->running = 1;
+	m->cycles = 0;
+}
+
+/* --- debugging subsystems: disassembler, breakpoints, cycle stats ---- */
+
+/* Mnemonic table for the disassembler (static data, one client). */
+char *mnemonics[NOPS] = {
+	"halt", "load", "store", "add", "sub", "jmp", "jz", "mov"
+};
+
+/* Disassemble the first n instructions of memory. */
+void disassemble(struct cpu *m, int n)
+{
+	int pc;
+	int op;
+	pc = 0;
+	while (pc + 1 < n * 2) {
+		op = m->mem[pc];
+		if (op < 0 || op >= NOPS) {
+			printf("%4d  .word %d\n", pc, op);
+			pc++;
+			continue;
+		}
+		printf("%4d  %s %d\n", pc, mnemonics[op], m->mem[pc + 1]);
+		pc += 2;
+	}
+}
+
+/* Breakpoints: a small sorted set of addresses. */
+int breakpoints[8];
+int nbreak;
+int break_hits;
+
+void add_breakpoint(int addr)
+{
+	int i;
+	int j;
+	if (nbreak >= 8) {
+		return;
+	}
+	breakpoints[nbreak] = addr;
+	nbreak++;
+	for (i = 1; i < nbreak; i++) {
+		j = i;
+		while (j > 0 && breakpoints[j] < breakpoints[j - 1]) {
+			int t;
+			t = breakpoints[j];
+			breakpoints[j] = breakpoints[j - 1];
+			breakpoints[j - 1] = t;
+			j--;
+		}
+	}
+}
+
+int at_breakpoint(int pc)
+{
+	int lo;
+	int hi;
+	int mid;
+	lo = 0;
+	hi = nbreak - 1;
+	while (lo <= hi) {
+		mid = (lo + hi) / 2;
+		if (breakpoints[mid] == pc) {
+			return 1;
+		}
+		if (breakpoints[mid] < pc) {
+			lo = mid + 1;
+		} else {
+			hi = mid - 1;
+		}
+	}
+	return 0;
+}
+
+/* The main simulation loop: indirect call per instruction. */
+void run(struct cpu *m, int max_cycles)
+{
+	int op;
+	int arg;
+	void (*handler)(struct cpu *, int);
+
+	while (m->running && m->cycles < max_cycles) {
+		if (at_breakpoint(m->pc)) {
+			break_hits++;
+		}
+		op = m->mem[m->pc];
+		arg = m->mem[m->pc + 1];
+		m->pc += 2;
+		if (op < 0 || op >= NOPS) {
+			m->running = 0;
+			break;
+		}
+		handler = dispatch[op];
+		handler(m, arg);
+		executed[op]++;
+		m->cycles++;
+	}
+}
+
+int main(void)
+{
+	int i;
+
+	load_program(&machine);
+	op_mov(&machine, 0); /* snapshot the initial bank */
+	disassemble(&machine, 9);
+	add_breakpoint(4);
+	add_breakpoint(0);
+	run(&machine, 10000);
+
+	printf("halted after %d cycles, sum = %d\n",
+	       machine.cycles, bank_read(machine.regs, 2));
+	printf("initial bank r1 = %d (snapshot intact)\n",
+	       bank_read(machine.shadow, 1));
+	for (i = 0; i < NOPS; i++) {
+		printf("op %-6s executed %d times\n", mnemonics[i], executed[i]);
+	}
+	printf("%d breakpoint hits\n", break_hits);
+	return 0;
+}

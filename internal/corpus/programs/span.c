@@ -1,0 +1,220 @@
+/*
+ * span: build a spanning tree of an undirected graph with Prim's
+ * algorithm over adjacency lists.
+ *
+ * Pointer structure (mirrors the paper's span, which has no indirect
+ * operation referencing more than one location and whose only spurious
+ * pairs sit on unused library results): all edge cells come from the
+ * single edge_alloc site, so every list dereference resolves to one
+ * location. One strcpy result is deliberately discarded.
+ */
+
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+enum { MAXV = 32 };
+
+struct edge {
+	int to;
+	int weight;
+	struct edge *next;
+};
+
+struct edge *adj[MAXV];
+int nvertices;
+int intree[MAXV];
+int dist[MAXV];
+int parent[MAXV];
+char namebuf[MAXV * 8];
+
+/* Single allocation site for every adjacency cell. */
+struct edge *edge_alloc(void)
+{
+	return (struct edge *) malloc(sizeof(struct edge));
+}
+
+void add_edge(int a, int b, int w)
+{
+	struct edge *e;
+	e = edge_alloc();
+	e->to = b;
+	e->weight = w;
+	e->next = adj[a];
+	adj[a] = e;
+	e = edge_alloc();
+	e->to = a;
+	e->weight = w;
+	e->next = adj[b];
+	adj[b] = e;
+}
+
+/* Build a ring plus chords. */
+void build_graph(int n)
+{
+	int i;
+	nvertices = n;
+	for (i = 0; i < n; i++) {
+		adj[i] = 0;
+	}
+	for (i = 0; i < n; i++) {
+		add_edge(i, (i + 1) % n, (i * 7) % 11 + 1);
+	}
+	for (i = 0; i < n; i += 3) {
+		add_edge(i, (i + n / 2) % n, (i * 5) % 13 + 1);
+	}
+}
+
+int total_weight;
+
+void prim(int start)
+{
+	struct edge *e;
+	int i;
+	int round;
+	int best;
+	int bestd;
+
+	for (i = 0; i < nvertices; i++) {
+		intree[i] = 0;
+		dist[i] = 100000;
+		parent[i] = -1;
+	}
+	dist[start] = 0;
+	total_weight = 0;
+
+	for (round = 0; round < nvertices; round++) {
+		best = -1;
+		bestd = 100000;
+		for (i = 0; i < nvertices; i++) {
+			if (!intree[i] && dist[i] < bestd) {
+				best = i;
+				bestd = dist[i];
+			}
+		}
+		if (best < 0) {
+			break;
+		}
+		intree[best] = 1;
+		total_weight += bestd;
+		for (e = adj[best]; e != 0; e = e->next) {
+			if (!intree[e->to] && e->weight < dist[e->to]) {
+				dist[e->to] = e->weight;
+				parent[e->to] = best;
+			}
+		}
+	}
+}
+
+/* --- Kruskal cross-check with union-find ----------------------------- */
+
+struct kedge {
+	int a;
+	int b;
+	int w;
+};
+
+struct kedge kedges[MAXV * 4];
+int nkedges;
+int uf_parent[MAXV];
+int kruskal_weight;
+
+void collect_edges(void)
+{
+	struct edge *e;
+	int i;
+	nkedges = 0;
+	for (i = 0; i < nvertices; i++) {
+		for (e = adj[i]; e != 0; e = e->next) {
+			if (i < e->to && nkedges < MAXV * 4) {
+				kedges[nkedges].a = i;
+				kedges[nkedges].b = e->to;
+				kedges[nkedges].w = e->weight;
+				nkedges++;
+			}
+		}
+	}
+}
+
+void sort_edges(void)
+{
+	struct kedge tmp;
+	int i;
+	int j;
+	for (i = 1; i < nkedges; i++) {
+		j = i;
+		while (j > 0 && kedges[j].w < kedges[j - 1].w) {
+			tmp = kedges[j];
+			kedges[j] = kedges[j - 1];
+			kedges[j - 1] = tmp;
+			j--;
+		}
+	}
+}
+
+int uf_find(int x)
+{
+	while (uf_parent[x] != x) {
+		uf_parent[x] = uf_parent[uf_parent[x]];
+		x = uf_parent[x];
+	}
+	return x;
+}
+
+void kruskal(void)
+{
+	int i;
+	int ra;
+	int rb;
+	for (i = 0; i < nvertices; i++) {
+		uf_parent[i] = i;
+	}
+	collect_edges();
+	sort_edges();
+	kruskal_weight = 0;
+	for (i = 0; i < nkedges; i++) {
+		ra = uf_find(kedges[i].a);
+		rb = uf_find(kedges[i].b);
+		if (ra != rb) {
+			uf_parent[ra] = rb;
+			kruskal_weight += kedges[i].w;
+		}
+	}
+}
+
+int count_edges(void)
+{
+	struct edge *e;
+	int i;
+	int n;
+	n = 0;
+	for (i = 0; i < nvertices; i++) {
+		for (e = adj[i]; e != 0; e = e->next) {
+			n++;
+		}
+	}
+	return n / 2;
+}
+
+int main(void)
+{
+	int i;
+
+	/* The result of strcpy is discarded: a dead library value, as in
+	 * the paper's span. */
+	strcpy(namebuf, "span-demo-graph");
+
+	build_graph(24);
+	prim(0);
+	kruskal();
+
+	printf("graph %s: %d vertices, %d edges\n", namebuf, nvertices, count_edges());
+	printf("spanning tree weight %d (kruskal agrees: %d)\n",
+	       total_weight, total_weight == kruskal_weight);
+	for (i = 0; i < nvertices; i++) {
+		if (parent[i] >= 0) {
+			printf("edge %d-%d\n", parent[i], i);
+		}
+	}
+	return 0;
+}

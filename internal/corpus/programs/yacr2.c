@@ -1,0 +1,301 @@
+/*
+ * yacr2: yet another channel router — assign horizontal tracks to nets
+ * in a routing channel, resolving vertical constraint conflicts by
+ * track reassignment.
+ *
+ * Pointer structure (mirrors the paper's yacr2): arrays of net structs
+ * and per-column pin maps indexed by integers, with a few shared helpers
+ * handling both the top and bottom pin rows (the source of its small
+ * population of two- and three-location operations).
+ */
+
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+enum { MAXNETS = 24, MAXCOLS = 40, MAXTRACKS = 12 };
+
+struct net {
+	int id;
+	int leftcol;
+	int rightcol;
+	int track;
+	char *label;
+};
+
+struct net nets[MAXNETS];
+int nnets;
+struct net *last_routed; /* most recently placed net */
+
+int top_pins[MAXCOLS];    /* net id entering from the top, or 0 */
+int bot_pins[MAXCOLS];    /* net id entering from the bottom, or 0 */
+int track_used[MAXTRACKS][MAXCOLS];
+int conflicts_fixed;
+
+/* Single site for net labels. */
+char *label_alloc(int id)
+{
+	char *s;
+	s = (char *) malloc(8);
+	s[0] = 'n';
+	s[1] = (char) ('0' + id / 10 % 10);
+	s[2] = (char) ('0' + id % 10);
+	s[3] = '\0';
+	return s;
+}
+
+/* Shared pin-row scan: handles both rows through the pointer. */
+int row_next_pin(int *row, int from)
+{
+	int c;
+	for (c = from; c < MAXCOLS; c++) {
+		if (row[c] != 0) {
+			return c;
+		}
+	}
+	return -1;
+}
+
+/* Shared pin-row population helper. */
+void row_place(int *row, int col, int id)
+{
+	if (col >= 0 && col < MAXCOLS) {
+		row[col] = id;
+	}
+}
+
+void make_channel(void)
+{
+	int i;
+	int id;
+
+	for (i = 0; i < MAXCOLS; i++) {
+		top_pins[i] = 0;
+		bot_pins[i] = 0;
+	}
+	nnets = 0;
+	for (id = 1; id <= 16; id++) {
+		nets[nnets].id = id;
+		nets[nnets].leftcol = (id * 5) % (MAXCOLS - 8);
+		nets[nnets].rightcol = nets[nnets].leftcol + 3 + (id % 5);
+		nets[nnets].track = -1;
+		nets[nnets].label = label_alloc(id);
+		if (id % 2 == 0) {
+			row_place(top_pins, nets[nnets].leftcol, id);
+			row_place(bot_pins, nets[nnets].rightcol, id);
+		} else {
+			row_place(bot_pins, nets[nnets].leftcol, id);
+			row_place(top_pins, nets[nnets].rightcol, id);
+		}
+		nnets++;
+	}
+}
+
+/* Does net n fit on track t? */
+int fits(struct net *n, int t)
+{
+	int c;
+	for (c = n->leftcol; c <= n->rightcol; c++) {
+		if (track_used[t][c]) {
+			return 0;
+		}
+	}
+	return 1;
+}
+
+void occupy(struct net *n, int t)
+{
+	int c;
+	for (c = n->leftcol; c <= n->rightcol; c++) {
+		track_used[t][c] = n->id;
+	}
+	n->track = t;
+	last_routed = n;
+}
+
+void vacate(struct net *n)
+{
+	int c;
+	if (n->track < 0) {
+		return;
+	}
+	for (c = n->leftcol; c <= n->rightcol; c++) {
+		track_used[n->track][c] = 0;
+	}
+	n->track = -1;
+}
+
+/* Left-edge algorithm: greedy assignment by left column. */
+void assign_tracks(void)
+{
+	int i;
+	int j;
+	int t;
+	struct net *n;
+	struct net tmp;
+
+	/* Sort nets by left column (insertion sort, struct copies). */
+	for (i = 1; i < nnets; i++) {
+		j = i;
+		while (j > 0 && nets[j].leftcol < nets[j - 1].leftcol) {
+			tmp = nets[j];
+			nets[j] = nets[j - 1];
+			nets[j - 1] = tmp;
+			j--;
+		}
+	}
+
+	for (i = 0; i < nnets; i++) {
+		n = &nets[i];
+		for (t = 0; t < MAXTRACKS; t++) {
+			if (fits(n, t)) {
+				occupy(n, t);
+				break;
+			}
+		}
+	}
+}
+
+/* A vertical constraint: at a column with both a top and bottom pin,
+ * the top net must sit on a higher track. */
+int column_conflict(int col)
+{
+	int tid;
+	int bid;
+	int i;
+	int ttrack;
+	int btrack;
+
+	tid = top_pins[col];
+	bid = bot_pins[col];
+	if (tid == 0 || bid == 0 || tid == bid) {
+		return 0;
+	}
+	ttrack = -1;
+	btrack = -1;
+	for (i = 0; i < nnets; i++) {
+		if (nets[i].id == tid) {
+			ttrack = nets[i].track;
+		}
+		if (nets[i].id == bid) {
+			btrack = nets[i].track;
+		}
+	}
+	return ttrack >= 0 && btrack >= 0 && ttrack >= btrack;
+}
+
+struct net *net_by_id(int id)
+{
+	int i;
+	for (i = 0; i < nnets; i++) {
+		if (nets[i].id == id) {
+			return &nets[i];
+		}
+	}
+	return 0;
+}
+
+/* Fix conflicts by pushing the offending bottom net downward. */
+void fix_conflicts(void)
+{
+	int col;
+	int t;
+	struct net *n;
+
+	for (col = 0; col < MAXCOLS; col++) {
+		if (!column_conflict(col)) {
+			continue;
+		}
+		n = net_by_id(bot_pins[col]);
+		if (n == 0) {
+			continue;
+		}
+		vacate(n);
+		for (t = MAXTRACKS - 1; t >= 0; t--) {
+			if (fits(n, t)) {
+				occupy(n, t);
+				conflicts_fixed++;
+				break;
+			}
+		}
+	}
+}
+
+/* --- congestion report: per-column channel density ------------------- */
+
+int density[MAXCOLS];
+int max_density;
+int dense_col;
+
+void measure_congestion(void)
+{
+	int c;
+	int i;
+	max_density = 0;
+	dense_col = -1;
+	for (c = 0; c < MAXCOLS; c++) {
+		density[c] = 0;
+		for (i = 0; i < nnets; i++) {
+			if (nets[i].track >= 0 && nets[i].leftcol <= c && c <= nets[i].rightcol) {
+				density[c]++;
+			}
+		}
+		if (density[c] > max_density) {
+			max_density = density[c];
+			dense_col = c;
+		}
+	}
+}
+
+/* The channel-density lower bound must not exceed the tracks used. */
+int density_bound_ok(int used)
+{
+	return max_density <= used;
+}
+
+int tracks_in_use(void)
+{
+	int t;
+	int c;
+	int used;
+	used = 0;
+	for (t = 0; t < MAXTRACKS; t++) {
+		for (c = 0; c < MAXCOLS; c++) {
+			if (track_used[t][c]) {
+				used++;
+				break;
+			}
+		}
+	}
+	return used;
+}
+
+int main(void)
+{
+	int i;
+	int unrouted;
+
+	make_channel();
+	assign_tracks();
+	fix_conflicts();
+	measure_congestion();
+
+	unrouted = 0;
+	for (i = 0; i < nnets; i++) {
+		if (nets[i].track < 0) {
+			unrouted++;
+		}
+	}
+	printf("%d nets routed on %d tracks, %d unrouted, %d conflicts fixed\n",
+	       nnets - unrouted, tracks_in_use(), unrouted, conflicts_fixed);
+	printf("peak density %d at column %d (bound ok: %d)\n",
+	       max_density, dense_col, density_bound_ok(tracks_in_use()));
+	for (i = 0; i < nnets; i++) {
+		printf("net %s: cols %d..%d track %d\n",
+		       nets[i].label, nets[i].leftcol, nets[i].rightcol, nets[i].track);
+	}
+	if (last_routed != 0) {
+		printf("last routed: %s\n", last_routed->label);
+	}
+	return 0;
+}

@@ -1,0 +1,88 @@
+// Package driver wires the front-end pipeline together: lexing, parsing,
+// semantic analysis, and VDG construction, with uniform error reporting.
+package driver
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+
+	"aliaslab/internal/ast"
+	"aliaslab/internal/parser"
+	"aliaslab/internal/sema"
+	"aliaslab/internal/vdg"
+)
+
+// Unit is a fully processed translation unit ready for analysis.
+type Unit struct {
+	Name  string
+	File  *ast.File
+	Prog  *sema.Program
+	Graph *vdg.Graph
+
+	// SourceLines is the number of non-blank source lines (Figure 2's
+	// "lines" column).
+	SourceLines int
+}
+
+// LoadString processes source text through the whole front end.
+// It returns an error aggregating all diagnostics when any stage fails.
+func LoadString(name, src string, opts vdg.Options) (*Unit, error) {
+	file, perrs := parser.ParseFile(name, src)
+	if len(perrs) > 0 {
+		return nil, diagError("parse", len(perrs), firstN(perrs, 10))
+	}
+	prog, serrs := sema.Check(file)
+	if len(serrs) > 0 {
+		return nil, diagError("typecheck", len(serrs), firstN(serrs, 10))
+	}
+	graph, berrs := vdg.Build(prog, opts)
+	if len(berrs) > 0 {
+		return nil, diagError("build", len(berrs), firstN(berrs, 10))
+	}
+	return &Unit{
+		Name:        name,
+		File:        file,
+		Prog:        prog,
+		Graph:       graph,
+		SourceLines: countLines(src),
+	}, nil
+}
+
+// LoadFile processes a file on disk.
+func LoadFile(path string, opts vdg.Options) (*Unit, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return LoadString(path, string(data), opts)
+}
+
+// countLines counts non-blank lines, the convention used for the
+// Figure 2 size column.
+func countLines(src string) int {
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		if strings.TrimSpace(line) != "" {
+			n++
+		}
+	}
+	return n
+}
+
+func firstN[E error](errs []E, n int) []string {
+	var out []string
+	for i, e := range errs {
+		if i == n {
+			out = append(out, "...")
+			break
+		}
+		out = append(out, e.Error())
+	}
+	return out
+}
+
+func diagError(stage string, count int, msgs []string) error {
+	return errors.New(fmt.Sprintf("%s: %d error(s):\n  %s", stage, count, strings.Join(msgs, "\n  ")))
+}

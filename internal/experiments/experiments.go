@@ -1,0 +1,202 @@
+// Package experiments runs the paper's evaluation over the corpus and
+// renders each figure. It is shared by cmd/experiments and the
+// bench_test harness.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"aliaslab/internal/core"
+	"aliaslab/internal/corpus"
+	"aliaslab/internal/driver"
+	"aliaslab/internal/report"
+	"aliaslab/internal/stats"
+	"aliaslab/internal/vdg"
+)
+
+// MaxCSSteps bounds the context-sensitive analysis on any one corpus
+// program; the corpus converges well below this.
+const MaxCSSteps = 100_000_000
+
+// ProgramResult bundles everything measured for one corpus program.
+type ProgramResult struct {
+	Name string
+	Unit *driver.Unit
+
+	CI     *core.Result
+	CITime time.Duration
+
+	CS     *core.SensitiveResult
+	CSTime time.Duration
+
+	CISets map[*vdg.Output]*core.PairSet
+	CSSets map[*vdg.Output]*core.PairSet
+}
+
+// Run loads and analyzes one corpus program. withCS additionally runs
+// the context-sensitive analysis (with the §4.2 optimizations).
+func Run(name string, withCS bool, opts vdg.Options) (*ProgramResult, error) {
+	u, err := corpus.Load(name, opts)
+	if err != nil {
+		return nil, err
+	}
+	r := &ProgramResult{Name: name, Unit: u}
+
+	t0 := time.Now()
+	r.CI = core.AnalyzeInsensitive(u.Graph)
+	r.CITime = time.Since(t0)
+	r.CISets = r.CI.Sets
+
+	if withCS {
+		t0 = time.Now()
+		r.CS = core.AnalyzeSensitive(u.Graph, core.SensitiveOptions{CI: r.CI, MaxSteps: MaxCSSteps})
+		r.CSTime = time.Since(t0)
+		if r.CS.Aborted {
+			return nil, fmt.Errorf("%s: context-sensitive analysis exceeded %d steps", name, MaxCSSteps)
+		}
+		r.CSSets = r.CS.Strip()
+	}
+	return r, nil
+}
+
+// RunAll analyzes the whole corpus.
+func RunAll(withCS bool, opts vdg.Options) ([]*ProgramResult, error) {
+	var out []*ProgramResult
+	for _, name := range corpus.Names() {
+		r, err := Run(name, withCS, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Names extracts the program names of a result list.
+func Names(rs []*ProgramResult) []string {
+	var out []string
+	for _, r := range rs {
+		out = append(out, r.Name)
+	}
+	return out
+}
+
+// Figure2 renders benchmark sizes.
+func Figure2(w io.Writer, rs []*ProgramResult) {
+	var rows []stats.SizeStats
+	for _, r := range rs {
+		rows = append(rows, stats.Sizes(r.Name, r.Unit.SourceLines, r.Unit.Graph))
+	}
+	report.Figure2(w, rows)
+}
+
+// Figure3 renders the CI pair census.
+func Figure3(w io.Writer, rs []*ProgramResult) {
+	var rows []stats.PairCensus
+	for _, r := range rs {
+		rows = append(rows, stats.Census(r.Unit.Graph, r.CISets))
+	}
+	report.Figure3(w, Names(rs), rows)
+}
+
+// Figure4 renders the indirect read/write statistics under CI.
+func Figure4(w io.Writer, rs []*ProgramResult) {
+	var rows []stats.IndirectOps
+	for _, r := range rs {
+		rows = append(rows, stats.CountIndirect(r.Unit.Graph, r.CISets))
+	}
+	report.Figure4(w, Names(rs), rows)
+}
+
+// Figure6 renders the CS census with spurious percentages, plus the
+// headline check that indirect-operation results are identical.
+func Figure6(w io.Writer, rs []*ProgramResult) {
+	var rows []stats.PairCensus
+	var ciTotals []int
+	for _, r := range rs {
+		rows = append(rows, stats.Census(r.Unit.Graph, r.CSSets))
+		ciTotals = append(ciTotals, stats.Census(r.Unit.Graph, r.CISets).Total)
+	}
+	report.Figure6(w, Names(rs), rows, ciTotals)
+
+	fmt.Fprintln(w)
+	clean := true
+	for _, r := range rs {
+		diff := stats.IndirectDiff(r.Unit.Graph, r.CISets, r.CSSets)
+		if len(diff) > 0 {
+			clean = false
+			fmt.Fprintf(w, "  %s: %d indirect operations differ between CI and CS\n", r.Name, len(diff))
+		}
+	}
+	if clean {
+		fmt.Fprintln(w, "Headline check: CI and CS referent sets are IDENTICAL at every")
+		fmt.Fprintln(w, "indirect memory operation on every benchmark (paper §4.3).")
+	}
+}
+
+// Figure7 renders the pooled path × referent breakdowns for all CI
+// pairs and for spurious pairs only.
+func Figure7(w io.Writer, rs []*ProgramResult) {
+	all := stats.NewTypeMatrix()
+	spur := stats.NewTypeMatrix()
+	for _, r := range rs {
+		all.Merge(stats.BreakdownAll(r.Unit.Graph, r.CISets))
+		spur.Merge(stats.BreakdownSpurious(stats.SpuriousPairs(r.Unit.Graph, r.CISets, r.CSSets)))
+	}
+	report.Figure7(w, all, spur)
+}
+
+// Costs renders the CI vs CS work comparison (§3.2 / §4.2: CS runs
+// ~1.1x the flow-ins but up to ~100x the flow-outs and is orders of
+// magnitude slower on the larger programs).
+func Costs(w io.Writer, rs []*ProgramResult) {
+	headers := []string{"name", "CI flow-ins", "CS flow-ins", "ratio", "CI flow-outs", "CS flow-outs", "ratio", "CI time", "CS time", "slowdown"}
+	var rows [][]string
+	for _, r := range rs {
+		if r.CS == nil {
+			continue
+		}
+		rows = append(rows, []string{
+			r.Name,
+			report.Itoa(r.CI.Metrics.FlowIns), report.Itoa(r.CS.Metrics.FlowIns),
+			report.F2(ratio(r.CS.Metrics.FlowIns, r.CI.Metrics.FlowIns)),
+			report.Itoa(r.CI.Metrics.FlowOuts), report.Itoa(r.CS.Metrics.FlowOuts),
+			report.F2(ratio(r.CS.Metrics.FlowOuts, r.CI.Metrics.FlowOuts)),
+			r.CITime.Round(time.Microsecond).String(),
+			r.CSTime.Round(time.Microsecond).String(),
+			report.F2(float64(r.CSTime) / float64(maxDuration(r.CITime, time.Microsecond))),
+		})
+	}
+	report.Table(w, "Analysis cost: context-insensitive vs context-sensitive (paper §3.2/§4.2)", headers, rows)
+}
+
+func ratio(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// WriteAll renders every figure and the cost table.
+func WriteAll(w io.Writer, rs []*ProgramResult) {
+	Figure2(w, rs)
+	fmt.Fprintln(w)
+	Figure3(w, rs)
+	fmt.Fprintln(w)
+	Figure4(w, rs)
+	fmt.Fprintln(w)
+	Figure6(w, rs)
+	fmt.Fprintln(w)
+	Figure7(w, rs)
+	fmt.Fprintln(w)
+	Costs(w, rs)
+}

@@ -1,0 +1,457 @@
+// Package lexer implements a hand-written scanner for the mini-C subset.
+//
+// The scanner handles // and /* */ comments, decimal/hex/octal integer
+// literals, floating literals, character and string literals with the
+// usual escape sequences, and every operator accepted by the parser.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+
+	"aliaslab/internal/token"
+)
+
+// Error is a lexical error with its source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans a mini-C source buffer into tokens.
+type Lexer struct {
+	src  string
+	file string
+
+	off  int // byte offset of the next unread byte
+	line int
+	col  int
+
+	errs []*Error
+}
+
+// New returns a Lexer over src. The file name is used only in positions.
+func New(file, src string) *Lexer {
+	return &Lexer{src: src, file: file, line: 1, col: 1}
+}
+
+// Errors returns the lexical errors encountered so far.
+func (l *Lexer) Errors() []*Error { return l.errs }
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...any) {
+	l.errs = append(l.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *Lexer) pos() token.Pos {
+	return token.Pos{File: l.file, Line: l.line, Col: l.col}
+}
+
+// peek returns the next byte without consuming it, or 0 at EOF.
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+// peekAt returns the byte n positions ahead, or 0 past EOF.
+func (l *Lexer) peekAt(n int) byte {
+	if l.off+n >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+n]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+func isHexDigit(c byte) bool {
+	return isDigit(c) || ('a' <= c && c <= 'f') || ('A' <= c && c <= 'F')
+}
+func isLetter(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+// skipSpace consumes whitespace and comments. It reports unterminated
+// block comments as errors.
+func (l *Lexer) skipSpace() {
+	for l.off < len(l.src) {
+		switch c := l.peek(); {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peekAt(1) == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peekAt(1) == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peekAt(1) == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(start, "unterminated block comment")
+			}
+		case c == '#':
+			// Preprocessor lines are not interpreted; the corpus does not
+			// use them, but tolerating them keeps pasted snippets working.
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token, or a token of kind EOF at end of input.
+func (l *Lexer) Next() token.Token {
+	l.skipSpace()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}
+	}
+	c := l.peek()
+	switch {
+	case isLetter(c):
+		return l.scanIdent(pos)
+	case isDigit(c):
+		return l.scanNumber(pos)
+	case c == '.' && isDigit(l.peekAt(1)):
+		return l.scanNumber(pos)
+	case c == '\'':
+		return l.scanChar(pos)
+	case c == '"':
+		return l.scanString(pos)
+	}
+	return l.scanOperator(pos)
+}
+
+// All scans the remaining input and returns every token, ending with EOF.
+func (l *Lexer) All() []token.Token {
+	var toks []token.Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks
+		}
+	}
+}
+
+func (l *Lexer) scanIdent(pos token.Pos) token.Token {
+	start := l.off
+	for l.off < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+		l.advance()
+	}
+	lit := l.src[start:l.off]
+	kind := token.Lookup(lit)
+	if kind != token.IDENT {
+		return token.Token{Kind: kind, Pos: pos}
+	}
+	return token.Token{Kind: token.IDENT, Lit: lit, Pos: pos}
+}
+
+func (l *Lexer) scanNumber(pos token.Pos) token.Token {
+	start := l.off
+	kind := token.INT
+	if l.peek() == '0' && (l.peekAt(1) == 'x' || l.peekAt(1) == 'X') {
+		l.advance()
+		l.advance()
+		if !isHexDigit(l.peek()) {
+			l.errorf(pos, "malformed hex literal")
+		}
+		for isHexDigit(l.peek()) {
+			l.advance()
+		}
+	} else {
+		for isDigit(l.peek()) {
+			l.advance()
+		}
+		if l.peek() == '.' {
+			kind = token.FLOAT
+			l.advance()
+			for isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+		if l.peek() == 'e' || l.peek() == 'E' {
+			next := l.peekAt(1)
+			if isDigit(next) || ((next == '+' || next == '-') && isDigit(l.peekAt(2))) {
+				kind = token.FLOAT
+				l.advance()
+				if l.peek() == '+' || l.peek() == '-' {
+					l.advance()
+				}
+				for isDigit(l.peek()) {
+					l.advance()
+				}
+			}
+		}
+	}
+	// Integer suffixes (u, l, ul, ...) are accepted and dropped.
+	litEnd := l.off
+	for l.peek() == 'u' || l.peek() == 'U' || l.peek() == 'l' || l.peek() == 'L' {
+		l.advance()
+	}
+	if kind == token.FLOAT {
+		for l.peek() == 'f' || l.peek() == 'F' {
+			l.advance()
+		}
+	}
+	return token.Token{Kind: kind, Lit: l.src[start:litEnd], Pos: pos}
+}
+
+// scanEscape consumes one escape sequence after a backslash and returns
+// the denoted byte.
+func (l *Lexer) scanEscape(pos token.Pos) byte {
+	if l.off >= len(l.src) {
+		l.errorf(pos, "unterminated escape sequence")
+		return 0
+	}
+	c := l.advance()
+	switch c {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case '0':
+		return 0
+	case 'a':
+		return 7
+	case 'b':
+		return 8
+	case 'f':
+		return 12
+	case 'v':
+		return 11
+	case '\\', '\'', '"', '?':
+		return c
+	case 'x':
+		var v int
+		n := 0
+		for isHexDigit(l.peek()) && n < 2 {
+			d := l.advance()
+			switch {
+			case isDigit(d):
+				v = v*16 + int(d-'0')
+			case d >= 'a':
+				v = v*16 + int(d-'a'+10)
+			default:
+				v = v*16 + int(d-'A'+10)
+			}
+			n++
+		}
+		if n == 0 {
+			l.errorf(pos, "malformed hex escape")
+		}
+		return byte(v)
+	}
+	l.errorf(pos, "unknown escape sequence \\%c", c)
+	return c
+}
+
+func (l *Lexer) scanChar(pos token.Pos) token.Token {
+	l.advance() // opening quote
+	var b byte
+	if l.off >= len(l.src) {
+		l.errorf(pos, "unterminated character literal")
+		return token.Token{Kind: token.CHAR, Lit: "", Pos: pos}
+	}
+	c := l.advance()
+	if c == '\\' {
+		b = l.scanEscape(pos)
+	} else if c == '\'' {
+		l.errorf(pos, "empty character literal")
+		return token.Token{Kind: token.CHAR, Lit: "", Pos: pos}
+	} else {
+		b = c
+	}
+	if l.peek() != '\'' {
+		l.errorf(pos, "unterminated character literal")
+	} else {
+		l.advance()
+	}
+	return token.Token{Kind: token.CHAR, Lit: string(b), Pos: pos}
+}
+
+func (l *Lexer) scanString(pos token.Pos) token.Token {
+	l.advance() // opening quote
+	var sb strings.Builder
+	for {
+		if l.off >= len(l.src) || l.peek() == '\n' {
+			l.errorf(pos, "unterminated string literal")
+			break
+		}
+		c := l.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\\' {
+			sb.WriteByte(l.scanEscape(pos))
+			continue
+		}
+		sb.WriteByte(c)
+	}
+	return token.Token{Kind: token.STRING, Lit: sb.String(), Pos: pos}
+}
+
+// operator table: longest match first within each leading byte.
+func (l *Lexer) scanOperator(pos token.Pos) token.Token {
+	two := func(k token.Kind) token.Token {
+		l.advance()
+		l.advance()
+		return token.Token{Kind: k, Pos: pos}
+	}
+	three := func(k token.Kind) token.Token {
+		l.advance()
+		l.advance()
+		l.advance()
+		return token.Token{Kind: k, Pos: pos}
+	}
+	one := func(k token.Kind) token.Token {
+		l.advance()
+		return token.Token{Kind: k, Pos: pos}
+	}
+	c, c1, c2 := l.peek(), l.peekAt(1), l.peekAt(2)
+	switch c {
+	case '+':
+		switch c1 {
+		case '+':
+			return two(token.INC)
+		case '=':
+			return two(token.ADD_ASSIGN)
+		}
+		return one(token.ADD)
+	case '-':
+		switch c1 {
+		case '-':
+			return two(token.DEC)
+		case '=':
+			return two(token.SUB_ASSIGN)
+		case '>':
+			return two(token.ARROW)
+		}
+		return one(token.SUB)
+	case '*':
+		if c1 == '=' {
+			return two(token.MUL_ASSIGN)
+		}
+		return one(token.MUL)
+	case '/':
+		if c1 == '=' {
+			return two(token.QUO_ASSIGN)
+		}
+		return one(token.QUO)
+	case '%':
+		if c1 == '=' {
+			return two(token.REM_ASSIGN)
+		}
+		return one(token.REM)
+	case '&':
+		switch c1 {
+		case '&':
+			return two(token.LAND)
+		case '=':
+			return two(token.AND_ASSIGN)
+		}
+		return one(token.AND)
+	case '|':
+		switch c1 {
+		case '|':
+			return two(token.LOR)
+		case '=':
+			return two(token.OR_ASSIGN)
+		}
+		return one(token.OR)
+	case '^':
+		if c1 == '=' {
+			return two(token.XOR_ASSIGN)
+		}
+		return one(token.XOR)
+	case '<':
+		if c1 == '<' {
+			if c2 == '=' {
+				return three(token.SHL_ASSIGN)
+			}
+			return two(token.SHL)
+		}
+		if c1 == '=' {
+			return two(token.LEQ)
+		}
+		return one(token.LSS)
+	case '>':
+		if c1 == '>' {
+			if c2 == '=' {
+				return three(token.SHR_ASSIGN)
+			}
+			return two(token.SHR)
+		}
+		if c1 == '=' {
+			return two(token.GEQ)
+		}
+		return one(token.GTR)
+	case '=':
+		if c1 == '=' {
+			return two(token.EQL)
+		}
+		return one(token.ASSIGN)
+	case '!':
+		if c1 == '=' {
+			return two(token.NEQ)
+		}
+		return one(token.LNOT)
+	case '~':
+		return one(token.NOT)
+	case '(':
+		return one(token.LPAREN)
+	case ')':
+		return one(token.RPAREN)
+	case '{':
+		return one(token.LBRACE)
+	case '}':
+		return one(token.RBRACE)
+	case '[':
+		return one(token.LBRACK)
+	case ']':
+		return one(token.RBRACK)
+	case ',':
+		return one(token.COMMA)
+	case ';':
+		return one(token.SEMI)
+	case ':':
+		return one(token.COLON)
+	case '?':
+		return one(token.QUESTION)
+	case '.':
+		if c1 == '.' && c2 == '.' {
+			return three(token.ELLIPSIS)
+		}
+		return one(token.PERIOD)
+	}
+	l.errorf(pos, "illegal character %q", c)
+	l.advance()
+	return token.Token{Kind: token.ILLEGAL, Lit: string(c), Pos: pos}
+}

@@ -1,0 +1,111 @@
+// Package modref implements a mod/ref side-effect analysis on top of a
+// points-to solution — the client application the paper uses to motivate
+// its Figure 4 statistics: "such applications are concerned only with
+// the memory locations referenced by each memory read or write".
+package modref
+
+import (
+	"sort"
+
+	"aliaslab/internal/core"
+	"aliaslab/internal/paths"
+	"aliaslab/internal/vdg"
+)
+
+// LocSet is a set of storage locations (base-rooted access paths).
+type LocSet map[*paths.Path]bool
+
+// Add inserts p, reporting whether it was new.
+func (s LocSet) Add(p *paths.Path) bool {
+	if s[p] {
+		return false
+	}
+	s[p] = true
+	return true
+}
+
+// AddAll merges t into s, reporting whether anything changed.
+func (s LocSet) AddAll(t LocSet) bool {
+	changed := false
+	for p := range t {
+		if s.Add(p) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Sorted returns the locations ordered by path ID.
+func (s LocSet) Sorted() []*paths.Path {
+	out := make([]*paths.Path, 0, len(s))
+	for p := range s {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// Info holds per-function mod/ref sets.
+type Info struct {
+	// DirectMod/DirectRef are the locations a function's own updates and
+	// lookups may modify/reference.
+	DirectMod map[*vdg.FuncGraph]LocSet
+	DirectRef map[*vdg.FuncGraph]LocSet
+
+	// Mod/Ref include the effects of (transitive) callees.
+	Mod map[*vdg.FuncGraph]LocSet
+	Ref map[*vdg.FuncGraph]LocSet
+}
+
+// Compute builds mod/ref information from a context-insensitive result.
+// Direct sets come from each function's lookup/update location referents;
+// transitive sets close them over the discovered call graph.
+func Compute(res *core.Result) *Info {
+	g := res.Graph
+	info := &Info{
+		DirectMod: make(map[*vdg.FuncGraph]LocSet),
+		DirectRef: make(map[*vdg.FuncGraph]LocSet),
+		Mod:       make(map[*vdg.FuncGraph]LocSet),
+		Ref:       make(map[*vdg.FuncGraph]LocSet),
+	}
+	for _, fg := range g.Funcs {
+		mod, ref := LocSet{}, LocSet{}
+		for _, n := range fg.Nodes {
+			switch n.Kind {
+			case vdg.KLookup:
+				for _, r := range res.LocReferents(n) {
+					ref.Add(r)
+				}
+			case vdg.KUpdate:
+				for _, r := range res.LocReferents(n) {
+					mod.Add(r)
+				}
+			}
+		}
+		info.DirectMod[fg] = mod
+		info.DirectRef[fg] = ref
+		info.Mod[fg] = LocSet{}
+		info.Ref[fg] = LocSet{}
+		info.Mod[fg].AddAll(mod)
+		info.Ref[fg].AddAll(ref)
+	}
+
+	// Transitive closure over the call graph to a fixpoint; the graphs
+	// are small, so simple iteration suffices.
+	for changed := true; changed; {
+		changed = false
+		for _, fg := range g.Funcs {
+			for _, call := range fg.Calls {
+				for _, callee := range res.Callees[call] {
+					if info.Mod[fg].AddAll(info.Mod[callee]) {
+						changed = true
+					}
+					if info.Ref[fg].AddAll(info.Ref[callee]) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return info
+}

@@ -1,0 +1,162 @@
+package modref_test
+
+import (
+	"strings"
+	"testing"
+
+	"aliaslab/internal/core"
+	"aliaslab/internal/driver"
+	"aliaslab/internal/modref"
+	"aliaslab/internal/vdg"
+)
+
+func analyze(t *testing.T, src string) (*driver.Unit, *modref.Info, *core.Result) {
+	t.Helper()
+	u, err := driver.LoadString("t.c", src, vdg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.AnalyzeInsensitive(u.Graph)
+	return u, modref.Compute(res), res
+}
+
+func names(s modref.LocSet) string {
+	var out []string
+	for _, p := range s.Sorted() {
+		out = append(out, p.String())
+	}
+	return strings.Join(out, ",")
+}
+
+func fg(t *testing.T, u *driver.Unit, name string) *vdg.FuncGraph {
+	t.Helper()
+	f := u.Graph.FuncOf[u.Graph.Prog.FuncMap[name]]
+	if f == nil {
+		t.Fatalf("no function %s", name)
+	}
+	return f
+}
+
+func TestDirectSets(t *testing.T) {
+	u, info, _ := analyze(t, `
+int g, h;
+void writer(void) { g = 1; }
+int reader(void) { return h; }
+int main(void) { writer(); return reader(); }
+`)
+	if got := names(info.DirectMod[fg(t, u, "writer")]); got != "g" {
+		t.Errorf("writer mods %q", got)
+	}
+	if got := names(info.DirectRef[fg(t, u, "writer")]); got != "" {
+		t.Errorf("writer refs %q", got)
+	}
+	if got := names(info.DirectRef[fg(t, u, "reader")]); got != "h" {
+		t.Errorf("reader refs %q", got)
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	u, info, _ := analyze(t, `
+int g;
+void deepest(void) { g = 1; }
+void mid(void) { deepest(); }
+void top(void) { mid(); }
+int main(void) { top(); return 0; }
+`)
+	for _, name := range []string{"deepest", "mid", "top", "main"} {
+		if got := names(info.Mod[fg(t, u, name)]); got != "g" {
+			t.Errorf("%s transitively mods %q, want g", name, got)
+		}
+	}
+	// Direct sets must stay local.
+	if got := names(info.DirectMod[fg(t, u, "top")]); got != "" {
+		t.Errorf("top directly mods %q", got)
+	}
+}
+
+func TestPointerWritesResolveToTargets(t *testing.T) {
+	u, info, _ := analyze(t, `
+int a, b;
+void poke(int *p) { *p = 9; }
+int main(void) {
+	poke(&a);
+	poke(&b);
+	return 0;
+}
+`)
+	if got := names(info.Mod[fg(t, u, "poke")]); got != "a,b" {
+		t.Errorf("poke mods %q, want a,b", got)
+	}
+}
+
+func TestRecursiveCallGraphTerminates(t *testing.T) {
+	u, info, _ := analyze(t, `
+int g;
+void ping(int n);
+void pong(int n) { g = n; if (n) ping(n - 1); }
+void ping(int n) { if (n) pong(n - 1); }
+int main(void) { ping(3); return g; }
+`)
+	if got := names(info.Mod[fg(t, u, "ping")]); got != "g" {
+		t.Errorf("ping mods %q", got)
+	}
+}
+
+func TestIndirectCalleesIncluded(t *testing.T) {
+	u, info, _ := analyze(t, `
+int g, h;
+void setg(void) { g = 1; }
+void seth(void) { h = 1; }
+void (*fp)(void);
+int main(void) {
+	int c;
+	c = 1;
+	if (c) fp = setg; else fp = seth;
+	fp();
+	return 0;
+}
+`)
+	got := names(info.Mod[fg(t, u, "main")])
+	if !strings.Contains(got, "g") || !strings.Contains(got, "h") {
+		t.Errorf("main (through fp) mods %q, want g and h", got)
+	}
+}
+
+func TestHeapModRef(t *testing.T) {
+	u, info, _ := analyze(t, `
+struct cell { int v; };
+struct cell *mk(void) { return (struct cell *) malloc(sizeof(struct cell)); }
+void fill(struct cell *c) { c->v = 5; }
+int main(void) {
+	struct cell *c;
+	c = mk();
+	fill(c);
+	return c->v;
+}
+`)
+	got := names(info.Mod[fg(t, u, "fill")])
+	if !strings.Contains(got, "malloc@") || !strings.Contains(got, ".v") {
+		t.Errorf("fill mods %q, want the allocation site's v field", got)
+	}
+}
+
+func TestLocSetOperations(t *testing.T) {
+	u, _, res := analyze(t, `int g; int main(void) { g = 1; return g; }`)
+	_ = u
+	s := modref.LocSet{}
+	var first = res.Graph.Universe.Bases()
+	if len(first) == 0 {
+		t.Skip("no bases")
+	}
+	p := res.Graph.Universe.Root(first[0])
+	other := modref.LocSet{p: true}
+	if !s.AddAll(other) {
+		t.Fatal("AddAll must report change")
+	}
+	if s.AddAll(other) {
+		t.Fatal("AddAll of a subset must report no change")
+	}
+	if len(s.Sorted()) != 1 {
+		t.Fatal("Sorted lost elements")
+	}
+}

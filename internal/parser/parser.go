@@ -1,0 +1,1000 @@
+// Package parser implements a recursive-descent parser for the mini-C
+// subset, producing the AST in package ast.
+//
+// The parser is typedef-aware (typedef names must be declared before
+// use, as in C) and supports the full declarator grammar needed for
+// function pointers, arrays of pointers, and pointers to arrays.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"aliaslab/internal/ast"
+	"aliaslab/internal/lexer"
+	"aliaslab/internal/token"
+)
+
+// Error is a syntax error with its source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Parser holds parsing state for one translation unit.
+type Parser struct {
+	toks []token.Token
+	off  int
+
+	typedefs map[string]bool
+	errs     []*Error
+	fileName string
+
+	// pending holds extra declarations produced by multi-declarator
+	// file-scope lines ("int a, b;"); ParseFile drains it after each
+	// top-level declaration.
+	pending []ast.Decl
+
+	// enumConsts tracks enum constant values seen so far, so that array
+	// lengths may reference them (C requires parse-time constants).
+	enumConsts map[string]int64
+}
+
+// ParseFile lexes and parses src, returning the file and any errors.
+// A non-nil file is returned even in the presence of errors so that
+// callers can report as much as possible.
+func ParseFile(name, src string) (*ast.File, []*Error) {
+	lx := lexer.New(name, src)
+	toks := lx.All()
+	p := &Parser{toks: toks, typedefs: make(map[string]bool), enumConsts: make(map[string]int64), fileName: name}
+	for _, le := range lx.Errors() {
+		p.errs = append(p.errs, &Error{Pos: le.Pos, Msg: le.Msg})
+	}
+	file := &ast.File{Name: name}
+	for !p.at(token.EOF) {
+		start := p.off
+		d := p.parseTopDecl()
+		if d != nil {
+			file.Decls = append(file.Decls, d)
+		}
+		if len(p.pending) > 0 {
+			file.Decls = append(file.Decls, p.pending...)
+			p.pending = p.pending[:0]
+		}
+		if p.off == start {
+			// Ensure progress even on malformed input.
+			p.advance()
+		}
+	}
+	return file, p.errs
+}
+
+// ---------------------------------------------------------------------------
+// Token plumbing
+
+func (p *Parser) cur() token.Token     { return p.toks[p.off] }
+func (p *Parser) at(k token.Kind) bool { return p.toks[p.off].Kind == k }
+
+func (p *Parser) peek(n int) token.Token {
+	if p.off+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1] // EOF
+	}
+	return p.toks[p.off+n]
+}
+
+func (p *Parser) advance() token.Token {
+	t := p.toks[p.off]
+	if p.off < len(p.toks)-1 {
+		p.off++
+	}
+	return t
+}
+
+func (p *Parser) accept(k token.Kind) bool {
+	if p.at(k) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k token.Kind) token.Token {
+	if p.at(k) {
+		return p.advance()
+	}
+	p.errorf("expected %s, found %s", k, p.cur())
+	return token.Token{Kind: k, Pos: p.cur().Pos}
+}
+
+func (p *Parser) errorf(format string, args ...any) {
+	p.errs = append(p.errs, &Error{Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// isTypeName reports whether the current token begins a type: a builtin
+// type keyword, struct/union/enum, a qualifier, or a known typedef name.
+func (p *Parser) isTypeName(t token.Token) bool {
+	if t.Kind.IsTypeStart() {
+		return true
+	}
+	return t.Kind == token.IDENT && p.typedefs[t.Lit]
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+// parseTopDecl parses one file-scope declaration.
+func (p *Parser) parseTopDecl() ast.Decl {
+	pos := p.cur().Pos
+	switch {
+	case p.accept(token.TYPEDEF):
+		base := p.parseTypeSpecifier()
+		if base == nil {
+			p.errorf("expected type after typedef, found %s", p.cur())
+			return nil
+		}
+		name, typ := p.parseDeclarator(base)
+		p.expect(token.SEMI)
+		if name == "" {
+			p.errorf("typedef requires a name")
+			return nil
+		}
+		p.typedefs[name] = true
+		return &ast.TypedefDecl{Name: name, Type: typ, TokPos: pos}
+	case p.at(token.SEMI):
+		p.advance()
+		return nil
+	}
+
+	static := p.accept(token.STATIC)
+	extern := p.accept(token.EXTERN)
+	if !static {
+		static = p.accept(token.STATIC)
+	}
+
+	base := p.parseTypeSpecifier()
+	if base == nil {
+		p.errorf("expected declaration, found %s", p.cur())
+		return nil
+	}
+
+	// "struct foo { ... };" — a bare tag declaration.
+	if p.at(token.SEMI) {
+		p.advance()
+		return &ast.TagDecl{Type: base, TokPos: pos}
+	}
+
+	name, typ := p.parseDeclarator(base)
+	if ft, ok := typ.(*ast.FuncType); ok && (p.at(token.LBRACE) || p.at(token.SEMI)) {
+		fd := &ast.FuncDecl{Name: name, Type: ft, Static: static, TokPos: pos}
+		if p.at(token.LBRACE) {
+			fd.Body = p.parseBlock()
+		} else {
+			p.expect(token.SEMI)
+		}
+		return fd
+	}
+
+	// Variable declaration(s); only the first declarator is returned and
+	// the rest are queued as additional decls via a small trick: we parse
+	// them eagerly into a synthetic holder. To keep the Decl interface
+	// simple, multi-declarator lines are split by the caller loop: we
+	// rewind is not possible, so we return a VarDecl and stash extras.
+	vd := p.finishVarDecl(name, typ, static, extern, pos)
+	decls := []ast.Decl{vd}
+	for p.accept(token.COMMA) {
+		n2, t2 := p.parseDeclarator(base)
+		decls = append(decls, p.finishVarDecl(n2, t2, static, extern, p.cur().Pos))
+	}
+	p.expect(token.SEMI)
+	if len(decls) == 1 {
+		return decls[0]
+	}
+	// Splice the extra declarations through the pending queue.
+	p.pending = append(p.pending, decls[1:]...)
+	return decls[0]
+}
+
+func (p *Parser) finishVarDecl(name string, typ ast.TypeExpr, static, extern bool, pos token.Pos) *ast.VarDecl {
+	vd := &ast.VarDecl{Name: name, Type: typ, Static: static, Extern: extern, TokPos: pos}
+	if p.accept(token.ASSIGN) {
+		if p.at(token.LBRACE) {
+			vd.InitList = p.parseInitList()
+		} else {
+			vd.Init = p.parseAssignExpr()
+		}
+	}
+	return vd
+}
+
+// parseInitList parses a brace initializer, flattening nested braces.
+func (p *Parser) parseInitList() []ast.Expr {
+	p.expect(token.LBRACE)
+	var elems []ast.Expr
+	for !p.at(token.RBRACE) && !p.at(token.EOF) {
+		if p.at(token.LBRACE) {
+			elems = append(elems, p.parseInitList()...)
+		} else {
+			elems = append(elems, p.parseAssignExpr())
+		}
+		if !p.accept(token.COMMA) {
+			break
+		}
+	}
+	p.expect(token.RBRACE)
+	return elems
+}
+
+// parseTypeSpecifier parses the leading type of a declaration:
+// builtin scalars (with signedness/length adjectives), struct/union/enum
+// definitions or references, and typedef names.
+func (p *Parser) parseTypeSpecifier() ast.TypeExpr {
+	pos := p.cur().Pos
+	// Qualifiers are accepted and ignored.
+	for p.accept(token.CONST) {
+	}
+	switch {
+	case p.at(token.STRUCT), p.at(token.UNION):
+		return p.parseStructType()
+	case p.at(token.ENUM):
+		return p.parseEnumType()
+	case p.at(token.IDENT) && p.typedefs[p.cur().Lit]:
+		t := p.advance()
+		return &ast.NamedType{Name: t.Lit, TokPos: t.Pos}
+	}
+
+	// Builtin scalar with adjectives: [signed|unsigned] [short|long] base.
+	sawSign := false
+	sawLen := ""
+	for {
+		switch p.cur().Kind {
+		case token.UNSIGNED, token.SIGNED:
+			p.advance()
+			sawSign = true
+			continue
+		case token.LONG_KW:
+			p.advance()
+			sawLen = "long"
+			// "long long" collapses to long.
+			p.accept(token.LONG_KW)
+			continue
+		case token.SHORT_KW:
+			p.advance()
+			sawLen = "short"
+			continue
+		}
+		break
+	}
+	name := ""
+	switch p.cur().Kind {
+	case token.VOID:
+		p.advance()
+		name = "void"
+	case token.CHAR_KW:
+		p.advance()
+		name = "char"
+	case token.INT_KW:
+		p.advance()
+		name = "int"
+	case token.FLOAT_KW:
+		p.advance()
+		name = "float"
+	case token.DOUBLE_KW:
+		p.advance()
+		name = "double"
+	default:
+		if sawLen != "" {
+			name = sawLen // "long x;" / "short x;"
+			if name == "short" {
+				name = "int"
+			}
+		} else if sawSign {
+			name = "int" // "unsigned x;"
+		} else {
+			return nil
+		}
+	}
+	if sawLen == "long" && name == "int" {
+		name = "long"
+	}
+	if sawLen == "short" && name == "int" {
+		name = "int"
+	}
+	for p.accept(token.CONST) {
+	}
+	return &ast.BaseType{Name: name, TokPos: pos}
+}
+
+func (p *Parser) parseStructType() ast.TypeExpr {
+	pos := p.cur().Pos
+	union := p.cur().Kind == token.UNION
+	p.advance()
+	tag := ""
+	if p.at(token.IDENT) {
+		tag = p.advance().Lit
+	}
+	st := &ast.StructType{Union: union, Tag: tag, TokPos: pos}
+	if p.accept(token.LBRACE) {
+		for !p.at(token.RBRACE) && !p.at(token.EOF) {
+			base := p.parseTypeSpecifier()
+			if base == nil {
+				p.errorf("expected field type, found %s", p.cur())
+				p.advance()
+				continue
+			}
+			for {
+				fpos := p.cur().Pos
+				name, typ := p.parseDeclarator(base)
+				st.Fields = append(st.Fields, &ast.FieldDecl{Name: name, Type: typ, TokPos: fpos})
+				if !p.accept(token.COMMA) {
+					break
+				}
+			}
+			p.expect(token.SEMI)
+		}
+		p.expect(token.RBRACE)
+		if st.Fields == nil {
+			st.Fields = []*ast.FieldDecl{} // non-nil marks "defined"
+		}
+	}
+	return st
+}
+
+func (p *Parser) parseEnumType() ast.TypeExpr {
+	pos := p.expect(token.ENUM).Pos
+	tag := ""
+	if p.at(token.IDENT) {
+		tag = p.advance().Lit
+	}
+	et := &ast.EnumType{Tag: tag, TokPos: pos}
+	if p.accept(token.LBRACE) {
+		et.Defined = true
+		next := int64(0)
+		for !p.at(token.RBRACE) && !p.at(token.EOF) {
+			mpos := p.cur().Pos
+			name := p.expect(token.IDENT).Lit
+			var val ast.Expr
+			if p.accept(token.ASSIGN) {
+				val = p.parseAssignExpr()
+				if v, ok := p.constEval(val); ok {
+					next = v
+				}
+			}
+			p.enumConsts[name] = next
+			next++
+			et.Members = append(et.Members, ast.EnumMember{Name: name, Value: val, TokPos: mpos})
+			if !p.accept(token.COMMA) {
+				break
+			}
+		}
+		p.expect(token.RBRACE)
+	}
+	return et
+}
+
+// ---------------------------------------------------------------------------
+// Declarators
+//
+// A declarator wraps the base type from the outside in; we parse the
+// declarator structure and then apply the accumulated wrappers.
+
+// declWrap is a pending type construction applied around the base type.
+type declWrap struct {
+	kind     byte // '*', '[', '('
+	length   int  // for arrays; -1 when unsized
+	params   []*ast.ParamDecl
+	variadic bool
+	pos      token.Pos
+}
+
+// parseDeclarator parses one declarator against base and returns the
+// declared name (possibly empty for abstract declarators) and type.
+func (p *Parser) parseDeclarator(base ast.TypeExpr) (string, ast.TypeExpr) {
+	name, wraps := p.parseDeclaratorInner()
+	typ := base
+	// wraps are recorded innermost-last; apply from the end.
+	for i := len(wraps) - 1; i >= 0; i-- {
+		w := wraps[i]
+		switch w.kind {
+		case '*':
+			typ = &ast.PointerType{Elem: typ, TokPos: w.pos}
+		case '[':
+			typ = &ast.ArrayType{Elem: typ, Len: w.length, TokPos: w.pos}
+		case '(':
+			typ = &ast.FuncType{Params: w.params, Variadic: w.variadic, Result: typ, TokPos: w.pos}
+		}
+	}
+	return name, typ
+}
+
+// parseDeclaratorInner returns the declared name and the wrapper list in
+// application order (outermost first).
+//
+// Grammar:
+//
+//	declarator  = {"*"} direct .
+//	direct      = IDENT | "(" declarator ")" | direct suffix .
+//	suffix      = "[" [const] "]" | "(" params ")" .
+//
+// Pointers bind more loosely than suffixes, so "*f[3]" is an array of
+// pointers and "(*f)[3]" is a pointer to an array.
+func (p *Parser) parseDeclaratorInner() (string, []declWrap) {
+	var stars []declWrap
+	for p.at(token.MUL) {
+		pos := p.advance().Pos
+		for p.accept(token.CONST) {
+		}
+		stars = append(stars, declWrap{kind: '*', pos: pos})
+	}
+
+	var name string
+	var inner []declWrap
+	switch {
+	case p.at(token.IDENT):
+		name = p.advance().Lit
+	case p.at(token.LPAREN) && p.startsNestedDeclarator():
+		p.advance()
+		name, inner = p.parseDeclaratorInner()
+		p.expect(token.RPAREN)
+	}
+
+	var suffixes []declWrap
+	for {
+		switch {
+		case p.at(token.LBRACK):
+			pos := p.advance().Pos
+			length := -1
+			if !p.at(token.RBRACK) {
+				e := p.parseAssignExpr()
+				length = p.constIntValue(e)
+			}
+			p.expect(token.RBRACK)
+			suffixes = append(suffixes, declWrap{kind: '[', length: length, pos: pos})
+			continue
+		case p.at(token.LPAREN):
+			pos := p.advance().Pos
+			params, variadic := p.parseParamList()
+			p.expect(token.RPAREN)
+			suffixes = append(suffixes, declWrap{kind: '(', params: params, variadic: variadic, pos: pos})
+			continue
+		}
+		break
+	}
+
+	// The slice is kept in C's "reading order" (the spiral rule): the
+	// nested declarator's wraps first, then this level's suffixes, then
+	// its pointer stars. The caller applies wraps from the END of the
+	// slice inward, so stars wrap the base type first ("int *f()" is a
+	// function returning int*), then suffixes, then the enclosing
+	// declarator level ("(*f)(int)" is a pointer to function).
+	wraps := make([]declWrap, 0, len(stars)+len(inner)+len(suffixes))
+	wraps = append(wraps, inner...)
+	wraps = append(wraps, suffixes...)
+	wraps = append(wraps, stars...)
+	return name, wraps
+}
+
+// startsNestedDeclarator disambiguates "(*f)(...)" from a parameter list
+// "(int x)" after a missing name: a nested declarator starts with * or (
+// or an identifier that is not a type name.
+func (p *Parser) startsNestedDeclarator() bool {
+	n := p.peek(1)
+	switch n.Kind {
+	case token.MUL, token.LPAREN:
+		return true
+	case token.IDENT:
+		return !p.typedefs[n.Lit]
+	}
+	return false
+}
+
+// parseParamList parses a function parameter list (without parens).
+func (p *Parser) parseParamList() ([]*ast.ParamDecl, bool) {
+	var params []*ast.ParamDecl
+	variadic := false
+	if p.at(token.RPAREN) {
+		return params, false
+	}
+	// "(void)" means no parameters.
+	if p.at(token.VOID) && p.peek(1).Kind == token.RPAREN {
+		p.advance()
+		return params, false
+	}
+	for {
+		if p.at(token.ELLIPSIS) {
+			p.advance()
+			variadic = true
+			break
+		}
+		pos := p.cur().Pos
+		base := p.parseTypeSpecifier()
+		if base == nil {
+			p.errorf("expected parameter type, found %s", p.cur())
+			break
+		}
+		name, typ := p.parseDeclarator(base)
+		// Array parameters decay to pointers.
+		if at, ok := typ.(*ast.ArrayType); ok {
+			typ = &ast.PointerType{Elem: at.Elem, TokPos: at.TokPos}
+		}
+		params = append(params, &ast.ParamDecl{Name: name, Type: typ, TokPos: pos})
+		if !p.accept(token.COMMA) {
+			break
+		}
+	}
+	return params, variadic
+}
+
+// constIntValue evaluates small constant expressions used in array sizes
+// and enum values. Unsupported forms yield -1 with an error.
+func (p *Parser) constIntValue(e ast.Expr) int {
+	v, ok := p.constEval(e)
+	if !ok {
+		p.errorf("array length must be a constant expression")
+		return -1
+	}
+	return int(v)
+}
+
+func (p *Parser) constEval(e ast.Expr) (int64, bool) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return e.Value, true
+	case *ast.CharLit:
+		return int64(e.Value), true
+	case *ast.Ident:
+		if v, ok := p.enumConsts[e.Name]; ok {
+			return v, true
+		}
+		return 0, false
+	case *ast.Unary:
+		v, ok := p.constEval(e.X)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case token.SUB:
+			return -v, true
+		case token.NOT:
+			return ^v, true
+		case token.ADD:
+			return v, true
+		}
+	case *ast.Binary:
+		a, ok1 := p.constEval(e.X)
+		b, ok2 := p.constEval(e.Y)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		switch e.Op {
+		case token.ADD:
+			return a + b, true
+		case token.SUB:
+			return a - b, true
+		case token.MUL:
+			return a * b, true
+		case token.QUO:
+			if b != 0 {
+				return a / b, true
+			}
+		case token.REM:
+			if b != 0 {
+				return a % b, true
+			}
+		case token.SHL:
+			return a << uint(b), true
+		case token.SHR:
+			return a >> uint(b), true
+		case token.OR:
+			return a | b, true
+		case token.AND:
+			return a & b, true
+		case token.XOR:
+			return a ^ b, true
+		}
+	}
+	return 0, false
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (p *Parser) parseBlock() *ast.Block {
+	pos := p.expect(token.LBRACE).Pos
+	b := &ast.Block{TokPos: pos}
+	for !p.at(token.RBRACE) && !p.at(token.EOF) {
+		start := p.off
+		b.Stmts = append(b.Stmts, p.parseStmts()...)
+		if p.off == start {
+			p.advance()
+		}
+	}
+	p.expect(token.RBRACE)
+	return b
+}
+
+// parseStmts parses one statement; declarations with several declarators
+// expand to several DeclStmts, hence the slice result.
+func (p *Parser) parseStmts() []ast.Stmt {
+	if p.at(token.STATIC) || (p.isTypeName(p.cur()) && !p.startsExprDespiteTypeName()) {
+		return p.parseLocalDecl()
+	}
+	return []ast.Stmt{p.parseStmt()}
+}
+
+// startsExprDespiteTypeName handles the rare case of an expression
+// statement beginning with a typedef name used as a variable (shadowing);
+// the subset forbids shadowing typedef names, so this is always false,
+// but the hook keeps the decision point explicit.
+func (p *Parser) startsExprDespiteTypeName() bool { return false }
+
+func (p *Parser) parseLocalDecl() []ast.Stmt {
+	pos := p.cur().Pos
+	static := p.accept(token.STATIC)
+	base := p.parseTypeSpecifier()
+	if base == nil {
+		p.errorf("expected type in declaration, found %s", p.cur())
+		return nil
+	}
+	var out []ast.Stmt
+	for {
+		name, typ := p.parseDeclarator(base)
+		vd := p.finishVarDecl(name, typ, static, false, pos)
+		out = append(out, &ast.DeclStmt{Decl: vd, TokPos: pos})
+		if !p.accept(token.COMMA) {
+			break
+		}
+	}
+	p.expect(token.SEMI)
+	return out
+}
+
+func (p *Parser) parseStmt() ast.Stmt {
+	pos := p.cur().Pos
+	switch p.cur().Kind {
+	case token.LBRACE:
+		return p.parseBlock()
+	case token.SEMI:
+		p.advance()
+		return &ast.Empty{TokPos: pos}
+	case token.IF:
+		p.advance()
+		p.expect(token.LPAREN)
+		cond := p.parseExpr()
+		p.expect(token.RPAREN)
+		then := p.parseStmt()
+		var els ast.Stmt
+		if p.accept(token.ELSE) {
+			els = p.parseStmt()
+		}
+		return &ast.If{Cond: cond, Then: then, Else: els, TokPos: pos}
+	case token.WHILE:
+		p.advance()
+		p.expect(token.LPAREN)
+		cond := p.parseExpr()
+		p.expect(token.RPAREN)
+		body := p.parseStmt()
+		return &ast.While{Cond: cond, Body: body, TokPos: pos}
+	case token.DO:
+		p.advance()
+		body := p.parseStmt()
+		p.expect(token.WHILE)
+		p.expect(token.LPAREN)
+		cond := p.parseExpr()
+		p.expect(token.RPAREN)
+		p.expect(token.SEMI)
+		return &ast.While{Cond: cond, Body: body, DoWhile: true, TokPos: pos}
+	case token.FOR:
+		p.advance()
+		p.expect(token.LPAREN)
+		var init ast.Stmt
+		if !p.at(token.SEMI) {
+			if p.isTypeName(p.cur()) {
+				decls := p.parseLocalDecl() // consumes the ';'
+				if len(decls) == 1 {
+					init = decls[0]
+				} else {
+					init = &ast.Block{Stmts: decls, TokPos: pos}
+				}
+			} else {
+				e := p.parseExpr()
+				init = &ast.ExprStmt{X: e, TokPos: e.Pos()}
+				p.expect(token.SEMI)
+			}
+		} else {
+			p.expect(token.SEMI)
+		}
+		var cond ast.Expr
+		if !p.at(token.SEMI) {
+			cond = p.parseExpr()
+		}
+		p.expect(token.SEMI)
+		var post ast.Expr
+		if !p.at(token.RPAREN) {
+			post = p.parseExpr()
+		}
+		p.expect(token.RPAREN)
+		body := p.parseStmt()
+		return &ast.For{Init: init, Cond: cond, Post: post, Body: body, TokPos: pos}
+	case token.RETURN:
+		p.advance()
+		var val ast.Expr
+		if !p.at(token.SEMI) {
+			val = p.parseExpr()
+		}
+		p.expect(token.SEMI)
+		return &ast.Return{Value: val, TokPos: pos}
+	case token.BREAK:
+		p.advance()
+		p.expect(token.SEMI)
+		return &ast.Break{TokPos: pos}
+	case token.CONTINUE:
+		p.advance()
+		p.expect(token.SEMI)
+		return &ast.Continue{TokPos: pos}
+	case token.SWITCH:
+		return p.parseSwitch()
+	case token.GOTO:
+		p.errorf("goto is not supported by the subset")
+		p.advance()
+		if p.at(token.IDENT) {
+			p.advance()
+		}
+		p.expect(token.SEMI)
+		return &ast.Empty{TokPos: pos}
+	}
+	e := p.parseExpr()
+	p.expect(token.SEMI)
+	return &ast.ExprStmt{X: e, TokPos: pos}
+}
+
+func (p *Parser) parseSwitch() ast.Stmt {
+	pos := p.expect(token.SWITCH).Pos
+	p.expect(token.LPAREN)
+	tag := p.parseExpr()
+	p.expect(token.RPAREN)
+	p.expect(token.LBRACE)
+	sw := &ast.Switch{Tag: tag, TokPos: pos}
+	var cur *ast.Case
+	for !p.at(token.RBRACE) && !p.at(token.EOF) {
+		switch p.cur().Kind {
+		case token.CASE:
+			cpos := p.advance().Pos
+			v := p.parseAssignExpr()
+			p.expect(token.COLON)
+			if cur != nil && len(cur.Body) == 0 {
+				// "case 1: case 2:" — merge labels.
+				cur.Values = append(cur.Values, v)
+			} else {
+				cur = &ast.Case{Values: []ast.Expr{v}, TokPos: cpos}
+				sw.Cases = append(sw.Cases, cur)
+			}
+		case token.DEFAULT:
+			cpos := p.advance().Pos
+			p.expect(token.COLON)
+			cur = &ast.Case{TokPos: cpos}
+			sw.Cases = append(sw.Cases, cur)
+		default:
+			if cur == nil {
+				p.errorf("statement before first case label")
+				cur = &ast.Case{TokPos: p.cur().Pos}
+				sw.Cases = append(sw.Cases, cur)
+			}
+			cur.Body = append(cur.Body, p.parseStmts()...)
+		}
+	}
+	p.expect(token.RBRACE)
+	return sw
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// parseExpr parses a full expression including the comma operator.
+func (p *Parser) parseExpr() ast.Expr {
+	e := p.parseAssignExpr()
+	for p.at(token.COMMA) {
+		pos := p.advance().Pos
+		y := p.parseAssignExpr()
+		e = &ast.Comma{X: e, Y: y, TokPos: pos}
+	}
+	return e
+}
+
+// parseAssignExpr parses an assignment-expression (no top-level comma).
+func (p *Parser) parseAssignExpr() ast.Expr {
+	lhs := p.parseCondExpr()
+	if p.cur().Kind.IsAssign() {
+		op := p.advance()
+		rhs := p.parseAssignExpr()
+		return &ast.Assign{Op: op.Kind, LHS: lhs, RHS: rhs, TokPos: op.Pos}
+	}
+	return lhs
+}
+
+func (p *Parser) parseCondExpr() ast.Expr {
+	cond := p.parseBinaryExpr(1)
+	if p.at(token.QUESTION) {
+		pos := p.advance().Pos
+		then := p.parseExpr()
+		p.expect(token.COLON)
+		els := p.parseAssignExpr()
+		return &ast.Cond{Cond: cond, Then: then, Else: els, TokPos: pos}
+	}
+	return cond
+}
+
+// binaryPrec returns the precedence of a binary operator, or 0.
+func binaryPrec(k token.Kind) int {
+	switch k {
+	case token.LOR:
+		return 1
+	case token.LAND:
+		return 2
+	case token.OR:
+		return 3
+	case token.XOR:
+		return 4
+	case token.AND:
+		return 5
+	case token.EQL, token.NEQ:
+		return 6
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+		return 7
+	case token.SHL, token.SHR:
+		return 8
+	case token.ADD, token.SUB:
+		return 9
+	case token.MUL, token.QUO, token.REM:
+		return 10
+	}
+	return 0
+}
+
+func (p *Parser) parseBinaryExpr(minPrec int) ast.Expr {
+	x := p.parseUnaryExpr()
+	for {
+		prec := binaryPrec(p.cur().Kind)
+		if prec < minPrec || prec == 0 {
+			return x
+		}
+		op := p.advance()
+		y := p.parseBinaryExpr(prec + 1)
+		x = &ast.Binary{Op: op.Kind, X: x, Y: y, TokPos: op.Pos}
+	}
+}
+
+func (p *Parser) parseUnaryExpr() ast.Expr {
+	pos := p.cur().Pos
+	switch p.cur().Kind {
+	case token.ADD:
+		p.advance()
+		return p.parseUnaryExpr() // unary + is a no-op
+	case token.SUB, token.LNOT, token.NOT, token.MUL, token.AND:
+		op := p.advance()
+		x := p.parseUnaryExpr()
+		return &ast.Unary{Op: op.Kind, X: x, TokPos: op.Pos}
+	case token.INC, token.DEC:
+		op := p.advance()
+		x := p.parseUnaryExpr()
+		return &ast.Unary{Op: op.Kind, X: x, TokPos: op.Pos}
+	case token.SIZEOF:
+		p.advance()
+		if p.at(token.LPAREN) && p.isTypeName(p.peek(1)) {
+			p.advance()
+			t := p.parseAbstractType()
+			p.expect(token.RPAREN)
+			return &ast.SizeofExpr{Type: t, TokPos: pos}
+		}
+		x := p.parseUnaryExpr()
+		return &ast.SizeofExpr{X: x, TokPos: pos}
+	case token.LPAREN:
+		if p.isTypeName(p.peek(1)) {
+			// Cast expression.
+			p.advance()
+			t := p.parseAbstractType()
+			p.expect(token.RPAREN)
+			x := p.parseUnaryExpr()
+			return &ast.Cast{Type: t, X: x, TokPos: pos}
+		}
+	}
+	return p.parsePostfixExpr()
+}
+
+// parseAbstractType parses a type name (specifier + abstract declarator),
+// as used in casts and sizeof.
+func (p *Parser) parseAbstractType() ast.TypeExpr {
+	base := p.parseTypeSpecifier()
+	if base == nil {
+		p.errorf("expected type, found %s", p.cur())
+		return &ast.BaseType{Name: "int", TokPos: p.cur().Pos}
+	}
+	name, typ := p.parseDeclarator(base)
+	if name != "" {
+		p.errorf("unexpected name %q in type", name)
+	}
+	return typ
+}
+
+func (p *Parser) parsePostfixExpr() ast.Expr {
+	x := p.parsePrimaryExpr()
+	for {
+		pos := p.cur().Pos
+		switch p.cur().Kind {
+		case token.LPAREN:
+			p.advance()
+			var args []ast.Expr
+			for !p.at(token.RPAREN) && !p.at(token.EOF) {
+				args = append(args, p.parseAssignExpr())
+				if !p.accept(token.COMMA) {
+					break
+				}
+			}
+			p.expect(token.RPAREN)
+			x = &ast.Call{Fun: x, Args: args, TokPos: pos}
+		case token.LBRACK:
+			p.advance()
+			idx := p.parseExpr()
+			p.expect(token.RBRACK)
+			x = &ast.Index{X: x, Idx: idx, TokPos: pos}
+		case token.PERIOD:
+			p.advance()
+			name := p.expect(token.IDENT).Lit
+			x = &ast.Member{X: x, Name: name, TokPos: pos}
+		case token.ARROW:
+			p.advance()
+			name := p.expect(token.IDENT).Lit
+			x = &ast.Member{X: x, Name: name, Arrow: true, TokPos: pos}
+		case token.INC, token.DEC:
+			op := p.advance()
+			x = &ast.Postfix{Op: op.Kind, X: x, TokPos: op.Pos}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *Parser) parsePrimaryExpr() ast.Expr {
+	t := p.cur()
+	switch t.Kind {
+	case token.IDENT:
+		p.advance()
+		return &ast.Ident{Name: t.Lit, TokPos: t.Pos}
+	case token.INT:
+		p.advance()
+		v, err := strconv.ParseInt(t.Lit, 0, 64)
+		if err != nil {
+			// Out-of-range literals saturate; the analysis never needs values.
+			v = 0
+		}
+		return &ast.IntLit{Value: v, TokPos: t.Pos}
+	case token.FLOAT:
+		p.advance()
+		v, _ := strconv.ParseFloat(t.Lit, 64)
+		return &ast.FloatLit{Value: v, TokPos: t.Pos}
+	case token.CHAR:
+		p.advance()
+		var b byte
+		if len(t.Lit) > 0 {
+			b = t.Lit[0]
+		}
+		return &ast.CharLit{Value: b, TokPos: t.Pos}
+	case token.STRING:
+		p.advance()
+		// Adjacent string literals concatenate.
+		lit := t.Lit
+		for p.at(token.STRING) {
+			lit += p.advance().Lit
+		}
+		return &ast.StringLit{Value: lit, TokPos: t.Pos}
+	case token.LPAREN:
+		p.advance()
+		e := p.parseExpr()
+		p.expect(token.RPAREN)
+		return e
+	}
+	p.errorf("expected expression, found %s", t)
+	p.advance()
+	return &ast.IntLit{Value: 0, TokPos: t.Pos}
+}

@@ -1,0 +1,306 @@
+package parser
+
+import (
+	"testing"
+
+	"aliaslab/internal/ast"
+	"aliaslab/internal/token"
+)
+
+// parseOK parses src and fails the test on any diagnostic.
+func parseOK(t *testing.T, src string) *ast.File {
+	t.Helper()
+	f, errs := ParseFile("t.c", src)
+	if len(errs) > 0 {
+		t.Fatalf("parse errors: %v", errs)
+	}
+	return f
+}
+
+func TestSimpleFunction(t *testing.T) {
+	f := parseOK(t, `
+int add(int a, int b) {
+	return a + b;
+}
+`)
+	if len(f.Decls) != 1 {
+		t.Fatalf("got %d decls", len(f.Decls))
+	}
+	fd, ok := f.Decls[0].(*ast.FuncDecl)
+	if !ok {
+		t.Fatalf("decl is %T", f.Decls[0])
+	}
+	if fd.Name != "add" || len(fd.Type.Params) != 2 || fd.Body == nil {
+		t.Fatalf("bad function: %+v", fd)
+	}
+}
+
+// typeString renders a type expression for compact assertions.
+func typeString(te ast.TypeExpr) string {
+	switch te := te.(type) {
+	case *ast.BaseType:
+		return te.Name
+	case *ast.NamedType:
+		return te.Name
+	case *ast.PointerType:
+		return "ptr(" + typeString(te.Elem) + ")"
+	case *ast.ArrayType:
+		return "arr(" + typeString(te.Elem) + ")"
+	case *ast.StructType:
+		kw := "struct"
+		if te.Union {
+			kw = "union"
+		}
+		return kw + " " + te.Tag
+	case *ast.FuncType:
+		s := "func("
+		for i, p := range te.Params {
+			if i > 0 {
+				s += ","
+			}
+			s += typeString(p.Type)
+		}
+		return s + ")->" + typeString(te.Result)
+	}
+	return "?"
+}
+
+func TestDeclarators(t *testing.T) {
+	cases := []struct {
+		src  string
+		name string
+		want string
+	}{
+		{"int x;", "x", "int"},
+		{"int *p;", "p", "ptr(int)"},
+		{"int **pp;", "pp", "ptr(ptr(int))"},
+		{"int a[10];", "a", "arr(int)"},
+		{"int *a[10];", "a", "arr(ptr(int))"},
+		{"int (*pa)[10];", "pa", "ptr(arr(int))"},
+		{"int m[3][4];", "m", "arr(arr(int))"},
+		{"char *s;", "s", "ptr(char)"},
+		{"struct node *head;", "head", "ptr(struct node)"},
+		{"int (*f)(int, char *);", "f", "ptr(func(int,ptr(char))->int)"},
+		{"void (*table[4])(int);", "table", "arr(ptr(func(int)->void))"},
+		{"int (*(*g)(int))(char);", "g", "ptr(func(int)->ptr(func(char)->int))"},
+		{"unsigned long count;", "count", "long"},
+		{"double d;", "d", "double"},
+	}
+	for _, c := range cases {
+		f := parseOK(t, c.src)
+		vd, ok := f.Decls[0].(*ast.VarDecl)
+		if !ok {
+			t.Errorf("%q: decl is %T", c.src, f.Decls[0])
+			continue
+		}
+		if vd.Name != c.name {
+			t.Errorf("%q: name %q, want %q", c.src, vd.Name, c.name)
+		}
+		if got := typeString(vd.Type); got != c.want {
+			t.Errorf("%q: type %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+// TestFunctionReturningPointer covers the declarator-composition bug
+// class: "T *f(args)" must be a function returning T*, not a pointer to
+// a function.
+func TestFunctionReturningPointer(t *testing.T) {
+	f := parseOK(t, "struct elem *pop(struct elem **list);")
+	fd, ok := f.Decls[0].(*ast.FuncDecl)
+	if !ok {
+		t.Fatalf("decl is %T, want FuncDecl", f.Decls[0])
+	}
+	if got := typeString(fd.Type); got != "func(ptr(ptr(struct elem)))->ptr(struct elem)" {
+		t.Fatalf("type %s", got)
+	}
+}
+
+func TestMultiDeclarator(t *testing.T) {
+	f := parseOK(t, "int a, *b, c[4];")
+	if len(f.Decls) != 3 {
+		t.Fatalf("got %d decls", len(f.Decls))
+	}
+	wants := []string{"int", "ptr(int)", "arr(int)"}
+	for i, w := range wants {
+		vd := f.Decls[i].(*ast.VarDecl)
+		if got := typeString(vd.Type); got != w {
+			t.Errorf("decl %d: %s, want %s", i, got, w)
+		}
+	}
+}
+
+func TestTypedef(t *testing.T) {
+	f := parseOK(t, `
+typedef struct point { int x; int y; } Point;
+Point origin;
+Point *cursor;
+`)
+	if len(f.Decls) != 3 {
+		t.Fatalf("got %d decls", len(f.Decls))
+	}
+	if _, ok := f.Decls[0].(*ast.TypedefDecl); !ok {
+		t.Fatalf("first decl is %T", f.Decls[0])
+	}
+	vd := f.Decls[2].(*ast.VarDecl)
+	if got := typeString(vd.Type); got != "ptr(Point)" {
+		t.Fatalf("cursor type %s", got)
+	}
+}
+
+func TestEnumAndArrayLength(t *testing.T) {
+	f := parseOK(t, `
+enum { N = 8, M = N * 2 };
+int table[M];
+`)
+	vd := f.Decls[1].(*ast.VarDecl)
+	at := vd.Type.(*ast.ArrayType)
+	if at.Len != 16 {
+		t.Fatalf("array length %d, want 16", at.Len)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	f := parseOK(t, "int x = 1 + 2 * 3 - (4 & 5) == 6 || 7 && 8;")
+	vd := f.Decls[0].(*ast.VarDecl)
+	// Top node must be ||.
+	bin, ok := vd.Init.(*ast.Binary)
+	if !ok || bin.Op != token.LOR {
+		t.Fatalf("top operator: %+v", vd.Init)
+	}
+	// 1 + 2*3: the multiplication nests under the addition.
+	left := bin.X.(*ast.Binary) // ==
+	if left.Op != token.EQL {
+		t.Fatalf("left of || is %v", left.Op)
+	}
+}
+
+func TestStatements(t *testing.T) {
+	f := parseOK(t, `
+int g;
+void f(int n) {
+	int i;
+	for (i = 0; i < n; i++) {
+		if (i % 2 == 0) continue;
+		g += i;
+	}
+	while (n > 0) { n--; }
+	do { n++; } while (n < 5);
+	switch (n) {
+	case 1:
+	case 2:
+		g = 1;
+		break;
+	default:
+		g = 2;
+	}
+	return;
+}
+`)
+	fd := f.Decls[1].(*ast.FuncDecl)
+	if fd.Body == nil || len(fd.Body.Stmts) != 6 {
+		t.Fatalf("body has %d stmts", len(fd.Body.Stmts))
+	}
+	sw, ok := fd.Body.Stmts[4].(*ast.Switch)
+	if !ok {
+		t.Fatalf("stmt 4 is %T", fd.Body.Stmts[4])
+	}
+	if len(sw.Cases) != 2 {
+		t.Fatalf("switch has %d cases", len(sw.Cases))
+	}
+	if len(sw.Cases[0].Values) != 2 {
+		t.Fatalf("merged case has %d labels", len(sw.Cases[0].Values))
+	}
+	if len(sw.Cases[1].Values) != 0 {
+		t.Fatal("default case must have no labels")
+	}
+}
+
+func TestExpressions(t *testing.T) {
+	parseOK(t, `
+struct s { int v; struct s *next; };
+int f(struct s *p, int a[], char *str) {
+	int x;
+	x = p->next->v + a[a[0]] - *str;
+	x += sizeof(struct s) + sizeof x;
+	x = a[1] ? -x : ~x;
+	x = (int) 'c' + str[2];
+	p = (struct s *) 0;
+	x++, --x;
+	return !x;
+}
+`)
+}
+
+func TestCastVersusParen(t *testing.T) {
+	f := parseOK(t, `
+typedef int T;
+int g(int x) {
+	int y;
+	y = (T) x;     // cast
+	y = (x) + 1;   // parenthesized expression
+	return y;
+}
+`)
+	fd := f.Decls[1].(*ast.FuncDecl)
+	s1 := fd.Body.Stmts[1].(*ast.ExprStmt).X.(*ast.Assign)
+	if _, ok := s1.RHS.(*ast.Cast); !ok {
+		t.Fatalf("first RHS is %T, want Cast", s1.RHS)
+	}
+	s2 := fd.Body.Stmts[2].(*ast.ExprStmt).X.(*ast.Assign)
+	if _, ok := s2.RHS.(*ast.Binary); !ok {
+		t.Fatalf("second RHS is %T, want Binary", s2.RHS)
+	}
+}
+
+func TestStringConcatenation(t *testing.T) {
+	f := parseOK(t, `char *s = "ab" "cd";`)
+	vd := f.Decls[0].(*ast.VarDecl)
+	sl, ok := vd.Init.(*ast.StringLit)
+	if !ok || sl.Value != "abcd" {
+		t.Fatalf("init: %+v", vd.Init)
+	}
+}
+
+func TestInitializerLists(t *testing.T) {
+	f := parseOK(t, `
+int a[4] = {1, 2, 3, 4};
+int m[2][2] = {{1, 2}, {3, 4}};
+int unsized[] = {5, 6, 7};
+`)
+	if n := len(f.Decls[0].(*ast.VarDecl).InitList); n != 4 {
+		t.Errorf("a has %d initializers", n)
+	}
+	if n := len(f.Decls[1].(*ast.VarDecl).InitList); n != 4 {
+		t.Errorf("m has %d (flattened) initializers", n)
+	}
+	u := f.Decls[2].(*ast.VarDecl)
+	if u.Type.(*ast.ArrayType).Len != -1 {
+		t.Errorf("unsized array parsed with length %d", u.Type.(*ast.ArrayType).Len)
+	}
+}
+
+func TestErrorRecoveryProducesDiagnostics(t *testing.T) {
+	_, errs := ParseFile("t.c", `
+int f( {
+	return 1;
+}
+int ok(void) { return 2; }
+`)
+	if len(errs) == 0 {
+		t.Fatal("expected syntax errors")
+	}
+}
+
+func TestGotoRejected(t *testing.T) {
+	_, errs := ParseFile("t.c", `
+void f(void) {
+	goto out;
+out:
+	return;
+}
+`)
+	if len(errs) == 0 {
+		t.Fatal("goto must be rejected by the subset")
+	}
+}

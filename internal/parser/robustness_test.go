@@ -1,0 +1,96 @@
+package parser_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"aliaslab/internal/corpus"
+	"aliaslab/internal/parser"
+	"aliaslab/internal/sema"
+)
+
+// TestQuickNoPanicOnRandomInput: the front end must never panic, no
+// matter what bytes arrive — it reports diagnostics instead.
+func TestQuickNoPanicOnRandomInput(t *testing.T) {
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on input %q: %v", data, r)
+				ok = false
+			}
+		}()
+		file, _ := parser.ParseFile("fuzz.c", string(data))
+		// Whatever parsed, the checker must also survive it.
+		sema.Check(file)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickNoPanicOnCLikeTokenSoup: random sequences of plausible C
+// tokens hit far deeper parser paths than raw bytes.
+func TestQuickNoPanicOnCLikeTokenSoup(t *testing.T) {
+	tokens := []string{
+		"int", "char", "void", "struct", "union", "enum", "typedef",
+		"static", "if", "else", "while", "for", "do", "switch", "case",
+		"default", "return", "break", "continue", "sizeof",
+		"x", "y", "foo", "main", "0", "1", "42", "'c'", `"s"`,
+		"(", ")", "{", "}", "[", "]", ";", ",", "*", "&", "->", ".",
+		"=", "==", "+", "-", "/", "%", "<", ">", "?", ":", "!", "...",
+	}
+	f := func(seed int64, n uint8) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		r := rand.New(rand.NewSource(seed))
+		var sb strings.Builder
+		for i := 0; i < int(n); i++ {
+			sb.WriteString(tokens[r.Intn(len(tokens))])
+			sb.WriteString(" ")
+		}
+		file, _ := parser.ParseFile("soup.c", sb.String())
+		sema.Check(file)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickNoPanicOnMutatedCorpus: corpus programs with random bytes
+// flipped, inserted, or deleted must still be handled gracefully — this
+// walks realistic near-miss inputs.
+func TestQuickNoPanicOnMutatedCorpus(t *testing.T) {
+	programs := corpus.All()
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		rnd := rand.New(rand.NewSource(seed))
+		src := []byte(programs[rnd.Intn(len(programs))].Source)
+		for k := 0; k < 8; k++ {
+			switch pos := rnd.Intn(len(src)); rnd.Intn(3) {
+			case 0: // flip
+				src[pos] = byte(rnd.Intn(128))
+			case 1: // delete
+				src = append(src[:pos], src[pos+1:]...)
+			case 2: // insert
+				src = append(src[:pos], append([]byte{byte(33 + rnd.Intn(90))}, src[pos:]...)...)
+			}
+		}
+		file, _ := parser.ParseFile("mut.c", string(src))
+		sema.Check(file)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,48 @@
+package parser_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"aliaslab/internal/parser"
+	"aliaslab/internal/sema"
+	"aliaslab/internal/vdg"
+)
+
+// TestStressSoup hammers the whole front end (parse, check, build) with
+// random token soup: none of it may panic, and anything that survives
+// diagnostics must build a VDG.
+func TestStressSoup(t *testing.T) {
+	tokens := []string{
+		"int", "char", "void", "struct", "union", "enum", "typedef",
+		"static", "if", "else", "while", "for", "do", "switch", "case",
+		"default", "return", "break", "continue", "sizeof", "unsigned", "long",
+		"x", "y", "foo", "main", "0", "1", "42", "'c'", `"s"`, "1.5",
+		"(", ")", "{", "}", "[", "]", ";", ",", "*", "&", "->", ".",
+		"=", "==", "+", "-", "/", "%", "<", ">", "?", ":", "!", "...",
+		"+=", "++", "--", "&&", "||", "<<", ">>",
+	}
+	r := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 5000; iter++ {
+		var sb strings.Builder
+		n := 1 + r.Intn(120)
+		for i := 0; i < n; i++ {
+			sb.WriteString(tokens[r.Intn(len(tokens))])
+			sb.WriteString(" ")
+		}
+		src := sb.String()
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("iter %d panic: %v\ninput: %s", iter, rec, src)
+				}
+			}()
+			file, perrs := parser.ParseFile("soup.c", src)
+			prog, serrs := sema.Check(file)
+			if len(perrs) == 0 && len(serrs) == 0 {
+				vdg.Build(prog, vdg.Options{})
+			}
+		}()
+	}
+}

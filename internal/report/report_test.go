@@ -1,0 +1,111 @@
+package report_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aliaslab/internal/report"
+	"aliaslab/internal/stats"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	report.Table(&buf, "Title", []string{"name", "count"}, [][]string{
+		{"alpha", "1"},
+		{"beta-longer", "23456"},
+	})
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "Title" {
+		t.Errorf("title line %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Errorf("header %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "alpha") || !strings.HasSuffix(lines[3], "1") {
+		t.Errorf("row %q: numbers must be right-aligned", lines[3])
+	}
+	// Both data rows end at the same column.
+	if len(lines[3]) != len(lines[4]) {
+		t.Errorf("misaligned rows:\n%q\n%q", lines[3], lines[4])
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if report.Itoa(42) != "42" || report.F2(1.234) != "1.23" || report.Pct(99.95) != "99.9" && report.Pct(99.95) != "100.0" {
+		t.Error("formatters broken")
+	}
+}
+
+func TestFigure2Rendering(t *testing.T) {
+	var buf bytes.Buffer
+	report.Figure2(&buf, []stats.SizeStats{
+		{Name: "p1", Lines: 10, Nodes: 20, AliasOutputs: 15},
+	})
+	out := buf.String()
+	for _, want := range []string{"Figure 2", "p1", "10", "20", "15"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure3TotalRow(t *testing.T) {
+	var buf bytes.Buffer
+	report.Figure3(&buf, []string{"a", "b"}, []stats.PairCensus{
+		{Pointer: 1, Store: 2, Total: 3},
+		{Pointer: 4, Function: 1, Store: 5, Total: 10},
+	})
+	out := buf.String()
+	if !strings.Contains(out, "TOTAL") {
+		t.Fatal("no TOTAL row")
+	}
+	if !strings.Contains(out, "13") { // 3 + 10
+		t.Errorf("TOTAL not summed:\n%s", out)
+	}
+}
+
+func TestFigure4Averages(t *testing.T) {
+	var buf bytes.Buffer
+	var h stats.IndirectOps
+	for i := 0; i < 3; i++ {
+		// three reads at one location each
+		h.Reads.Total++
+		h.Reads.N[0]++
+		h.Reads.SumRefs++
+	}
+	report.Figure4(&buf, []string{"x"}, []stats.IndirectOps{h})
+	if !strings.Contains(buf.String(), "1.00") {
+		t.Errorf("average missing:\n%s", buf.String())
+	}
+}
+
+func TestFigure6SpuriousPercent(t *testing.T) {
+	var buf bytes.Buffer
+	report.Figure6(&buf, []string{"x"}, []stats.PairCensus{{Total: 98}}, []int{100})
+	if !strings.Contains(buf.String(), "2.0") {
+		t.Errorf("spurious percent missing:\n%s", buf.String())
+	}
+	// Zero CI total must not divide by zero.
+	buf.Reset()
+	report.Figure6(&buf, []string{"x"}, []stats.PairCensus{{}}, []int{0})
+	if !strings.Contains(buf.String(), "0.0") {
+		t.Errorf("zero-division guard failed:\n%s", buf.String())
+	}
+}
+
+func TestFigure7Rendering(t *testing.T) {
+	var buf bytes.Buffer
+	m := stats.NewTypeMatrix()
+	report.Figure7(&buf, m, m)
+	out := buf.String()
+	for _, want := range []string{"Figure 7a", "Figure 7b", "offset", "heap", "function"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package token
+
+import "testing"
+
+func TestLookup(t *testing.T) {
+	cases := []struct {
+		ident string
+		want  Kind
+	}{
+		{"while", WHILE},
+		{"int", INT_KW},
+		{"struct", STRUCT},
+		{"sizeof", SIZEOF},
+		{"foo", IDENT},
+		{"While", IDENT}, // case-sensitive
+	}
+	for _, c := range cases {
+		if got := Lookup(c.ident); got != c.want {
+			t.Errorf("Lookup(%q) = %v, want %v", c.ident, got, c.want)
+		}
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	if !WHILE.IsKeyword() || ADD.IsKeyword() || IDENT.IsKeyword() {
+		t.Error("IsKeyword wrong")
+	}
+	if !INT.IsLiteral() || !IDENT.IsLiteral() || ADD.IsLiteral() {
+		t.Error("IsLiteral wrong")
+	}
+	if !ASSIGN.IsAssign() || !SHR_ASSIGN.IsAssign() || EQL.IsAssign() {
+		t.Error("IsAssign wrong")
+	}
+	if !STRUCT.IsTypeStart() || !UNSIGNED.IsTypeStart() || IDENT.IsTypeStart() || WHILE.IsTypeStart() {
+		t.Error("IsTypeStart wrong")
+	}
+}
+
+func TestCompoundOp(t *testing.T) {
+	pairs := map[Kind]Kind{
+		ADD_ASSIGN: ADD, SUB_ASSIGN: SUB, MUL_ASSIGN: MUL, QUO_ASSIGN: QUO,
+		REM_ASSIGN: REM, AND_ASSIGN: AND, OR_ASSIGN: OR, XOR_ASSIGN: XOR,
+		SHL_ASSIGN: SHL, SHR_ASSIGN: SHR,
+	}
+	for compound, base := range pairs {
+		if got := compound.CompoundOp(); got != base {
+			t.Errorf("%v.CompoundOp() = %v, want %v", compound, got, base)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CompoundOp on plain ASSIGN must panic")
+		}
+	}()
+	ASSIGN.CompoundOp()
+}
+
+func TestStringForms(t *testing.T) {
+	if ARROW.String() != "->" || ELLIPSIS.String() != "..." || WHILE.String() != "while" {
+		t.Error("operator/keyword spellings wrong")
+	}
+	tok := Token{Kind: IDENT, Lit: "x", Pos: Pos{File: "f.c", Line: 3, Col: 7}}
+	if tok.String() != `IDENT("x")` {
+		t.Errorf("token renders as %q", tok.String())
+	}
+	if tok.Pos.String() != "f.c:3:7" {
+		t.Errorf("pos renders as %q", tok.Pos.String())
+	}
+	if (Pos{Line: 2, Col: 1}).String() != "2:1" {
+		t.Error("file-less pos format wrong")
+	}
+	if !tok.Pos.IsValid() || (Pos{}).IsValid() {
+		t.Error("IsValid wrong")
+	}
+}

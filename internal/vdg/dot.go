@@ -1,0 +1,73 @@
+package vdg
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDot renders one function's VDG in Graphviz dot syntax: nodes are
+// boxes labeled with their kind (plus path/field/op payloads), dataflow
+// edges run producer → consumer, and store-typed edges are drawn dashed
+// so the threaded store is easy to follow.
+func WriteDot(w io.Writer, fg *FuncGraph) {
+	fmt.Fprintf(w, "digraph %q {\n", fg.Fn.Name)
+	fmt.Fprintf(w, "\trankdir=TB;\n\tnode [shape=box, fontsize=10];\n")
+	for _, n := range fg.Nodes {
+		fmt.Fprintf(w, "\tn%d [label=%q%s];\n", n.ID, dotLabel(n), dotStyle(n))
+	}
+	for _, n := range fg.Nodes {
+		for _, in := range n.Inputs {
+			src := in.Src
+			if src.Node.Fn != fg {
+				// Inter-function edges (none are built today, but stay
+				// robust if graphs ever share outputs).
+				continue
+			}
+			style := ""
+			if src.IsStore {
+				style = " [style=dashed]"
+			}
+			fmt.Fprintf(w, "\tn%d -> n%d%s;\n", src.Node.ID, n.ID, style)
+		}
+	}
+	fmt.Fprintf(w, "}\n")
+}
+
+// dotLabel names a node for display.
+func dotLabel(n *Node) string {
+	var sb strings.Builder
+	sb.WriteString(n.Kind.String())
+	switch n.Kind {
+	case KAddr, KAlloc:
+		fmt.Fprintf(&sb, " %s", n.Path)
+	case KFieldAddr, KExtract:
+		fmt.Fprintf(&sb, " .%s", n.Field)
+	case KPrimop:
+		fmt.Fprintf(&sb, " %s", n.Op)
+	case KParam:
+		if n.Obj != nil {
+			fmt.Fprintf(&sb, " %s", n.Obj.Name)
+		}
+	}
+	if n.Indirect {
+		sb.WriteString(" (indirect)")
+	}
+	if n.Pos.IsValid() {
+		fmt.Fprintf(&sb, "\n%d:%d", n.Pos.Line, n.Pos.Col)
+	}
+	return sb.String()
+}
+
+// dotStyle highlights the memory operations the analyses care about.
+func dotStyle(n *Node) string {
+	switch n.Kind {
+	case KLookup:
+		return ", color=blue"
+	case KUpdate:
+		return ", color=red"
+	case KCall, KReturn:
+		return ", peripheries=2"
+	}
+	return ""
+}

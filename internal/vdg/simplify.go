@@ -1,0 +1,158 @@
+package vdg
+
+// SimplifyGammas collapses trivial gamma nodes: a gamma whose inputs
+// (ignoring self-references through loop back edges) all come from one
+// source is replaced by that source. Loop construction creates such
+// gammas for every variable live at a loop header; collapsing the ones
+// whose variable is loop-invariant restores the sparse representation
+// the paper's compiler produces.
+func SimplifyGammas(g *Graph) {
+	for {
+		changed := false
+		for _, fg := range g.Funcs {
+			for _, n := range fg.Nodes {
+				if n.Kind != KGamma || len(n.Outputs) == 0 {
+					continue
+				}
+				out := n.Outputs[0]
+				if len(out.Consumers) == 0 {
+					continue // dead gammas are handled by RemoveDeadNodes
+				}
+				var src *Output
+				trivial := true
+				for _, in := range n.Inputs {
+					if in.Src == out {
+						continue // self loop through the back edge
+					}
+					if src == nil {
+						src = in.Src
+					} else if src != in.Src {
+						trivial = false
+						break
+					}
+				}
+				if !trivial || src == nil || src == out {
+					continue
+				}
+				// Rewire every consumer of the gamma to the single source.
+				consumers := append([]*Input(nil), out.Consumers...)
+				for _, c := range consumers {
+					Rewire(c, src)
+				}
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// isPure reports whether a node has no effect beyond its outputs and may
+// be removed when nothing consumes them.
+func isPure(n *Node) bool {
+	return !n.Effectful && isPureKind(n.Kind)
+}
+
+// isPureKind reports node kinds with no effect beyond their outputs;
+// such nodes may be removed when nothing consumes them.
+func isPureKind(k NodeKind) bool {
+	switch k {
+	case KConst, KAddr, KFieldAddr, KIndexAddr, KLookup, KPrimop,
+		KExtract, KGamma, KUnknown, KAlloc, KUpdate:
+		return true
+	}
+	return false
+}
+
+// RemoveDeadNodes deletes pure nodes none of whose outputs are consumed,
+// iterating to a fixpoint (removing a node can strand its producers).
+// Formals, calls, and return sinks are always kept.
+func RemoveDeadNodes(g *Graph) {
+	dead := make(map[*Node]bool)
+	// Worklist over candidate nodes.
+	var work []*Node
+	for _, fg := range g.Funcs {
+		for _, n := range fg.Nodes {
+			if isPure(n) {
+				work = append(work, n)
+			}
+		}
+	}
+	liveConsumers := func(o *Output) int {
+		c := 0
+		for _, in := range o.Consumers {
+			if !dead[in.Node] {
+				c++
+			}
+		}
+		return c
+	}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		if dead[n] || !isPure(n) {
+			continue
+		}
+		used := false
+		for _, o := range n.Outputs {
+			if liveConsumers(o) > 0 {
+				used = true
+				break
+			}
+		}
+		if used {
+			continue
+		}
+		dead[n] = true
+		// Producers of this node may now be dead too.
+		for _, in := range n.Inputs {
+			if isPure(in.Src.Node) && !dead[in.Src.Node] {
+				work = append(work, in.Src.Node)
+			}
+		}
+	}
+	if len(dead) == 0 {
+		return
+	}
+	for _, fg := range g.Funcs {
+		kept := fg.Nodes[:0]
+		for _, n := range fg.Nodes {
+			if !dead[n] {
+				kept = append(kept, n)
+			}
+		}
+		fg.Nodes = kept
+	}
+	// Scrub consumer lists of references from dead nodes.
+	g.Outputs(func(o *Output) {
+		kept := o.Consumers[:0]
+		for _, in := range o.Consumers {
+			if !dead[in.Node] {
+				kept = append(kept, in)
+			}
+		}
+		o.Consumers = kept
+	})
+}
+
+// ClassifyIndirect marks lookup/update nodes whose location input is not
+// a constant-address chain. A location that reaches a KAddr through only
+// field/index address arithmetic is statically known storage (direct);
+// anything else — a loaded pointer, a parameter, a call result, a merge —
+// makes the memory operation indirect. These flags drive the paper's
+// Figure 4 statistics.
+func ClassifyIndirect(g *Graph) {
+	for _, fg := range g.Funcs {
+		for _, n := range fg.Nodes {
+			if n.Kind != KLookup && n.Kind != KUpdate {
+				continue
+			}
+			root := n.Loc().Node
+			for root.Kind == KFieldAddr || root.Kind == KIndexAddr {
+				root = root.Inputs[0].Src.Node
+			}
+			n.Indirect = root.Kind != KAddr
+		}
+	}
+}
