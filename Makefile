@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test vet fmt-check bench golden
+
+all: build test vet fmt-check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the checked-in golden files (checker corpus output and the
+# modref CLI snapshot).
+golden:
+	$(GO) test ./internal/checkers -run Golden -update
+	$(GO) test ./cmd/aliaslab -run ModRef -update

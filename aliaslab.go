@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"aliaslab/internal/baseline"
+	"aliaslab/internal/checkers"
 	"aliaslab/internal/core"
 	"aliaslab/internal/corpus"
 	"aliaslab/internal/driver"
@@ -261,6 +262,72 @@ func (r *Result) CallGraph() (map[string][]string, error) {
 	}
 	for k := range out {
 		sort.Strings(out[k])
+	}
+	return out, nil
+}
+
+// Diagnostic is one finding of the pointer-bug checker suite.
+type Diagnostic struct {
+	Pos      string // file:line:col
+	Severity string // "warning" or "error"
+	Checker  string // checker ID, e.g. "uaf"
+	Message  string
+	Related  []RelatedPos
+}
+
+// RelatedPos is a secondary position attached to a Diagnostic (e.g.
+// the free site of a use-after-free).
+type RelatedPos struct {
+	Pos     string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s [%s]", d.Pos, d.Severity, d.Message, d.Checker)
+}
+
+// Checkers returns the IDs of the available pointer-bug checkers, with
+// a one-line description each, in canonical order.
+func Checkers() map[string]string {
+	out := make(map[string]string, len(checkers.All))
+	for _, c := range checkers.All {
+		out[c.ID] = c.Doc
+	}
+	return out
+}
+
+// Vet runs the pointer-bug checker suite: the program is rebuilt with
+// diagnostics instrumentation (marker locations for null/uninitialized
+// pointers, explicit deallocation events), analyzed context-
+// insensitively, and the selected checkers interpret the points-to
+// solution. With no arguments every checker runs. Diagnostics come
+// back in a deterministic order: by position, then checker, then
+// message.
+func (p *Program) Vet(checkerIDs ...string) ([]Diagnostic, error) {
+	sel, err := checkers.Select(checkerIDs)
+	if err != nil {
+		return nil, err
+	}
+	opts := p.unit.Opts
+	opts.Diagnostics = true
+	u, err := driver.LoadString(p.unit.Name, p.unit.Source, opts)
+	if err != nil {
+		return nil, fmt.Errorf("aliaslab: rebuilding for vet: %w", err)
+	}
+	res := core.AnalyzeInsensitive(u.Graph)
+	diags := checkers.Run(checkers.NewContext(u.Graph, res), sel)
+	out := make([]Diagnostic, 0, len(diags))
+	for _, d := range diags {
+		pub := Diagnostic{
+			Pos:      d.Pos.String(),
+			Severity: d.Severity.String(),
+			Checker:  d.Checker,
+			Message:  d.Message,
+		}
+		for _, r := range d.Related {
+			pub.Related = append(pub.Related, RelatedPos{Pos: r.Pos.String(), Message: r.Message})
+		}
+		out = append(out, pub)
 	}
 	return out, nil
 }

@@ -201,3 +201,64 @@ func TestFacadeParseErrors(t *testing.T) {
 		t.Fatal("semantic errors must be reported")
 	}
 }
+
+func TestFacadeVet(t *testing.T) {
+	prog, err := aliaslab.ParseProgram("vetme.c", `
+int main(void) {
+	int *p;
+	p = (int *) malloc(4);
+	free(p);
+	*p = 1;
+	return 0;
+}
+`, aliaslab.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := prog.Vet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, d := range diags {
+		if d.Checker == "uaf" && strings.Contains(d.Message, "after free") {
+			found = true
+			if d.Severity != "error" || len(d.Related) == 0 || !strings.Contains(d.Pos, "vetme.c:") {
+				t.Errorf("malformed diagnostic: %+v", d)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("use-after-free not reported: %v", diags)
+	}
+
+	// Selecting a checker that cannot fire here yields no diagnostics.
+	none, err := prog.Vet("dangling")
+	if err != nil || len(none) != 0 {
+		t.Fatalf("dangling on heap-only program: %v, err %v", none, err)
+	}
+	if _, err := prog.Vet("nosuch"); err == nil {
+		t.Fatal("unknown checker must error")
+	}
+
+	// The vet rebuild must not perturb the paper's analysis results on
+	// the original program.
+	res, err := prog.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range res.StoreAtExit() {
+		if strings.Contains(pt.Referent, "<null>") || strings.Contains(pt.Referent, "<uninit>") {
+			t.Fatalf("marker location leaked into plain analysis: %+v", pt)
+		}
+	}
+}
+
+func TestFacadeCheckers(t *testing.T) {
+	ids := aliaslab.Checkers()
+	for _, want := range []string{"uaf", "dangling", "nullderef", "uninit", "leak"} {
+		if _, ok := ids[want]; !ok {
+			t.Errorf("checker %q missing from Checkers()", want)
+		}
+	}
+}

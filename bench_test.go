@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"aliaslab/internal/baseline"
+	"aliaslab/internal/checkers"
 	"aliaslab/internal/core"
 	"aliaslab/internal/corpus"
 	"aliaslab/internal/driver"
@@ -342,4 +343,25 @@ func BenchmarkAblationBoundedAssumptions(b *testing.B) {
 	}
 	b.ReportMetric(100*float64(ciPairs-fullPairs)/float64(ciPairs), "pct-spurious-unbounded")
 	b.ReportMetric(100*float64(ciPairs-boundedPairs)/float64(ciPairs), "pct-spurious-k1")
+}
+
+// BenchmarkCheckers measures the pointer-bug checker suite over the
+// whole corpus (diagnostics-instrumented build + CI analysis held
+// constant; the timer covers only the checkers themselves) and reports
+// the total number of diagnostics as a shape regression check.
+func BenchmarkCheckers(b *testing.B) {
+	units := loadAll(b, vdg.Options{Diagnostics: true})
+	var ctxs []*checkers.Context
+	for _, u := range units {
+		ctxs = append(ctxs, checkers.NewContext(u.Graph, core.AnalyzeInsensitive(u.Graph)))
+	}
+	b.ResetTimer()
+	var total int
+	for i := 0; i < b.N; i++ {
+		total = 0
+		for _, ctx := range ctxs {
+			total += len(checkers.Run(ctx, checkers.All))
+		}
+	}
+	b.ReportMetric(float64(total), "diagnostics")
 }

@@ -5,18 +5,24 @@
 //
 //	aliaslab [flags] file.c
 //	aliaslab -corpus part            # analyze an embedded benchmark
+//	aliaslab -vet file.c             # run the pointer-bug checkers
 //
 // Flags select the analysis (-analysis ci|cs|baseline), what to print
-// (-print pointsto|indirect|modref|callgraph|sizes), and ablations.
+// (-print pointsto|indirect|modref|callgraph|sizes), ablations, and the
+// checker mode (-vet, filtered with -checkers and rendered per
+// -format).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"aliaslab/internal/baseline"
+	"aliaslab/internal/checkers"
 	"aliaslab/internal/core"
 	"aliaslab/internal/corpus"
 	"aliaslab/internal/driver"
@@ -27,31 +33,61 @@ import (
 )
 
 func main() {
-	analysis := flag.String("analysis", "ci", "analysis to run: ci, cs, or baseline")
-	print_ := flag.String("print", "indirect", "what to print: pointsto, indirect, modref, callgraph, sizes, dot")
-	fn := flag.String("fn", "main", "function to render with -print dot")
-	corpusName := flag.String("corpus", "", "analyze an embedded corpus program instead of a file")
-	noSSA := flag.Bool("nossa", false, "ablation: keep non-addressed scalars in the store")
-	singleHeap := flag.Bool("singleheap", false, "ablation: one heap base location for all allocation sites")
-	maxSteps := flag.Int("maxsteps", 50_000_000, "context-sensitive analysis step bound")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	opts := vdg.Options{NoSSA: *noSSA, SingleHeapBase: *singleHeap}
+// run is the whole CLI behind a testable seam: it parses args, executes
+// one command, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("aliaslab", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	analysis := fs.String("analysis", "ci", "analysis to run: ci, cs, or baseline")
+	print_ := fs.String("print", "indirect", "what to print: pointsto, indirect, modref, callgraph, sizes, dot")
+	fn := fs.String("fn", "main", "function to render with -print dot")
+	corpusName := fs.String("corpus", "", "analyze an embedded corpus program instead of a file")
+	noSSA := fs.Bool("nossa", false, "ablation: keep non-addressed scalars in the store")
+	singleHeap := fs.Bool("singleheap", false, "ablation: one heap base location for all allocation sites")
+	recursiveSingle := fs.Bool("recursivesingle", false, "ablation: single-instance locations for address-taken locals of recursive procedures")
+	maxSteps := fs.Int("maxsteps", 50_000_000, "context-sensitive analysis step bound")
+	vet := fs.Bool("vet", false, "run the pointer-bug checkers instead of printing analysis results")
+	checkersFlag := fs.String("checkers", "", "comma-separated checker IDs for -vet (default: all; see -vet -checkers help)")
+	format := fs.String("format", "text", "-vet output format: text or json")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *vet && *checkersFlag == "help" {
+		for _, c := range checkers.All {
+			fmt.Fprintf(stdout, "%-10s %s\n", c.ID, c.Doc)
+		}
+		return 0
+	}
+
+	opts := vdg.Options{
+		NoSSA:                 *noSSA,
+		SingleHeapBase:        *singleHeap,
+		RecursiveLocalsSingle: *recursiveSingle,
+		Diagnostics:           *vet,
+	}
 
 	var u *driver.Unit
 	var err error
 	switch {
 	case *corpusName != "":
 		u, err = corpus.Load(*corpusName, opts)
-	case flag.NArg() == 1:
-		u, err = driver.LoadFile(flag.Arg(0), opts)
+	case fs.NArg() == 1:
+		u, err = driver.LoadFile(fs.Arg(0), opts)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: aliaslab [flags] file.c  (or -corpus <name>)")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: aliaslab [flags] file.c  (or -corpus <name>)")
+		return 2
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "aliaslab:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "aliaslab:", err)
+		return 1
+	}
+
+	if *vet {
+		return runVet(u, *checkersFlag, *format, stdout, stderr)
 	}
 
 	// Run the selected analysis, always materializing a per-output pair
@@ -64,8 +100,8 @@ func main() {
 	case "cs":
 		cs := core.AnalyzeSensitive(u.Graph, core.SensitiveOptions{CI: ci, MaxSteps: *maxSteps})
 		if cs.Aborted {
-			fmt.Fprintln(os.Stderr, "aliaslab: context-sensitive analysis exceeded the step bound")
-			os.Exit(1)
+			fmt.Fprintln(stderr, "aliaslab: context-sensitive analysis exceeded the step bound")
+			return 1
 		}
 		sets = cs.Strip()
 		label = "context-sensitive"
@@ -73,40 +109,77 @@ func main() {
 		sets = baseline.Analyze(u.Graph).Sets()
 		label = "program-wide (Weihl baseline)"
 	default:
-		fmt.Fprintln(os.Stderr, "aliaslab: unknown analysis", *analysis)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "aliaslab: unknown analysis", *analysis)
+		return 2
 	}
 
-	w := os.Stdout
 	switch *print_ {
 	case "sizes":
 		s := stats.Sizes(u.Name, u.SourceLines, u.Graph)
-		fmt.Fprintf(w, "%s: %d lines, %d VDG nodes, %d alias-related outputs\n",
+		fmt.Fprintf(stdout, "%s: %d lines, %d VDG nodes, %d alias-related outputs\n",
 			s.Name, s.Lines, s.Nodes, s.AliasOutputs)
 	case "pointsto":
-		printPointsTo(w, u, sets, label)
+		printPointsTo(stdout, u, sets, label)
 	case "indirect":
-		printIndirect(w, u, sets, label)
+		printIndirect(stdout, u, sets, label)
 	case "modref":
-		printModRef(w, u, ci)
+		printModRef(stdout, u, ci)
 	case "callgraph":
-		printCallGraph(w, u, ci)
+		printCallGraph(stdout, u, ci)
 	case "dot":
 		fg := u.Graph.FuncOf[u.Prog.FuncMap[*fn]]
 		if fg == nil {
-			fmt.Fprintf(os.Stderr, "aliaslab: no function %q\n", *fn)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "aliaslab: no function %q\n", *fn)
+			return 1
 		}
-		vdg.WriteDot(w, fg)
+		vdg.WriteDot(stdout, fg)
 	default:
-		fmt.Fprintln(os.Stderr, "aliaslab: unknown -print mode", *print_)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "aliaslab: unknown -print mode", *print_)
+		return 2
 	}
+	return 0
+}
+
+// runVet executes the checker suite over an instrumented unit and
+// renders the diagnostics. Exit status 1 signals findings, 0 a clean
+// program (mirroring `go vet`).
+func runVet(u *driver.Unit, checkerIDs, format string, stdout, stderr io.Writer) int {
+	var ids []string
+	if checkerIDs != "" {
+		for _, id := range strings.Split(checkerIDs, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+	}
+	sel, err := checkers.Select(ids)
+	if err != nil {
+		fmt.Fprintln(stderr, "aliaslab:", err)
+		return 2
+	}
+	res := core.AnalyzeInsensitive(u.Graph)
+	diags := checkers.Run(checkers.NewContext(u.Graph, res), sel)
+	switch format {
+	case "text":
+		report.WriteDiags(stdout, diags)
+	case "json":
+		if err := report.WriteDiagsJSON(stdout, diags); err != nil {
+			fmt.Fprintln(stderr, "aliaslab:", err)
+			return 1
+		}
+	default:
+		fmt.Fprintln(stderr, "aliaslab: unknown -format", format)
+		return 2
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
 }
 
 // printPointsTo dumps the final store at main's return: the pairs a
 // human usually wants to see.
-func printPointsTo(w *os.File, u *driver.Unit, sets map[*vdg.Output]*core.PairSet, label string) {
+func printPointsTo(w io.Writer, u *driver.Unit, sets map[*vdg.Output]*core.PairSet, label string) {
 	fmt.Fprintf(w, "%s points-to pairs in the store at main's return:\n", label)
 	if u.Graph.Entry == nil || u.Graph.Entry.ReturnStore() == nil {
 		fmt.Fprintln(w, "  (no main return store)")
@@ -131,7 +204,7 @@ func printPointsTo(w *os.File, u *driver.Unit, sets map[*vdg.Output]*core.PairSe
 }
 
 // printIndirect lists every indirect memory operation with its referents.
-func printIndirect(w *os.File, u *driver.Unit, sets map[*vdg.Output]*core.PairSet, label string) {
+func printIndirect(w io.Writer, u *driver.Unit, sets map[*vdg.Output]*core.PairSet, label string) {
 	fmt.Fprintf(w, "%s referents of indirect memory operations:\n", label)
 	for _, fg := range u.Graph.Funcs {
 		for _, n := range fg.Nodes {
@@ -152,14 +225,14 @@ func printIndirect(w *os.File, u *driver.Unit, sets map[*vdg.Output]*core.PairSe
 			fmt.Fprintf(w, "  %-5s %-18s in %-12s -> %v\n", kind, n.Pos, fg.Fn.Name, refs)
 		}
 	}
-	io := stats.CountIndirect(u.Graph, sets)
+	ops := stats.CountIndirect(u.Graph, sets)
 	fmt.Fprintf(w, "reads: %d ops avg %.2f max %d; writes: %d ops avg %.2f max %d\n",
-		io.Reads.Total, io.Reads.Avg(), io.Reads.Max,
-		io.Writes.Total, io.Writes.Avg(), io.Writes.Max)
+		ops.Reads.Total, ops.Reads.Avg(), ops.Reads.Max,
+		ops.Writes.Total, ops.Writes.Avg(), ops.Writes.Max)
 }
 
 // printModRef renders the transitive mod/ref sets per function.
-func printModRef(w *os.File, u *driver.Unit, ci *core.Result) {
+func printModRef(w io.Writer, u *driver.Unit, ci *core.Result) {
 	info := modref.Compute(ci)
 	for _, fg := range u.Graph.Funcs {
 		if fg.Fn.Body == nil {
@@ -179,7 +252,7 @@ func printModRef(w *os.File, u *driver.Unit, ci *core.Result) {
 }
 
 // printCallGraph renders discovered call edges and the §5.1.2 stats.
-func printCallGraph(w *os.File, u *driver.Unit, ci *core.Result) {
+func printCallGraph(w io.Writer, u *driver.Unit, ci *core.Result) {
 	for _, fg := range u.Graph.Funcs {
 		for _, call := range fg.Calls {
 			var names []string

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func runCLI(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+// TestModRefGolden pins the -print modref CLI output on one corpus
+// program. Regenerate with: go test ./cmd/aliaslab -run ModRef -update
+func TestModRefGolden(t *testing.T) {
+	out, stderr, code := runCLI(t, "-corpus", "part", "-print", "modref")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	golden := filepath.Join("testdata", "modref_part.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if out != string(want) {
+		t.Errorf("-print modref output differs from %s:\n--- got\n%s--- want\n%s", golden, out, want)
+	}
+}
+
+// leakSrc has exactly one finding: a leaked allocation.
+const leakSrc = `
+int main(void) {
+	int *p;
+	p = (int *) malloc(4);
+	*p = 1;
+	return 0;
+}
+`
+
+func writeTemp(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.c")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestVetText(t *testing.T) {
+	out, stderr, code := runCLI(t, "-vet", writeTemp(t, leakSrc))
+	if code != 1 {
+		t.Fatalf("exit %d (want 1 on findings), stderr: %s", code, stderr)
+	}
+	if !strings.Contains(out, "may leak") || !strings.Contains(out, "[leak]") {
+		t.Errorf("leak finding missing from output:\n%s", out)
+	}
+}
+
+func TestVetCleanExitsZero(t *testing.T) {
+	out, stderr, code := runCLI(t, "-vet", writeTemp(t, "int main(void) { return 0; }\n"))
+	if code != 0 || out != "" {
+		t.Fatalf("clean program: exit %d, stdout %q, stderr %s", code, out, stderr)
+	}
+}
+
+func TestVetJSON(t *testing.T) {
+	out, stderr, code := runCLI(t, "-vet", "-format", "json", writeTemp(t, leakSrc))
+	if code != 1 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Severity string `json:"severity"`
+		Checker  string `json:"checker"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if len(diags) != 1 || diags[0].Checker != "leak" || diags[0].Line != 4 {
+		t.Errorf("unexpected JSON diagnostics: %+v", diags)
+	}
+}
+
+func TestVetCheckerFilter(t *testing.T) {
+	// Only the uaf checker selected: the leak must not be reported.
+	out, _, code := runCLI(t, "-vet", "-checkers", "uaf", writeTemp(t, leakSrc))
+	if code != 0 || out != "" {
+		t.Errorf("filtered vet: exit %d, output %q", code, out)
+	}
+	if _, stderr, code := runCLI(t, "-vet", "-checkers", "nosuch", writeTemp(t, leakSrc)); code != 2 ||
+		!strings.Contains(stderr, "unknown checker") {
+		t.Errorf("unknown checker: exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestVetCheckersHelp(t *testing.T) {
+	out, _, code := runCLI(t, "-vet", "-checkers", "help")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, id := range []string{"uaf", "dangling", "nullderef", "uninit", "leak"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("checker %s missing from help:\n%s", id, out)
+		}
+	}
+}
+
+// TestRecursiveSingleFlag exercises the -recursivesingle ablation end
+// to end; the corpus must still analyze cleanly under it.
+func TestRecursiveSingleFlag(t *testing.T) {
+	out, stderr, code := runCLI(t, "-recursivesingle", "-corpus", "part", "-print", "sizes")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(out, "part.c:") {
+		t.Errorf("unexpected sizes output: %q", out)
+	}
+}
+
+func TestUsageError(t *testing.T) {
+	if _, _, code := runCLI(t); code != 2 {
+		t.Errorf("no arguments: exit %d, want 2", code)
+	}
+}

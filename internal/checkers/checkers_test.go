@@ -1,0 +1,274 @@
+package checkers_test
+
+import (
+	"strings"
+	"testing"
+
+	"aliaslab/internal/checkers"
+	"aliaslab/internal/core"
+	"aliaslab/internal/driver"
+	"aliaslab/internal/vdg"
+)
+
+// vet builds src with diagnostics instrumentation, runs the
+// context-insensitive analysis, and returns the combined output of the
+// selected checkers (all of them when ids is empty).
+func vet(t *testing.T, src string, ids ...string) []checkers.Diag {
+	t.Helper()
+	u, err := driver.LoadString("test.c", src, vdg.Options{Diagnostics: true})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	res := core.AnalyzeInsensitive(u.Graph)
+	sel, err := checkers.Select(ids)
+	if err != nil {
+		t.Fatalf("select: %v", err)
+	}
+	return checkers.Run(checkers.NewContext(u.Graph, res), sel)
+}
+
+// byChecker splits diagnostics by checker ID.
+func byChecker(diags []checkers.Diag) map[string][]checkers.Diag {
+	m := make(map[string][]checkers.Diag)
+	for _, d := range diags {
+		m[d.Checker] = append(m[d.Checker], d)
+	}
+	return m
+}
+
+func wantContains(t *testing.T, diags []checkers.Diag, substr string) {
+	t.Helper()
+	for _, d := range diags {
+		if strings.Contains(d.Message, substr) {
+			return
+		}
+	}
+	t.Errorf("no diagnostic contains %q; got %v", substr, diags)
+}
+
+func TestUseAfterFree(t *testing.T) {
+	diags := vet(t, `
+int main(void) {
+	int *p;
+	p = (int *) malloc(4);
+	*p = 1;
+	free(p);
+	*p = 2;
+	free(p);
+	return 0;
+}
+`, "uaf")
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	wantContains(t, diags, "after free")
+	wantContains(t, diags, "double free")
+	for _, d := range diags {
+		if d.Severity != checkers.Error {
+			t.Errorf("%v: severity %v, want error", d, d.Severity)
+		}
+		if len(d.Related) == 0 {
+			t.Errorf("%v: no related free site", d)
+		}
+	}
+	// The write before the free must not be flagged: its store input is
+	// not reachable from the free's output.
+	for _, d := range diags {
+		if d.Pos.Line == 5 {
+			t.Errorf("write before free flagged: %v", d)
+		}
+	}
+}
+
+func TestUseAfterFreeInterprocedural(t *testing.T) {
+	diags := vet(t, `
+int *gp;
+void release(void) {
+	free(gp);
+	return;
+}
+int main(void) {
+	gp = (int *) malloc(4);
+	release();
+	return *gp;
+}
+`, "uaf")
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	wantContains(t, diags, "after free")
+}
+
+func TestDangling(t *testing.T) {
+	diags := vet(t, `
+int *g;
+int *escape_by_return(void) {
+	int x;
+	x = 1;
+	return &x;
+}
+void escape_by_store(void) {
+	int y;
+	g = &y;
+	return;
+}
+int main(void) {
+	int *p;
+	p = escape_by_return();
+	escape_by_store();
+	return 0;
+}
+`, "dangling")
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	wantContains(t, diags, "may return the address of its local")
+	wantContains(t, diags, "outlives the call")
+}
+
+func TestNullDeref(t *testing.T) {
+	diags := vet(t, `
+int main(void) {
+	int *p;
+	int *q;
+	int x;
+	x = 0;
+	p = 0;
+	q = 0;
+	x = x + *p;
+	if (q) {
+		x = x + *q;
+	}
+	return x;
+}
+`, "nullderef")
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 (guarded deref must not fire): %v", len(diags), diags)
+	}
+	wantContains(t, diags, "null pointer dereference")
+}
+
+func TestNullDerefFromZeroedGlobal(t *testing.T) {
+	diags := vet(t, `
+int *gp;
+int main(void) {
+	return *gp;
+}
+`, "nullderef")
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+}
+
+func TestUninit(t *testing.T) {
+	diags := vet(t, `
+int main(void) {
+	int *p;
+	int x;
+	x = *p;
+	return x;
+}
+`, "uninit")
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	wantContains(t, diags, "uninitialized pointer")
+}
+
+func TestUninitCleanWhenAssigned(t *testing.T) {
+	diags := vet(t, `
+int g;
+int main(void) {
+	int *p;
+	int x;
+	p = &g;
+	x = *p;
+	return x;
+}
+`, "uninit")
+	if len(diags) != 0 {
+		t.Fatalf("initialized pointer flagged: %v", diags)
+	}
+}
+
+func TestLeak(t *testing.T) {
+	diags := vet(t, `
+int *gp;
+int main(void) {
+	int *p;
+	int *q;
+	p = (int *) malloc(4);
+	q = (int *) malloc(4);
+	gp = (int *) malloc(4);
+	*p = 1;
+	free(q);
+	return 0;
+}
+`, "leak")
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 (freed and global-reachable blocks are not leaks): %v", len(diags), diags)
+	}
+	wantContains(t, diags, "may leak")
+	if diags[0].Pos.Line != 6 {
+		t.Errorf("leak reported at line %d, want 6 (the unreferenced malloc)", diags[0].Pos.Line)
+	}
+}
+
+// TestQuickstartClean pins the acceptance criterion that the
+// examples/quickstart program produces no diagnostics: every seeded
+// marker is killed by a strong update before any dereference.
+func TestQuickstartClean(t *testing.T) {
+	diags := vet(t, `
+int a, b;
+int *p;
+int **pp;
+
+struct pairs { int *first; int *second; } s;
+
+int main(void) {
+	p = &a;
+	pp = &p;
+	*pp = &b;
+	s.first = p;
+	s.second = &a;
+	return *p;
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("quickstart program must be clean, got: %v", diags)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all, err := checkers.Select(nil)
+	if err != nil || len(all) != len(checkers.All) {
+		t.Fatalf("empty selection: got %d checkers, err %v", len(all), err)
+	}
+	if _, err := checkers.Select([]string{"nosuch"}); err == nil {
+		t.Fatal("unknown checker not rejected")
+	}
+	two, err := checkers.Select([]string{"leak", "uaf", "leak"})
+	if err != nil || len(two) != 2 {
+		t.Fatalf("dedup selection: got %d checkers, err %v", len(two), err)
+	}
+}
+
+// TestSeverityOrder pins the diagnostics ordering contract.
+func TestSortStable(t *testing.T) {
+	diags := vet(t, `
+int main(void) {
+	int *p;
+	int x;
+	x = *p;
+	p = 0;
+	x = x + *p;
+	return x;
+}
+`)
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		if a.Pos.Line > b.Pos.Line {
+			t.Fatalf("diagnostics out of order: %v before %v", a, b)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package checkers
+
+import (
+	"fmt"
+
+	"aliaslab/internal/paths"
+	"aliaslab/internal/token"
+	"aliaslab/internal/vdg"
+)
+
+// runDangling flags stack addresses that escape their frame: a function
+// whose return value may denote one of its own locals, or whose return
+// store binds a persistent location (global, static, string, or heap
+// storage) to one of its own locals. Either way the caller can observe
+// the address after the frame is gone. main is exempt — its locals live
+// for the whole execution.
+func runDangling(ctx *Context) []Diag {
+	var diags []Diag
+	for _, fg := range ctx.Graph.Funcs {
+		if fg == ctx.Graph.Entry || fg.Return == nil {
+			continue
+		}
+		diags = append(diags, returnedLocals(ctx, fg)...)
+		diags = append(diags, storedLocals(ctx, fg)...)
+	}
+	return diags
+}
+
+// returnedLocals reports fg's locals reachable through its return value.
+func returnedLocals(ctx *Context, fg *vdg.FuncGraph) []Diag {
+	rv := fg.ReturnValue()
+	if rv == nil {
+		return nil
+	}
+	var diags []Diag
+	seen := make(map[*paths.Base]bool)
+	for _, pair := range ctx.Result.Pairs(rv).List() {
+		b := pair.Ref.Base()
+		if b == nil || seen[b] || ctx.localOwner(b) != fg {
+			continue
+		}
+		seen[b] = true
+		diags = append(diags, Diag{
+			Pos:      fg.Return.Pos,
+			Severity: Warning,
+			Message:  fmt.Sprintf("%s may return the address of its local %s", fg.Fn.Name, b.Name),
+			Related:  []Related{{Pos: posOfBase(ctx, b), Message: "local declared here"}},
+		})
+	}
+	return diags
+}
+
+// storedLocals reports fg's locals that its return store leaves
+// reachable from persistent storage.
+func storedLocals(ctx *Context, fg *vdg.FuncGraph) []Diag {
+	rs := fg.ReturnStore()
+	if rs == nil {
+		return nil
+	}
+	var diags []Diag
+	seen := make(map[*paths.Base]bool)
+	for _, pair := range ctx.Result.Pairs(rs).List() {
+		holder := pair.Path.Base()
+		if holder == nil || !persistent(holder) {
+			continue
+		}
+		b := pair.Ref.Base()
+		if b == nil || seen[b] || ctx.localOwner(b) != fg {
+			continue
+		}
+		seen[b] = true
+		diags = append(diags, Diag{
+			Pos:      fg.Return.Pos,
+			Severity: Warning,
+			Message:  fmt.Sprintf("address of local %s may be stored in %s, which outlives the call", b.Name, holder.Name),
+			Related:  []Related{{Pos: posOfBase(ctx, b), Message: "local declared here"}},
+		})
+	}
+	return diags
+}
+
+// persistent reports whether storage rooted at b survives any single
+// function activation.
+func persistent(b *paths.Base) bool {
+	switch b.Kind {
+	case paths.HeapBase, paths.StrBase:
+		return true
+	case paths.VarBase:
+		return !b.Local
+	}
+	return false
+}
+
+// posOfBase recovers the declaration position of a variable base, when
+// the graph knows the object it names.
+func posOfBase(ctx *Context, b *paths.Base) token.Pos {
+	if obj := ctx.objOf[b]; obj != nil {
+		return obj.Pos
+	}
+	return token.Pos{}
+}

@@ -1,0 +1,61 @@
+package checkers_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aliaslab/internal/checkers"
+	"aliaslab/internal/core"
+	"aliaslab/internal/corpus"
+	"aliaslab/internal/report"
+	"aliaslab/internal/vdg"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// vetCorpus runs the full vet pipeline over one corpus program and
+// renders the text report.
+func vetCorpus(t *testing.T, name string) string {
+	t.Helper()
+	u, err := corpus.Load(name, vdg.Options{Diagnostics: true})
+	if err != nil {
+		t.Fatalf("load %s: %v", name, err)
+	}
+	res := core.AnalyzeInsensitive(u.Graph)
+	diags := checkers.Run(checkers.NewContext(u.Graph, res), checkers.All)
+	var buf bytes.Buffer
+	report.WriteDiags(&buf, diags)
+	return buf.String()
+}
+
+// TestCorpusGolden pins the vet output on every embedded corpus
+// program. Each program is analyzed twice to prove the output is
+// deterministic, then compared against the checked-in golden file.
+// Regenerate with: go test ./internal/checkers -run Golden -update
+func TestCorpusGolden(t *testing.T) {
+	for _, name := range corpus.Names() {
+		t.Run(name, func(t *testing.T) {
+			got := vetCorpus(t, name)
+			if again := vetCorpus(t, name); got != again {
+				t.Fatalf("vet output not deterministic across runs:\n--- first\n%s--- second\n%s", got, again)
+			}
+			golden := filepath.Join("testdata", "vet_"+name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("vet output differs from %s:\n--- got\n%s--- want\n%s", golden, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,94 @@
+package checkers
+
+import (
+	"fmt"
+
+	"aliaslab/internal/paths"
+	"aliaslab/internal/vdg"
+)
+
+// runLeak flags allocation sites whose storage, at program exit, is
+// neither freed nor reachable from any root. Roots are the locations
+// still live when main returns: globals, statics, string storage, and
+// main's own locals. Reachability closes over the exit store's pairs:
+// a base is reachable when some reachable base's storage may hold a
+// pointer to it.
+func runLeak(ctx *Context) []Diag {
+	entry := ctx.Graph.Entry
+	if entry == nil {
+		return nil
+	}
+	exit := entry.ReturnStore()
+	if exit == nil {
+		return nil
+	}
+	pairs := ctx.Result.Pairs(exit).List()
+
+	reachable := make(map[*paths.Base]bool)
+	for _, b := range ctx.Graph.Universe.Bases() {
+		if isRoot(ctx, b, entry) {
+			reachable[b] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, pair := range pairs {
+			holder := pair.Path.Base()
+			target := pair.Ref.Base()
+			if holder == nil || target == nil {
+				continue
+			}
+			if reachable[holder] && !reachable[target] {
+				reachable[target] = true
+				changed = true
+			}
+		}
+	}
+
+	freed := make(map[*paths.Base]bool)
+	for _, fg := range ctx.Graph.Funcs {
+		for _, n := range fg.Nodes {
+			if n.Kind != vdg.KFree {
+				continue
+			}
+			for _, b := range ctx.Result.HeapReferents(n.Inputs[0].Src) {
+				freed[b] = true
+			}
+		}
+	}
+
+	var diags []Diag
+	seen := make(map[*paths.Base]bool)
+	for _, fg := range ctx.Graph.Funcs {
+		for _, n := range fg.Nodes {
+			if n.Kind != vdg.KAlloc || n.Path == nil {
+				continue
+			}
+			b := n.Path.Base()
+			if b == nil || b.Kind != paths.HeapBase || seen[b] {
+				continue
+			}
+			seen[b] = true
+			if reachable[b] || freed[b] {
+				continue
+			}
+			diags = append(diags, Diag{
+				Pos:      n.Pos,
+				Severity: Warning,
+				Message:  fmt.Sprintf("allocation %s may leak: never freed and unreachable at program exit", b.Name),
+			})
+		}
+	}
+	return diags
+}
+
+// isRoot reports whether b is still-live storage at program exit.
+func isRoot(ctx *Context, b *paths.Base, entry *vdg.FuncGraph) bool {
+	switch b.Kind {
+	case paths.StrBase:
+		return true
+	case paths.VarBase:
+		return !b.Local || ctx.localOwner(b) == entry
+	}
+	return false
+}

@@ -1,0 +1,54 @@
+package checkers
+
+import (
+	"aliaslab/internal/core"
+	"aliaslab/internal/paths"
+	"aliaslab/internal/vdg"
+)
+
+// runNullDeref flags lookups and updates whose location may be the
+// <null> marker. The builder's guard refinement has already filtered
+// markers out of values flowing through a successful null check, so any
+// surviving marker referent at a dereference is an unguarded candidate.
+// Direct variable accesses (constant address chains) never carry marker
+// referents, so only genuine pointer dereferences can fire.
+//
+// free(NULL) is well defined, so KFree is exempt here.
+func runNullDeref(ctx *Context) []Diag {
+	return derefMarkerDiags(ctx, core.IsNullRef, false,
+		"possible null pointer dereference")
+}
+
+// derefMarkerDiags reports every memory operation whose location input
+// may denote a referent satisfying the marker predicate: reads and
+// writes always, frees only when includeFree is set.
+func derefMarkerDiags(ctx *Context, marker func(*paths.Path) bool, includeFree bool, msg string) []Diag {
+	var diags []Diag
+	for _, fg := range ctx.Graph.Funcs {
+		for _, n := range fg.Nodes {
+			var loc *vdg.Output
+			switch n.Kind {
+			case vdg.KLookup, vdg.KUpdate:
+				loc = n.Loc()
+			case vdg.KFree:
+				if !includeFree {
+					continue
+				}
+				loc = n.Inputs[0].Src
+			default:
+				continue
+			}
+			for _, ref := range ctx.Result.Pairs(loc).Referents() {
+				if marker(ref) {
+					diags = append(diags, Diag{
+						Pos:      n.Pos,
+						Severity: Warning,
+						Message:  msg,
+					})
+					break
+				}
+			}
+		}
+	}
+	return diags
+}

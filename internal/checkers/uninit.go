@@ -1,0 +1,19 @@
+package checkers
+
+import (
+	"aliaslab/internal/core"
+)
+
+// runUninit flags memory operations whose location may be the <uninit>
+// marker — a dereference (or free) of a pointer that was never
+// assigned along some path. Definite initialization strongly updates
+// the marker away, so store-resident locals only fire when an abstract
+// path skips every assignment; dataflow locals fire when their merged
+// value still carries the marker.
+//
+// Unlike null, freeing an uninitialized pointer is undefined, so KFree
+// participates.
+func runUninit(ctx *Context) []Diag {
+	return derefMarkerDiags(ctx, core.IsUninitRef, true,
+		"possible use of uninitialized pointer")
+}

@@ -133,11 +133,23 @@ func (a *insensitive) flowIn(in *vdg.Input, pair Pair) {
 		a.flowOut(n.Outputs[0], pair)
 	case vdg.KPrimop:
 		if n.Transparent {
+			if n.Op == vdg.OpChecked && IsMarkerRef(pair.Ref) {
+				// A null guard proved the value non-null on this branch:
+				// the marker referents do not pass the check.
+				return
+			}
 			a.flowOut(n.Outputs[0], pair)
 		}
 	case vdg.KAlloc:
 		// realloc: the old block's pairs flow through.
 		a.flowOut(n.Outputs[0], pair)
+	case vdg.KFree:
+		// Deallocation is identity on the store (the kill is interpreted
+		// by the checkers, not the points-to domain — removing pairs
+		// would be unsound under may-aliasing).
+		if in.Index == 1 {
+			a.flowOut(n.Outputs[0], pair)
+		}
 	case vdg.KFieldAddr:
 		if pair.Path.IsEmptyOffset() {
 			ref := a.extendField(n, pair.Ref)

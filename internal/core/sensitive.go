@@ -207,10 +207,17 @@ func (a *sensitive) flowIn(in *vdg.Input, q QPair) {
 		a.flowOut(n.Outputs[0], q)
 	case vdg.KPrimop:
 		if n.Transparent {
+			if n.Op == vdg.OpChecked && IsMarkerRef(q.P.Ref) {
+				return
+			}
 			a.flowOut(n.Outputs[0], q)
 		}
 	case vdg.KAlloc:
 		a.flowOut(n.Outputs[0], q)
+	case vdg.KFree:
+		if in.Index == 1 {
+			a.flowOut(n.Outputs[0], q)
+		}
 	case vdg.KFieldAddr:
 		if q.P.Path.IsEmptyOffset() {
 			var ref *paths.Path

@@ -21,6 +21,12 @@ type Unit struct {
 	Prog  *sema.Program
 	Graph *vdg.Graph
 
+	// Source is the text the unit was built from and Opts the options it
+	// was built with, kept so clients can rebuild the unit under
+	// different instrumentation (e.g. vdg.Options.Diagnostics for vet).
+	Source string
+	Opts   vdg.Options
+
 	// SourceLines is the number of non-blank source lines (Figure 2's
 	// "lines" column).
 	SourceLines int
@@ -46,6 +52,8 @@ func LoadString(name, src string, opts vdg.Options) (*Unit, error) {
 		File:        file,
 		Prog:        prog,
 		Graph:       graph,
+		Source:      src,
+		Opts:        opts,
 		SourceLines: countLines(src),
 	}, nil
 }
@@ -75,7 +83,6 @@ func firstN[E error](errs []E, n int) []string {
 	var out []string
 	for i, e := range errs {
 		if i == n {
-			out = append(out, "...")
 			break
 		}
 		out = append(out, e.Error())
@@ -84,5 +91,9 @@ func firstN[E error](errs []E, n int) []string {
 }
 
 func diagError(stage string, count int, msgs []string) error {
-	return errors.New(fmt.Sprintf("%s: %d error(s):\n  %s", stage, count, strings.Join(msgs, "\n  ")))
+	suffix := ""
+	if suppressed := count - len(msgs); suppressed > 0 {
+		suffix = fmt.Sprintf("\n  ... and %d more", suppressed)
+	}
+	return errors.New(fmt.Sprintf("%s: %d error(s):\n  %s%s", stage, count, strings.Join(msgs, "\n  "), suffix))
 }

@@ -3,6 +3,7 @@ package driver_test
 import (
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -55,8 +56,12 @@ func TestErrorListTruncated(t *testing.T) {
 	if err == nil {
 		t.Fatal("expected errors")
 	}
-	if !strings.Contains(err.Error(), "...") {
-		t.Errorf("long error lists must be truncated: %v", err)
+	if !regexp.MustCompile(`\.\.\. and \d+ more`).MatchString(err.Error()) {
+		t.Errorf("long error lists must report the suppressed count: %v", err)
+	}
+	// At most 10 diagnostics are spelled out.
+	if lines := strings.Count(err.Error(), "\n"); lines > 11 {
+		t.Errorf("error message too long (%d lines): %v", lines, err)
 	}
 }
 

@@ -29,6 +29,15 @@ const (
 	// StrBase names the anonymous storage of a string literal. The paper
 	// counts string literal storage as global (Figure 7 note).
 	StrBase
+	// NullBase is the marker location denoting the null pointer constant.
+	// It exists only in graphs built with diagnostics instrumentation
+	// (vdg.Options.Diagnostics); dereferencing a value that may denote it
+	// is a candidate null-dereference bug.
+	NullBase
+	// UninitBase is the marker location denoting the value of an
+	// uninitialized pointer. Like NullBase it appears only in
+	// diagnostics-instrumented graphs.
+	UninitBase
 )
 
 func (k BaseKind) String() string {
@@ -41,6 +50,10 @@ func (k BaseKind) String() string {
 		return "func"
 	case StrBase:
 		return "string"
+	case NullBase:
+		return "null"
+	case UninitBase:
+		return "uninit"
 	}
 	return "base"
 }
@@ -92,7 +105,14 @@ type Base struct {
 
 func (b *Base) String() string { return b.Name }
 
-// Class returns the storage class of the base.
+// Marker reports whether the base is a diagnostics marker (null or
+// uninit) rather than real storage.
+func (b *Base) Marker() bool {
+	return b.Kind == NullBase || b.Kind == UninitBase
+}
+
+// Class returns the storage class of the base. Marker bases report
+// GlobalClass; they never appear outside diagnostics-instrumented runs.
 func (b *Base) Class() StorageClass {
 	switch b.Kind {
 	case FuncBase:
@@ -224,6 +244,9 @@ type Universe struct {
 	roots  map[*Base]*Path
 	empty  *Path
 	nextID int
+
+	nullRoot   *Path
+	uninitRoot *Path
 }
 
 // NewUniverse returns an empty universe containing only the ε path.
@@ -245,6 +268,25 @@ func (u *Universe) NewBase(kind BaseKind, name string, local, summary bool) *Bas
 	b := &Base{Kind: kind, Name: name, Local: local, Summary: summary, ID: len(u.bases)}
 	u.bases = append(u.bases, b)
 	return b
+}
+
+// NullRoot returns (creating on first use) the marker location of the
+// null pointer constant. The base is a summary location so that writes
+// through a maybe-null pointer never strongly update anything.
+func (u *Universe) NullRoot() *Path {
+	if u.nullRoot == nil {
+		u.nullRoot = u.Root(u.NewBase(NullBase, "<null>", false, true))
+	}
+	return u.nullRoot
+}
+
+// UninitRoot returns (creating on first use) the marker location of
+// uninitialized pointer values.
+func (u *Universe) UninitRoot() *Path {
+	if u.uninitRoot == nil {
+		u.uninitRoot = u.Root(u.NewBase(UninitBase, "<uninit>", false, true))
+	}
+	return u.uninitRoot
 }
 
 // Root returns the interned path consisting of just base.

@@ -1,0 +1,69 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"aliaslab/internal/checkers"
+)
+
+// WriteDiags renders diagnostics as compiler-style text, one per line,
+// with related positions indented beneath:
+//
+//	prog.c:12:5: error: write to malloc@9 after free [uaf]
+//	    prog.c:11:5: freed here
+func WriteDiags(w io.Writer, diags []checkers.Diag) {
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: %s: %s [%s]\n", d.Pos, d.Severity, d.Message, d.Checker)
+		for _, r := range d.Related {
+			fmt.Fprintf(w, "    %s: %s\n", r.Pos, r.Message)
+		}
+	}
+}
+
+// diagJSON is the stable JSON shape of one diagnostic.
+type diagJSON struct {
+	File     string        `json:"file"`
+	Line     int           `json:"line"`
+	Col      int           `json:"col"`
+	Severity string        `json:"severity"`
+	Checker  string        `json:"checker"`
+	Message  string        `json:"message"`
+	Related  []relatedJSON `json:"related,omitempty"`
+}
+
+type relatedJSON struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+// WriteDiagsJSON renders diagnostics as an indented JSON array (an
+// empty slice renders as []).
+func WriteDiagsJSON(w io.Writer, diags []checkers.Diag) error {
+	out := make([]diagJSON, 0, len(diags))
+	for _, d := range diags {
+		j := diagJSON{
+			File:     d.Pos.File,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Col,
+			Severity: d.Severity.String(),
+			Checker:  d.Checker,
+			Message:  d.Message,
+		}
+		for _, r := range d.Related {
+			j.Related = append(j.Related, relatedJSON{
+				File:    r.Pos.File,
+				Line:    r.Pos.Line,
+				Col:     r.Pos.Col,
+				Message: r.Message,
+			})
+		}
+		out = append(out, j)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -29,6 +29,16 @@ type Options struct {
 	// when such addresses do not escape down recursive calls, which the
 	// corpus verifies. Default false = the paper's second (weak) scheme.
 	RecursiveLocalsSingle bool
+
+	// Diagnostics instruments the graph for the pointer-bug checkers
+	// (internal/checkers): null pointer constants and zero-initialized
+	// pointer globals point to the <null> marker location, uninitialized
+	// pointer locals point to <uninit>, free/fclose become KFree kill
+	// events, allocations are kept alive even when unused, and branches
+	// guarded by pointer tests filter marker referents. The resulting
+	// pair sets over-approximate the plain analysis; never enable this
+	// for the paper's precision experiments.
+	Diagnostics bool
 }
 
 // BuildError is a construction-time error (unsupported construct).
@@ -187,16 +197,21 @@ type fnBuilder struct {
 
 	addrCache map[*sema.Object]*Output // KAddr per object
 	funcRefs  map[*sema.Function]*Output
+
+	// markerRefs caches the KAddr outputs of the diagnostics marker
+	// locations (<null>, <uninit>) per function.
+	markerRefs map[*paths.Path]*Output
 }
 
 func (b *builder) buildFunc(fn *sema.Function) {
 	fg := b.g.FuncOf[fn]
 	fb := &fnBuilder{
-		b:         b,
-		g:         b.g,
-		fg:        fg,
-		addrCache: make(map[*sema.Object]*Output),
-		funcRefs:  make(map[*sema.Function]*Output),
+		b:          b,
+		g:          b.g,
+		fg:         fg,
+		addrCache:  make(map[*sema.Object]*Output),
+		funcRefs:   make(map[*sema.Function]*Output),
+		markerRefs: make(map[*paths.Path]*Output),
 	}
 	fb.cur = flowState{env: make(map[*sema.Object]*Output), reachable: true}
 
@@ -220,8 +235,13 @@ func (b *builder) buildFunc(fn *sema.Function) {
 		}
 	}
 
-	// Global initializers run before main's body.
+	// Global initializers run before main's body. Under diagnostics,
+	// zero initialization of pointer globals is modeled first (C
+	// guarantees it; the explicit initializers below would strongly
+	// update the markers away anyway, but skipping initialized globals
+	// keeps the graph small).
 	if fn.Name == "main" {
+		fb.seedGlobalZeroInits()
 		fb.emitGlobalInits()
 	}
 
@@ -336,10 +356,11 @@ func (fb *fnBuilder) initAggregate(addr *Output, typ *ctypes.Type, elems []ast.E
 		}
 	default:
 		if *idx < len(elems) {
-			v := fb.expr(elems[*idx])
+			e := elems[*idx]
+			v := fb.expr(e)
 			*idx++
 			if v != nil {
-				fb.update(addr, v, pos)
+				fb.update(addr, fb.maybeNull(v, e, typ, pos), pos)
 			}
 		}
 	}
@@ -481,6 +502,7 @@ func (fb *fnBuilder) stmt(s ast.Stmt) {
 		var v *Output
 		if s.Value != nil {
 			v = fb.expr(s.Value)
+			v = fb.maybeNull(v, s.Value, fb.fg.Fn.Type.Result(), s.TokPos)
 		}
 		fb.rets = append(fb.rets, retSnap{value: v, store: fb.cur.store})
 		fb.cur.reachable = false
@@ -527,34 +549,37 @@ func (fb *fnBuilder) declStmt(s *ast.DeclStmt) {
 		addr := fb.addrOfObj(obj, d.TokPos)
 		if d.Init != nil {
 			if v := fb.expr(d.Init); v != nil {
-				fb.update(addr, v, d.TokPos)
+				fb.update(addr, fb.maybeNull(v, d.Init, obj.Type, d.TokPos), d.TokPos)
 			}
 		} else if d.InitList != nil {
 			idx := 0
 			fb.initAggregate(addr, obj.Type, d.InitList, &idx, d.TokPos)
+		} else {
+			fb.seedLocalUninit(obj, addr, d.TokPos)
 		}
 		return
 	}
 	if d.Init != nil {
 		if v := fb.expr(d.Init); v != nil {
-			fb.cur.env[obj] = v
+			fb.cur.env[obj] = fb.maybeNull(v, d.Init, obj.Type, d.TokPos)
 			return
 		}
 	}
 	// Uninitialized (or void-initialized) dataflow variable: an opaque
-	// undefined value.
-	n := fb.g.NewNode(fb.fg, KUnknown, d.TokPos)
-	fb.cur.env[obj] = fb.g.AddOutput(n, obj.Type, false)
+	// undefined value (the <uninit> marker under diagnostics).
+	fb.cur.env[obj] = fb.uninitValue(obj, d.TokPos)
 }
 
 func (fb *fnBuilder) ifStmt(s *ast.If) {
 	fb.expr(s.Cond)
 	pre := fb.cur.clone()
 
+	fb.refineGuard(s.Cond, true, s.TokPos)
 	fb.stmt(s.Then)
 	thenState := fb.cur
 
 	fb.cur = pre.clone()
+	fb.refineGuard(s.Cond, false, s.TokPos)
 	if s.Else != nil {
 		fb.stmt(s.Else)
 	}
@@ -571,6 +596,7 @@ func (fb *fnBuilder) whileStmt(s *ast.While) {
 
 	lc := &loopCtx{}
 	fb.pushLoop(lc, false)
+	fb.refineGuard(s.Cond, true, s.TokPos) // the body runs only when the condition held
 	fb.stmt(s.Body)
 	bodyEnd := fb.cur
 	fb.popLoop()
@@ -593,6 +619,7 @@ func (fb *fnBuilder) forStmt(s *ast.For) {
 
 	lc := &loopCtx{}
 	fb.pushLoop(lc, false)
+	fb.refineGuard(s.Cond, true, s.TokPos) // the body runs only when the condition held
 	fb.stmt(s.Body)
 	bodyEnd := fb.cur
 	fb.popLoop()

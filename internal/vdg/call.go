@@ -100,7 +100,15 @@ func (fb *fnBuilder) builtinCall(name string, e *ast.Call) *Output {
 		out.Node.Effectful = true
 		return out
 
-	case "free", "fclose", "exit", "abort", "srand":
+	case "free", "fclose":
+		// Identity on the store; under diagnostics the deallocation
+		// becomes an explicit kill event the checkers key on.
+		if fb.b.opts.Diagnostics {
+			fb.freeEvent(arg(0), pos)
+		}
+		return nil
+
+	case "exit", "abort", "srand":
 		return nil // void results, identity on the store
 
 	default:
@@ -116,13 +124,26 @@ func (fb *fnBuilder) builtinCall(name string, e *ast.Call) *Output {
 }
 
 // alloc creates a heap allocation node. passThrough, when non-nil, is a
-// pointer whose pairs also flow to the result (realloc).
+// pointer whose pairs also flow to the result (realloc). Under
+// diagnostics the node is kept even when its result is discarded, so
+// the leak checker can see allocations whose pointer is dropped.
 func (fb *fnBuilder) alloc(callName string, passThrough *Output, rt *ctypes.Type, pos token.Pos) *Output {
 	base := fb.b.heapBaseFor(callName, pos)
 	n := fb.g.NewNode(fb.fg, KAlloc, pos)
 	n.Path = fb.g.Universe.Root(base)
+	n.Effectful = fb.b.opts.Diagnostics
 	if passThrough != nil {
 		fb.g.Connect(n, passThrough)
 	}
 	return fb.g.AddOutput(n, rt, false)
+}
+
+// freeEvent threads a KFree node through the store: input 0 the freed
+// pointer, input 1 the store, output 0 the post-free store.
+func (fb *fnBuilder) freeEvent(ptr *Output, pos token.Pos) {
+	n := fb.g.NewNode(fb.fg, KFree, pos)
+	n.Effectful = true
+	fb.g.Connect(n, ptr)
+	fb.g.Connect(n, fb.cur.store)
+	fb.cur.store = fb.g.AddOutput(n, nil, true)
 }

@@ -372,9 +372,11 @@ func (fb *fnBuilder) binary(e *ast.Binary) *Output {
 	switch e.Op {
 	case token.LAND, token.LOR:
 		// The right operand evaluates conditionally; merge its effects
-		// as a branch. The result is a plain int.
+		// as a branch. The left operand guards it: in `p && *p` the
+		// dereference only runs when p tested non-null.
 		x := fb.expr(e.X)
 		pre := fb.cur.clone()
+		fb.refineGuard(e.X, e.Op == token.LAND, e.TokPos)
 		y := fb.expr(e.Y)
 		branch := fb.cur
 		fb.cur = fb.merge(e.TokPos, pre, branch)
@@ -396,6 +398,7 @@ func (fb *fnBuilder) binary(e *ast.Binary) *Output {
 func (fb *fnBuilder) assign(e *ast.Assign) *Output {
 	if e.Op == token.ASSIGN {
 		v := fb.expr(e.RHS)
+		v = fb.maybeNull(v, e.RHS, fb.typeOf(e.LHS), e.TokPos)
 		fb.store(e.LHS, v, e.TokPos)
 		return v
 	}
@@ -440,10 +443,12 @@ func (fb *fnBuilder) cond(e *ast.Cond) *Output {
 	fb.expr(e.Cond)
 	pre := fb.cur.clone()
 
+	fb.refineGuard(e.Cond, true, e.TokPos)
 	tv := fb.expr(e.Then)
 	thenState := fb.cur
 
 	fb.cur = pre.clone()
+	fb.refineGuard(e.Cond, false, e.TokPos)
 	ev := fb.expr(e.Else)
 	elseState := fb.cur
 
@@ -476,6 +481,10 @@ func (fb *fnBuilder) cast(e *ast.Cast) *Output {
 		// Pointer-to-pointer casts are transparent: the value (and its
 		// pairs) is unchanged; only the static type differs.
 		return v
+	}
+	if t.Kind == ctypes.Pointer && isNullConst(e.X) {
+		// `(T *) 0` is a null pointer constant.
+		return fb.maybeNull(v, e.X, t, e.TokPos)
 	}
 	return fb.primop("conv", false, t, e.TokPos, v)
 }

@@ -74,7 +74,20 @@ const (
 	// KUnknown produces an opaque value with no pairs (results of
 	// unmodeled library calls).
 	KUnknown
+	// KFree is a deallocation event, built only under
+	// Options.Diagnostics: input 0 is the freed pointer, input 1 the
+	// store; output 0 is the post-free store. The store passes through
+	// unchanged (freeing kills no pairs — a may-analysis must keep
+	// them), but checkers treat the node as a kill event on the heap
+	// bases its pointer input may denote.
+	KFree
 )
+
+// OpChecked is the KPrimop operator of a guard-refinement filter: a
+// transparent pass-through that drops pairs whose referent is a
+// diagnostics marker (null or uninit). The builder inserts such nodes
+// on branches guarded by a pointer test, e.g. the body of `if (p)`.
+const OpChecked = "checked"
 
 func (k NodeKind) String() string {
 	switch k {
@@ -108,6 +121,8 @@ func (k NodeKind) String() string {
 		return "alloc"
 	case KUnknown:
 		return "unknown"
+	case KFree:
+		return "free"
 	}
 	return fmt.Sprintf("node(%d)", int(k))
 }

@@ -1,0 +1,55 @@
+package vdg
+
+// ForwardStoreReach computes the set of store outputs reachable from
+// `from` by following store dataflow forward: through update, free, and
+// gamma nodes structurally, and interprocedurally through calls (a
+// call's store input continues into every callee's store formal) and
+// returns (a return sink's store continues to the post-call store of
+// every caller). The callees/callers functions supply the call graph
+// discovered by the analysis; either may be nil to restrict the walk to
+// one function.
+//
+// Checker clients use this to answer store-ordering questions — e.g.
+// "may this lookup observe a store state after that free?" — which the
+// points-to sets alone cannot, because pairs only accumulate.
+func ForwardStoreReach(from *Output, callees func(*Node) []*FuncGraph, callers func(*FuncGraph) []*Node) map[*Output]bool {
+	reached := make(map[*Output]bool)
+	var work []*Output
+	push := func(o *Output) {
+		if o != nil && !reached[o] {
+			reached[o] = true
+			work = append(work, o)
+		}
+	}
+	push(from)
+	for len(work) > 0 {
+		o := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, in := range o.Consumers {
+			n := in.Node
+			switch n.Kind {
+			case KUpdate, KFree:
+				if in.Index == 1 {
+					push(n.Outputs[0])
+				}
+			case KGamma:
+				if len(n.Outputs) > 0 && n.Outputs[0].IsStore {
+					push(n.Outputs[0])
+				}
+			case KCall:
+				if in.Index == 1 && callees != nil {
+					for _, fg := range callees(n) {
+						push(fg.StoreParam)
+					}
+				}
+			case KReturn:
+				if in.Index == 0 && callers != nil {
+					for _, call := range callers(n.Fn) {
+						push(CallStoreOut(call))
+					}
+				}
+			}
+		}
+	}
+	return reached
+}
