@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check bench golden
+.PHONY: all build test race vet fmt-check bench golden fuzz-smoke
 
 all: build test vet fmt-check
 
@@ -9,6 +9,9 @@ build:
 
 test:
 	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
@@ -27,3 +30,9 @@ bench:
 golden:
 	$(GO) test ./internal/checkers -run Golden -update
 	$(GO) test ./cmd/aliaslab -run ModRef -update
+
+# Short fuzzing pass over the robustness targets; CI runs the same.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParse -fuzztime=20s ./internal/parser
+	$(GO) test -fuzz=FuzzLoadAndSolve -fuzztime=20s ./internal/driver
+	$(GO) test -fuzz=FuzzVet -fuzztime=20s .

@@ -18,14 +18,17 @@
 package aliaslab
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"aliaslab/internal/baseline"
 	"aliaslab/internal/checkers"
 	"aliaslab/internal/core"
 	"aliaslab/internal/corpus"
 	"aliaslab/internal/driver"
+	"aliaslab/internal/limits"
 	"aliaslab/internal/modref"
 	"aliaslab/internal/stats"
 	"aliaslab/internal/vdg"
@@ -122,10 +125,49 @@ type Result struct {
 	sets  map[*vdg.Output]*core.PairSet
 	label string
 
+	// Degraded is true when a resource budget forced the analysis to
+	// return something coarser (or, for a stopped context-insensitive
+	// run, something partial) instead of the exact requested answer.
+	// Notes() explains what happened.
+	Degraded bool
+	notes    []string
+
 	// TransferFns and MeetOps count analysis work in the paper's terms
 	// (applications of flow-in and flow-out).
 	TransferFns int
 	MeetOps     int
+}
+
+// Notes returns the degradation trace for budget-governed runs: one
+// line per tier transition, empty when the analysis ran to completion.
+func (r *Result) Notes() []string { return r.notes }
+
+// Limits bounds a governed analysis run. Zero values mean unlimited.
+type Limits struct {
+	// Timeout is the wall-clock budget for the whole run (all
+	// degradation tiers together).
+	Timeout time.Duration
+
+	// MaxSteps caps transfer-function applications (flow-ins) per
+	// analysis attempt; MaxPairs caps the points-to pair census.
+	MaxSteps int
+	MaxPairs int
+
+	// WidenAssumptions is the assumption-set bound used by the widened
+	// middle tier of the context-sensitive degradation ladder
+	// (DefaultWidenAssumptions when 0).
+	WidenAssumptions int
+}
+
+func (l Limits) budget(ctx context.Context) (limits.Budget, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cancel := context.CancelFunc(func() {})
+	if l.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, l.Timeout)
+	}
+	return limits.Budget{Ctx: ctx, MaxSteps: l.MaxSteps, MaxPairs: l.MaxPairs}, cancel
 }
 
 // Analyze runs the context-insensitive analysis (paper Figure 1).
@@ -151,6 +193,62 @@ func (p *Program) AnalyzeContextSensitive(maxSteps int) (*Result, error) {
 		prog: p, ci: ci, sets: cs.Strip(), label: "context-sensitive",
 		TransferFns: cs.Metrics.FlowIns, MeetOps: cs.Metrics.FlowOuts,
 	}, nil
+}
+
+// AnalyzeLimited runs the context-insensitive analysis under a
+// resource budget. If the budget trips mid-fixpoint the partial result
+// comes back with Degraded set AND a non-nil error: a stopped
+// context-insensitive solution under-approximates and must not be
+// used as a may-alias answer.
+func (p *Program) AnalyzeLimited(ctx context.Context, lim Limits) (*Result, error) {
+	budget, cancel := lim.budget(ctx)
+	defer cancel()
+	gr := core.AnalyzeGoverned(p.unit.Graph, core.GovernedOptions{Budget: budget})
+	res := resultFromGoverned(p, gr, "context-insensitive")
+	if gr.Tier == core.TierPartialCI {
+		return res, fmt.Errorf("aliaslab: context-insensitive analysis stopped early (%v); partial result is not sound", gr.Stopped)
+	}
+	return res, nil
+}
+
+// AnalyzeContextSensitiveLimited runs the context-sensitive analysis
+// under a resource budget with graceful degradation: exact CS first,
+// then CS with assumption-set widening, then the context-insensitive
+// result. All three tiers are sound over-approximations; Degraded and
+// Notes on the Result say which one answered. The error is non-nil
+// only when even the context-insensitive fallback could not finish
+// (its partial, unsound state is still returned for inspection).
+func (p *Program) AnalyzeContextSensitiveLimited(ctx context.Context, lim Limits) (*Result, error) {
+	budget, cancel := lim.budget(ctx)
+	defer cancel()
+	gr := core.AnalyzeGoverned(p.unit.Graph, core.GovernedOptions{
+		Budget:           budget,
+		Sensitive:        true,
+		WidenAssumptions: lim.WidenAssumptions,
+	})
+	res := resultFromGoverned(p, gr, "context-sensitive")
+	if gr.Tier == core.TierPartialCI {
+		return res, fmt.Errorf("aliaslab: analysis stopped early (%v); partial result is not sound", gr.Stopped)
+	}
+	return res, nil
+}
+
+// resultFromGoverned adapts a degradation-pipeline outcome to the
+// public Result shape.
+func resultFromGoverned(p *Program, gr *core.GovernedResult, requested string) *Result {
+	res := &Result{
+		prog: p, ci: gr.CI, sets: gr.Sets, label: requested,
+		Degraded: gr.Degraded(), notes: gr.Notes,
+		TransferFns: gr.CI.Metrics.FlowIns, MeetOps: gr.CI.Metrics.FlowOuts,
+	}
+	if gr.CS != nil {
+		res.TransferFns = gr.CS.Metrics.FlowIns
+		res.MeetOps = gr.CS.Metrics.FlowOuts
+	}
+	if gr.Degraded() {
+		res.label = fmt.Sprintf("%s (degraded: %s)", requested, gr.Tier)
+	}
+	return res
 }
 
 // AnalyzeBaseline runs the Weihl-style program-wide, flow-insensitive
@@ -304,17 +402,32 @@ func Checkers() map[string]string {
 // back in a deterministic order: by position, then checker, then
 // message.
 func (p *Program) Vet(checkerIDs ...string) ([]Diagnostic, error) {
+	diags, _, err := p.vet(limits.Budget{}, checkerIDs)
+	return diags, err
+}
+
+// VetLimited is Vet under a resource budget. The boolean reports
+// degradation: when the underlying points-to analysis hit the budget,
+// the diagnostics come from a partial (unsound) solution and are
+// best-effort only — findings may be missing.
+func (p *Program) VetLimited(ctx context.Context, lim Limits, checkerIDs ...string) ([]Diagnostic, bool, error) {
+	budget, cancel := lim.budget(ctx)
+	defer cancel()
+	return p.vet(budget, checkerIDs)
+}
+
+func (p *Program) vet(budget limits.Budget, checkerIDs []string) ([]Diagnostic, bool, error) {
 	sel, err := checkers.Select(checkerIDs)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	opts := p.unit.Opts
 	opts.Diagnostics = true
 	u, err := driver.LoadString(p.unit.Name, p.unit.Source, opts)
 	if err != nil {
-		return nil, fmt.Errorf("aliaslab: rebuilding for vet: %w", err)
+		return nil, false, fmt.Errorf("aliaslab: rebuilding for vet: %w", err)
 	}
-	res := core.AnalyzeInsensitive(u.Graph)
+	res := core.AnalyzeInsensitiveBudgeted(u.Graph, budget)
 	diags := checkers.Run(checkers.NewContext(u.Graph, res), sel)
 	out := make([]Diagnostic, 0, len(diags))
 	for _, d := range diags {
@@ -329,7 +442,7 @@ func (p *Program) Vet(checkerIDs ...string) ([]Diagnostic, error) {
 		}
 		out = append(out, pub)
 	}
-	return out, nil
+	return out, res.Stopped != nil, nil
 }
 
 // Compare reports how two results differ: the number of pairs in a but

@@ -11,9 +11,16 @@
 // (-print pointsto|indirect|modref|callgraph|sizes), ablations, and the
 // checker mode (-vet, filtered with -checkers and rendered per
 // -format).
+//
+// Resource governance: -timeout, -max-steps, and -max-pairs bound the
+// run. A context-sensitive analysis that blows its budget degrades
+// gracefully (assumption-set widening, then the context-insensitive
+// answer) instead of failing; degraded output is labeled and explained
+// on stderr.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -26,6 +33,7 @@ import (
 	"aliaslab/internal/core"
 	"aliaslab/internal/corpus"
 	"aliaslab/internal/driver"
+	"aliaslab/internal/limits"
 	"aliaslab/internal/modref"
 	"aliaslab/internal/report"
 	"aliaslab/internal/stats"
@@ -48,7 +56,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	noSSA := fs.Bool("nossa", false, "ablation: keep non-addressed scalars in the store")
 	singleHeap := fs.Bool("singleheap", false, "ablation: one heap base location for all allocation sites")
 	recursiveSingle := fs.Bool("recursivesingle", false, "ablation: single-instance locations for address-taken locals of recursive procedures")
-	maxSteps := fs.Int("maxsteps", 50_000_000, "context-sensitive analysis step bound")
+	var maxSteps int
+	fs.IntVar(&maxSteps, "max-steps", 50_000_000, "per-attempt cap on transfer-function applications (0 = unlimited)")
+	fs.IntVar(&maxSteps, "maxsteps", 50_000_000, "alias for -max-steps")
+	maxPairs := fs.Int("max-pairs", 0, "cap on materialized points-to pairs per attempt (0 = unlimited)")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole analysis, e.g. 30s (0 = none)")
 	vet := fs.Bool("vet", false, "run the pointer-bug checkers instead of printing analysis results")
 	checkersFlag := fs.String("checkers", "", "comma-separated checker IDs for -vet (default: all; see -vet -checkers help)")
 	format := fs.String("format", "text", "-vet output format: text or json")
@@ -86,26 +98,52 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	// Assemble the resource budget shared by all analysis modes. The
+	// deadline spans the whole run; step/pair caps apply per attempt.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	budget := limits.Budget{Ctx: ctx, MaxSteps: maxSteps, MaxPairs: *maxPairs}
+
 	if *vet {
-		return runVet(u, *checkersFlag, *format, stdout, stderr)
+		return runVet(u, budget, *checkersFlag, *format, stdout, stderr)
 	}
 
-	// Run the selected analysis, always materializing a per-output pair
-	// map plus a CI result for clients that need the call graph.
-	ci := core.AnalyzeInsensitive(u.Graph)
-	sets := ci.Sets
-	label := "context-insensitive"
+	// Run the selected analysis under the budget, always materializing a
+	// per-output pair map plus a CI result for clients that need the
+	// call graph. Blowing the budget degrades (CS widens, then falls
+	// back to CI) rather than failing; the label carries the tier so the
+	// output cannot be mistaken for the exact answer.
+	var ci *core.Result
+	var sets map[*vdg.Output]*core.PairSet
+	var label string
+	unsound := false
 	switch *analysis {
-	case "ci":
-	case "cs":
-		cs := core.AnalyzeSensitive(u.Graph, core.SensitiveOptions{CI: ci, MaxSteps: *maxSteps})
-		if cs.Aborted {
-			fmt.Fprintln(stderr, "aliaslab: context-sensitive analysis exceeded the step bound")
-			return 1
+	case "ci", "cs":
+		gr := core.AnalyzeGoverned(u.Graph, core.GovernedOptions{
+			Budget:    budget,
+			Sensitive: *analysis == "cs",
+		})
+		ci, sets = gr.CI, gr.Sets
+		label = "context-insensitive"
+		if *analysis == "cs" {
+			label = "context-sensitive"
 		}
-		sets = cs.Strip()
-		label = "context-sensitive"
+		if gr.Degraded() {
+			for _, n := range gr.Notes {
+				fmt.Fprintln(stderr, "aliaslab:", n)
+			}
+			label += " (degraded: " + gr.Tier.String() + ")"
+		}
+		if !gr.Tier.Sound() {
+			unsound = true
+			fmt.Fprintln(stderr, "aliaslab: warning: partial context-insensitive fixpoint; the result under-approximates and is NOT a sound may-alias answer")
+		}
 	case "baseline":
+		ci = core.AnalyzeInsensitive(u.Graph)
 		sets = baseline.Analyze(u.Graph).Sets()
 		label = "program-wide (Weihl baseline)"
 	default:
@@ -137,13 +175,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "aliaslab: unknown -print mode", *print_)
 		return 2
 	}
+	if unsound {
+		return 1
+	}
 	return 0
 }
 
 // runVet executes the checker suite over an instrumented unit and
 // renders the diagnostics. Exit status 1 signals findings, 0 a clean
-// program (mirroring `go vet`).
-func runVet(u *driver.Unit, checkerIDs, format string, stdout, stderr io.Writer) int {
+// program (mirroring `go vet`), and 3 a degraded run: the points-to
+// analysis hit its budget, so the findings are best-effort and a clean
+// report does not certify the program.
+func runVet(u *driver.Unit, budget limits.Budget, checkerIDs, format string, stdout, stderr io.Writer) int {
 	var ids []string
 	if checkerIDs != "" {
 		for _, id := range strings.Split(checkerIDs, ",") {
@@ -157,19 +200,29 @@ func runVet(u *driver.Unit, checkerIDs, format string, stdout, stderr io.Writer)
 		fmt.Fprintln(stderr, "aliaslab:", err)
 		return 2
 	}
-	res := core.AnalyzeInsensitive(u.Graph)
+	res := core.AnalyzeInsensitiveBudgeted(u.Graph, budget)
 	diags := checkers.Run(checkers.NewContext(u.Graph, res), sel)
+	degradedReason := ""
+	if res.Stopped != nil {
+		degradedReason = res.Stopped.Error()
+		fmt.Fprintf(stderr, "aliaslab: warning: vet ran on a partial points-to solution (%s); findings may be missing\n", degradedReason)
+	}
 	switch format {
 	case "text":
 		report.WriteDiags(stdout, diags)
 	case "json":
-		if err := report.WriteDiagsJSON(stdout, diags); err != nil {
+		// The JSON shape only changes when degraded, so existing
+		// consumers of the plain array are unaffected by healthy runs.
+		if err := report.WriteDiagsJSONDegraded(stdout, diags, degradedReason); err != nil {
 			fmt.Fprintln(stderr, "aliaslab:", err)
 			return 1
 		}
 	default:
 		fmt.Fprintln(stderr, "aliaslab: unknown -format", format)
 		return 2
+	}
+	if degradedReason != "" {
+		return 3
 	}
 	if len(diags) > 0 {
 		return 1

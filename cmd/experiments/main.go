@@ -34,6 +34,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+	// Per-unit failures don't stop the batch: report them, render the
+	// figures for the programs that did analyze.
+	failed := experiments.Failures(rs)
+	for _, r := range failed {
+		fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", r.Name, r.Err)
+	}
 
 	w := os.Stdout
 	switch {
@@ -54,5 +60,8 @@ func main() {
 		os.Exit(2)
 	default:
 		experiments.WriteAll(w, rs)
+	}
+	if len(failed) > 0 {
+		os.Exit(1)
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"aliaslab/internal/limits"
 	"aliaslab/internal/paths"
 	"aliaslab/internal/vdg"
 )
@@ -28,6 +29,12 @@ type Result struct {
 	Callers map[*vdg.FuncGraph][]*vdg.Node
 
 	Metrics Metrics
+
+	// Stopped is non-nil when a resource budget halted the fixpoint
+	// before convergence. The sets computed so far are then an
+	// under-approximation of the fixpoint and must not be used as a
+	// sound may-alias answer; callers degrade or report instead.
+	Stopped *limits.Violation
 }
 
 // Pairs returns the pair set of o (possibly empty, never nil).
@@ -59,8 +66,17 @@ type insensitive struct {
 }
 
 // AnalyzeInsensitive runs the context-insensitive points-to analysis of
-// [Ruf95, Figure 1] over the whole-program VDG.
+// [Ruf95, Figure 1] over the whole-program VDG, with no resource
+// limits (it always runs to the fixpoint).
 func AnalyzeInsensitive(g *vdg.Graph) *Result {
+	return AnalyzeInsensitiveBudgeted(g, limits.Budget{})
+}
+
+// AnalyzeInsensitiveBudgeted is AnalyzeInsensitive under a resource
+// budget: the worklist loop checks the budget before every flow-in and
+// stops with Result.Stopped set when a limit trips. Under the zero
+// (unlimited) budget the result is identical to AnalyzeInsensitive.
+func AnalyzeInsensitiveBudgeted(g *vdg.Graph, budget limits.Budget) *Result {
 	a := &insensitive{
 		g: g,
 		res: &Result{
@@ -81,7 +97,12 @@ func AnalyzeInsensitive(g *vdg.Graph) *Result {
 		}
 	}
 
+	gate := budget.Gate()
 	for a.head < len(a.work) {
+		if v := gate.Step(a.res.Metrics.FlowIns, a.res.Metrics.Pairs); v != nil {
+			a.res.Stopped = v
+			break
+		}
 		item := a.work[a.head]
 		a.head++
 		a.res.Metrics.FlowIns++

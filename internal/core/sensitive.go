@@ -1,6 +1,7 @@
 package core
 
 import (
+	"aliaslab/internal/limits"
 	"aliaslab/internal/paths"
 	"aliaslab/internal/vdg"
 )
@@ -26,6 +27,23 @@ type SensitiveOptions struct {
 	// polynomially bounded context space. Sets are truncated to their
 	// first MaxAssumptions elements in canonical order.
 	MaxAssumptions int
+
+	// Budget adds resource limits (step/pair caps, wall-clock deadline)
+	// checked before every flow-in, on top of MaxSteps. When the budget
+	// trips, the analysis stops with Aborted and Stopped set. A
+	// positive Budget.MaxAssumptions also enables widening, as if set
+	// via the MaxAssumptions field above (the larger of the two wins
+	// nothing — the smaller positive bound applies).
+	Budget limits.Budget
+}
+
+// effectiveMaxAssumptions merges the two ways to request widening.
+func (o SensitiveOptions) effectiveMaxAssumptions() int {
+	k := o.MaxAssumptions
+	if b := o.Budget.MaxAssumptions; b > 0 && (k <= 0 || b < k) {
+		k = b
+	}
+	return k
 }
 
 // SensitiveResult is the output of the context-sensitive analysis.
@@ -41,10 +59,21 @@ type SensitiveResult struct {
 
 	Metrics Metrics
 
-	// Aborted is set when MaxSteps was exhausted; results are then a
-	// sound under-approximation of the fixpoint and must not be used
-	// for precision comparisons.
+	// Aborted is set when MaxSteps or the budget was exhausted; results
+	// are then an under-approximation of the fixpoint and must not be
+	// used for precision comparisons or as a sound may-alias answer.
 	Aborted bool
+
+	// Stopped identifies the budget limit that aborted the analysis
+	// (nil when the fixpoint converged, or when only the legacy
+	// MaxSteps bound tripped).
+	Stopped *limits.Violation
+
+	// Widened reports that assumption-set widening was active: the
+	// result is a sound over-approximation of the exact
+	// context-sensitive fixpoint (but still at least as precise as the
+	// context-insensitive one on stripped pairs).
+	Widened bool
 }
 
 // QPairs returns the qualified pair set of o (possibly empty, never nil).
@@ -88,6 +117,9 @@ type sensitive struct {
 	at   *ATable
 	opts SensitiveOptions
 
+	// maxAssumptions is the resolved widening threshold (0 = exact).
+	maxAssumptions int
+
 	work []qItem
 	head int
 
@@ -117,10 +149,12 @@ func AnalyzeSensitive(g *vdg.Graph, opts SensitiveOptions) *SensitiveResult {
 			Callees: make(map[*vdg.Node][]*vdg.FuncGraph),
 			Callers: make(map[*vdg.FuncGraph][]*vdg.Node),
 		},
-		at:       NewATable(),
-		opts:     opts,
-		retNeeds: make(map[*vdg.Output]map[Pair][]retEntry),
+		at:             NewATable(),
+		opts:           opts,
+		maxAssumptions: opts.effectiveMaxAssumptions(),
+		retNeeds:       make(map[*vdg.Output]map[Pair][]retEntry),
 	}
+	a.res.Widened = a.maxAssumptions > 0
 	if opts.CI != nil {
 		a.singleLoc = make(map[*vdg.Node]bool)
 		a.ciLocRefs = make(map[*vdg.Node][]*paths.Path)
@@ -144,9 +178,15 @@ func AnalyzeSensitive(g *vdg.Graph, opts SensitiveOptions) *SensitiveResult {
 		}
 	}
 
+	gate := opts.Budget.Gate()
 	for a.head < len(a.work) {
 		if opts.MaxSteps > 0 && a.res.Metrics.FlowIns >= opts.MaxSteps {
 			a.res.Aborted = true
+			break
+		}
+		if v := gate.Step(a.res.Metrics.FlowIns, a.res.Metrics.Pairs); v != nil {
+			a.res.Aborted = true
+			a.res.Stopped = v
 			break
 		}
 		item := a.work[a.head]
@@ -158,10 +198,11 @@ func AnalyzeSensitive(g *vdg.Graph, opts SensitiveOptions) *SensitiveResult {
 	return a.res
 }
 
-// bound enforces MaxAssumptions by truncating oversized sets (a sound
-// weakening: fewer assumptions means the pair holds more broadly).
+// bound enforces the widening threshold by truncating oversized sets
+// (a sound weakening: fewer assumptions means the pair holds more
+// broadly).
 func (a *sensitive) bound(s *ASet) *ASet {
-	k := a.opts.MaxAssumptions
+	k := a.maxAssumptions
 	if k <= 0 || s.Len() <= k {
 		return s
 	}

@@ -9,6 +9,7 @@
 package ctypes
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 )
@@ -58,6 +59,34 @@ type Field struct {
 	Type *Type
 }
 
+// InternalError reports a misuse of the type API — a front-end bug,
+// not a user error. Result panics with one so the driver's panic guard
+// can attribute the failure; Basic returns one so callers can turn it
+// into a source diagnostic.
+type InternalError struct {
+	Op     string // the operation that failed, e.g. "Basic", "Result"
+	Detail string
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("ctypes: %s: %s", e.Op, e.Detail)
+}
+
+// AsInternal extracts an *InternalError from a recovered panic value
+// or an error chain.
+func AsInternal(v any) (*InternalError, bool) {
+	switch v := v.(type) {
+	case *InternalError:
+		return v, true
+	case error:
+		var ie *InternalError
+		if errors.As(v, &ie) {
+			return ie, true
+		}
+	}
+	return nil, false
+}
+
 // Singleton basic types. They are compared by pointer identity.
 var (
 	VoidType   = &Type{Kind: Void}
@@ -68,23 +97,25 @@ var (
 	DoubleType = &Type{Kind: Double}
 )
 
-// Basic returns the singleton for a named basic type.
-func Basic(name string) *Type {
+// Basic returns the singleton for a named basic type, or an
+// *InternalError for a name the subset does not model. Callers decide
+// whether that is a diagnostic (checker) or a bug (everything else).
+func Basic(name string) (*Type, error) {
 	switch name {
 	case "void":
-		return VoidType
+		return VoidType, nil
 	case "char":
-		return CharType
+		return CharType, nil
 	case "int":
-		return IntType
+		return IntType, nil
 	case "long":
-		return LongType
+		return LongType, nil
 	case "float":
-		return FloatType
+		return FloatType, nil
 	case "double":
-		return DoubleType
+		return DoubleType, nil
 	}
-	panic("ctypes: unknown basic type " + name)
+	return nil, &InternalError{Op: "Basic", Detail: "unknown basic type " + name}
 }
 
 // PointerTo returns a pointer type to elem.
@@ -99,10 +130,13 @@ func FuncOf(params []*Type, variadic bool, result *Type) *Type {
 	return &Type{Kind: Func, Params: params, Variadic: variadic, Elem: result}
 }
 
-// Result returns a function type's result type.
+// Result returns a function type's result type. Calling it on a
+// non-function is a front-end bug: it panics with a typed
+// *InternalError that the driver's per-stage guard recovers into a
+// structured diagnostic rather than a process crash.
 func (t *Type) Result() *Type {
 	if t.Kind != Func {
-		panic("ctypes: Result on non-function")
+		panic(&InternalError{Op: "Result", Detail: "receiver is " + t.String() + ", not a function"})
 	}
 	return t.Elem
 }

@@ -1,17 +1,28 @@
 package ctypes
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestBasicSingletons(t *testing.T) {
-	if Basic("int") != IntType || Basic("char") != CharType || Basic("void") != VoidType {
-		t.Fatal("basic types must be singletons")
-	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("unknown basic type must panic")
+	for name, want := range map[string]*Type{"int": IntType, "char": CharType, "void": VoidType} {
+		got, err := Basic(name)
+		if err != nil || got != want {
+			t.Fatalf("Basic(%q) = %v, %v; want the singleton", name, got, err)
 		}
-	}()
-	Basic("quux")
+	}
+}
+
+func TestBasicUnknownReturnsInternalError(t *testing.T) {
+	typ, err := Basic("quux")
+	if typ != nil || err == nil {
+		t.Fatalf("Basic(quux) = %v, %v; want nil, error", typ, err)
+	}
+	ie, ok := AsInternal(err)
+	if !ok || ie.Op != "Basic" || !strings.Contains(ie.Detail, "quux") {
+		t.Fatalf("error not a typed InternalError: %#v", err)
+	}
 }
 
 func TestPredicates(t *testing.T) {
@@ -115,10 +126,15 @@ func TestFieldLookup(t *testing.T) {
 	}
 }
 
-func TestResultPanicsOnNonFunction(t *testing.T) {
+func TestResultPanicsTypedOnNonFunction(t *testing.T) {
 	defer func() {
-		if recover() == nil {
+		r := recover()
+		if r == nil {
 			t.Fatal("Result on non-function must panic")
+		}
+		ie, ok := AsInternal(r)
+		if !ok || ie.Op != "Result" {
+			t.Fatalf("panic value is %#v, want *InternalError{Op: Result}", r)
 		}
 	}()
 	IntType.Result()

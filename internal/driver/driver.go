@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"aliaslab/internal/ast"
+	"aliaslab/internal/limits"
 	"aliaslab/internal/parser"
 	"aliaslab/internal/sema"
 	"aliaslab/internal/vdg"
@@ -33,17 +34,43 @@ type Unit struct {
 }
 
 // LoadString processes source text through the whole front end.
-// It returns an error aggregating all diagnostics when any stage fails.
+// It returns an error aggregating all diagnostics when any stage
+// fails. Every stage runs behind a panic guard: an internal error in
+// the lexer, parser, checker, or VDG builder comes back as a
+// structured *limits.PanicError (wrapped with the unit name) instead
+// of killing the process — one malformed unit must never take down a
+// batch run.
 func LoadString(name, src string, opts vdg.Options) (*Unit, error) {
-	file, perrs := parser.ParseFile(name, src)
+	var file *ast.File
+	var perrs []*parser.Error
+	if err := limits.Guard("parse "+name, func() error {
+		file, perrs = parser.ParseFile(name, src)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	if len(perrs) > 0 {
 		return nil, diagError("parse", len(perrs), firstN(perrs, 10))
 	}
-	prog, serrs := sema.Check(file)
+	var prog *sema.Program
+	var serrs []*sema.Error
+	if err := limits.Guard("typecheck "+name, func() error {
+		prog, serrs = sema.Check(file)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	if len(serrs) > 0 {
 		return nil, diagError("typecheck", len(serrs), firstN(serrs, 10))
 	}
-	graph, berrs := vdg.Build(prog, opts)
+	var graph *vdg.Graph
+	var berrs []*vdg.BuildError
+	if err := limits.Guard("build "+name, func() error {
+		graph, berrs = vdg.Build(prog, opts)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	if len(berrs) > 0 {
 		return nil, diagError("build", len(berrs), firstN(berrs, 10))
 	}

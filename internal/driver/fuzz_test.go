@@ -1,0 +1,51 @@
+package driver_test
+
+import (
+	"testing"
+
+	"aliaslab/internal/core"
+	"aliaslab/internal/driver"
+	"aliaslab/internal/limits"
+	"aliaslab/internal/vdg"
+)
+
+// FuzzLoadAndSolve drives arbitrary source through the whole pipeline —
+// parse, typecheck, VDG build, budgeted context-insensitive solve. The
+// budget keeps pathological inputs from hanging the fuzzer; the panic
+// guards in the driver must convert any internal error into a returned
+// error, so reaching a panic here is a real bug.
+func FuzzLoadAndSolve(f *testing.F) {
+	seeds := []string{
+		"int main(void) { return 0; }",
+		"int g; int *p; int main(void) { p = &g; return *p; }",
+		`struct n { struct n *next; };
+struct n a; struct n b;
+int main(void) { a.next = &b; b.next = &a; return 0; }`,
+		`void swap(int **p, int **q) { int *t; t = *p; *p = *q; *q = t; }
+int x; int y;
+int main(void) { int *u; int *v; u = &x; v = &y; swap(&u, &v); return *u; }`,
+		"int f(void); int (*fp)(void) = f; int f(void) { return fp(); } int main(void) { return f(); }",
+		"int main(void) { int *p; p = (int *) malloc(4); *p = 1; free(p); return 0; }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		u, err := driver.LoadString("fuzz.c", src, vdg.Options{})
+		if err != nil {
+			if pe, ok := limits.AsPanic(err); ok {
+				t.Fatalf("front end panicked: %s", pe.Detail())
+			}
+			return // ordinary diagnostics: expected on arbitrary input
+		}
+		budget := limits.Budget{MaxSteps: 20_000, MaxPairs: 50_000}
+		res := core.AnalyzeInsensitiveBudgeted(u.Graph, budget)
+		if res == nil {
+			t.Fatal("budgeted solve returned nil result")
+		}
+		if res.Stopped == nil && res.Metrics.FlowIns >= budget.MaxSteps {
+			t.Fatalf("solver did %d flow-ins past the %d-step budget without reporting a stop",
+				res.Metrics.FlowIns, budget.MaxSteps)
+		}
+	})
+}

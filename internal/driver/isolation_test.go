@@ -1,0 +1,106 @@
+package driver_test
+
+// Panic-isolation tests: an internal error anywhere in the front end
+// must come back as a structured diagnostic, never crash the process,
+// and must not poison subsequent units.
+
+import (
+	"strings"
+	"testing"
+
+	"aliaslab/internal/driver"
+	"aliaslab/internal/limits"
+	"aliaslab/internal/vdg"
+)
+
+const okSrc = `
+int g;
+int *p;
+int main(void) {
+	p = &g;
+	return *p;
+}
+`
+
+// TestInjectedProcedurePanicBecomesDiagnostic injects a panic while
+// building one specific procedure and checks that (a) the unit fails
+// with a structured build diagnostic naming the procedure, and (b)
+// other procedures of the same unit, and entirely separate units,
+// still process.
+func TestInjectedProcedurePanicBecomesDiagnostic(t *testing.T) {
+	vdg.TestHookBuildFunc = func(fnName string) {
+		if fnName == "boom" {
+			panic("injected test panic")
+		}
+	}
+	defer func() { vdg.TestHookBuildFunc = nil }()
+
+	src := `
+int g;
+void boom(void) { g = 1; }
+int main(void) { return g; }
+`
+	_, err := driver.LoadString("boom.c", src, vdg.Options{})
+	if err == nil {
+		t.Fatal("injected panic produced no error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "build") || !strings.Contains(msg, "boom") ||
+		!strings.Contains(msg, "injected test panic") {
+		t.Fatalf("diagnostic does not identify the broken procedure: %v", msg)
+	}
+
+	// The same process keeps loading healthy units afterwards.
+	u, err := driver.LoadString("ok.c", okSrc, vdg.Options{})
+	if err != nil || u == nil {
+		t.Fatalf("healthy unit failed after injected panic: %v", err)
+	}
+}
+
+// TestUnitStagePanicIsStructured: a panic at the unit boundary (here
+// injected through the parse stage via the build hook on a nested
+// load) surfaces as *limits.PanicError with stage and stack.
+func TestUnitStagePanicIsStructured(t *testing.T) {
+	err := limits.Guard("parse demo.c", func() error { panic("frontend bug") })
+	pe, ok := limits.AsPanic(err)
+	if !ok {
+		t.Fatalf("want *limits.PanicError, got %T", err)
+	}
+	if pe.Stage != "parse demo.c" || !strings.Contains(string(pe.Stack), "isolation_test") {
+		t.Fatalf("panic not attributed: stage=%q", pe.Stage)
+	}
+}
+
+// TestPanicDoesNotAbortSiblingProcedures: the procedure after the
+// panicking one is still visited (isolation is per procedure, not
+// whole-build bailout).
+func TestPanicDoesNotAbortSiblingProcedures(t *testing.T) {
+	var visited []string
+	vdg.TestHookBuildFunc = func(fnName string) {
+		visited = append(visited, fnName)
+		if fnName == "first" {
+			panic("injected")
+		}
+	}
+	defer func() { vdg.TestHookBuildFunc = nil }()
+
+	src := `
+int g;
+void first(void) { g = 1; }
+void second(void) { g = 2; }
+int main(void) { return g; }
+`
+	_, err := driver.LoadString("multi.c", src, vdg.Options{})
+	if err == nil {
+		t.Fatal("want build error from injected panic")
+	}
+	want := []string{"first", "second", "main"}
+	if len(visited) != len(want) {
+		t.Fatalf("visited %v, want %v", visited, want)
+	}
+	for i := range want {
+		if visited[i] != want[i] {
+			t.Fatalf("visited %v, want %v", visited, want)
+		}
+	}
+}

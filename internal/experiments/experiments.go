@@ -11,6 +11,7 @@ import (
 	"aliaslab/internal/core"
 	"aliaslab/internal/corpus"
 	"aliaslab/internal/driver"
+	"aliaslab/internal/limits"
 	"aliaslab/internal/report"
 	"aliaslab/internal/stats"
 	"aliaslab/internal/vdg"
@@ -33,45 +34,79 @@ type ProgramResult struct {
 
 	CISets map[*vdg.Output]*core.PairSet
 	CSSets map[*vdg.Output]*core.PairSet
+
+	// Err records a per-unit failure — front-end diagnostics, a panic
+	// recovered at the driver boundary, an aborted fixpoint. A failed
+	// unit still occupies its slot in batch results so the remaining
+	// corpus keeps analyzing; figures skip it.
+	Err error
 }
+
+// Failed reports whether this unit produced no usable analysis.
+func (r *ProgramResult) Failed() bool { return r.Err != nil }
 
 // Run loads and analyzes one corpus program. withCS additionally runs
-// the context-sensitive analysis (with the §4.2 optimizations).
+// the context-sensitive analysis (with the §4.2 optimizations). The
+// whole unit runs behind a panic guard: any failure is recorded in
+// ProgramResult.Err (and mirrored in the returned error), never
+// propagated as a crash.
 func Run(name string, withCS bool, opts vdg.Options) (*ProgramResult, error) {
-	u, err := corpus.Load(name, opts)
-	if err != nil {
-		return nil, err
-	}
-	r := &ProgramResult{Name: name, Unit: u}
-
-	t0 := time.Now()
-	r.CI = core.AnalyzeInsensitive(u.Graph)
-	r.CITime = time.Since(t0)
-	r.CISets = r.CI.Sets
-
-	if withCS {
-		t0 = time.Now()
-		r.CS = core.AnalyzeSensitive(u.Graph, core.SensitiveOptions{CI: r.CI, MaxSteps: MaxCSSteps})
-		r.CSTime = time.Since(t0)
-		if r.CS.Aborted {
-			return nil, fmt.Errorf("%s: context-sensitive analysis exceeded %d steps", name, MaxCSSteps)
+	r := &ProgramResult{Name: name}
+	r.Err = limits.Guard("analyze "+name, func() error {
+		u, err := corpus.Load(name, opts)
+		if err != nil {
+			return err
 		}
-		r.CSSets = r.CS.Strip()
-	}
-	return r, nil
+		r.Unit = u
+
+		t0 := time.Now()
+		r.CI = core.AnalyzeInsensitive(u.Graph)
+		r.CITime = time.Since(t0)
+		r.CISets = r.CI.Sets
+
+		if withCS {
+			t0 = time.Now()
+			r.CS = core.AnalyzeSensitive(u.Graph, core.SensitiveOptions{CI: r.CI, MaxSteps: MaxCSSteps})
+			r.CSTime = time.Since(t0)
+			if r.CS.Aborted {
+				return fmt.Errorf("%s: context-sensitive analysis exceeded %d steps", name, MaxCSSteps)
+			}
+			r.CSSets = r.CS.Strip()
+		}
+		return nil
+	})
+	return r, r.Err
 }
 
-// RunAll analyzes the whole corpus.
+// RunAll analyzes the whole corpus. A failing unit does not stop the
+// batch: its ProgramResult carries the error and the remaining
+// programs still run. The returned error is non-nil only when every
+// unit failed.
 func RunAll(withCS bool, opts vdg.Options) ([]*ProgramResult, error) {
 	var out []*ProgramResult
+	failures := 0
 	for _, name := range corpus.Names() {
-		r, err := Run(name, withCS, opts)
-		if err != nil {
-			return nil, err
+		r, _ := Run(name, withCS, opts)
+		if r.Failed() {
+			failures++
 		}
 		out = append(out, r)
 	}
+	if failures == len(out) && failures > 0 {
+		return out, fmt.Errorf("experiments: all %d corpus programs failed", failures)
+	}
 	return out, nil
+}
+
+// Failures lists the failed units of a batch.
+func Failures(rs []*ProgramResult) []*ProgramResult {
+	var out []*ProgramResult
+	for _, r := range rs {
+		if r.Failed() {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // Names extracts the program names of a result list.
@@ -83,10 +118,22 @@ func Names(rs []*ProgramResult) []string {
 	return out
 }
 
+// ok filters a batch down to the units that produced results (figures
+// render what succeeded; Failures reports the rest).
+func ok(rs []*ProgramResult) []*ProgramResult {
+	out := make([]*ProgramResult, 0, len(rs))
+	for _, r := range rs {
+		if !r.Failed() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
 // Figure2 renders benchmark sizes.
 func Figure2(w io.Writer, rs []*ProgramResult) {
 	var rows []stats.SizeStats
-	for _, r := range rs {
+	for _, r := range ok(rs) {
 		rows = append(rows, stats.Sizes(r.Name, r.Unit.SourceLines, r.Unit.Graph))
 	}
 	report.Figure2(w, rows)
@@ -94,6 +141,7 @@ func Figure2(w io.Writer, rs []*ProgramResult) {
 
 // Figure3 renders the CI pair census.
 func Figure3(w io.Writer, rs []*ProgramResult) {
+	rs = ok(rs)
 	var rows []stats.PairCensus
 	for _, r := range rs {
 		rows = append(rows, stats.Census(r.Unit.Graph, r.CISets))
@@ -103,6 +151,7 @@ func Figure3(w io.Writer, rs []*ProgramResult) {
 
 // Figure4 renders the indirect read/write statistics under CI.
 func Figure4(w io.Writer, rs []*ProgramResult) {
+	rs = ok(rs)
 	var rows []stats.IndirectOps
 	for _, r := range rs {
 		rows = append(rows, stats.CountIndirect(r.Unit.Graph, r.CISets))
@@ -113,6 +162,7 @@ func Figure4(w io.Writer, rs []*ProgramResult) {
 // Figure6 renders the CS census with spurious percentages, plus the
 // headline check that indirect-operation results are identical.
 func Figure6(w io.Writer, rs []*ProgramResult) {
+	rs = ok(rs)
 	var rows []stats.PairCensus
 	var ciTotals []int
 	for _, r := range rs {
@@ -141,7 +191,7 @@ func Figure6(w io.Writer, rs []*ProgramResult) {
 func Figure7(w io.Writer, rs []*ProgramResult) {
 	all := stats.NewTypeMatrix()
 	spur := stats.NewTypeMatrix()
-	for _, r := range rs {
+	for _, r := range ok(rs) {
 		all.Merge(stats.BreakdownAll(r.Unit.Graph, r.CISets))
 		spur.Merge(stats.BreakdownSpurious(stats.SpuriousPairs(r.Unit.Graph, r.CISets, r.CSSets)))
 	}
@@ -154,7 +204,7 @@ func Figure7(w io.Writer, rs []*ProgramResult) {
 func Costs(w io.Writer, rs []*ProgramResult) {
 	headers := []string{"name", "CI flow-ins", "CS flow-ins", "ratio", "CI flow-outs", "CS flow-outs", "ratio", "CI time", "CS time", "slowdown"}
 	var rows [][]string
-	for _, r := range rs {
+	for _, r := range ok(rs) {
 		if r.CS == nil {
 			continue
 		}

@@ -1,0 +1,75 @@
+package experiments_test
+
+// Batch isolation: an internal panic while analyzing one corpus
+// program must be recorded on that unit's ProgramResult and must not
+// stop the remaining programs from producing results.
+
+import (
+	"strings"
+	"testing"
+
+	"aliaslab/internal/corpus"
+	"aliaslab/internal/experiments"
+	"aliaslab/internal/limits"
+	"aliaslab/internal/vdg"
+)
+
+func TestInjectedPanicIsolatedToOneCorpusUnit(t *testing.T) {
+	// new_left_particle exists only in part.c, so exactly one unit of
+	// the batch blows up.
+	vdg.TestHookBuildFunc = func(fnName string) {
+		if fnName == "new_left_particle" {
+			panic("injected corpus panic")
+		}
+	}
+	defer func() { vdg.TestHookBuildFunc = nil }()
+
+	rs, err := experiments.RunAll(false, vdg.Options{})
+	if err != nil {
+		t.Fatalf("RunAll failed outright, want per-unit isolation: %v", err)
+	}
+	if len(rs) != len(corpus.Names()) {
+		t.Fatalf("got %d results, want one per corpus program (%d)", len(rs), len(corpus.Names()))
+	}
+
+	failed := experiments.Failures(rs)
+	if len(failed) != 1 || failed[0].Name != "part" {
+		t.Fatalf("failures = %v, want exactly [part]", experiments.Names(failed))
+	}
+	if msg := failed[0].Err.Error(); !strings.Contains(msg, "injected corpus panic") {
+		t.Fatalf("part's error does not carry the panic: %v", msg)
+	}
+
+	for _, r := range rs {
+		if r.Name == "part" {
+			continue
+		}
+		if r.Failed() || r.CI == nil || len(r.CISets) == 0 {
+			t.Fatalf("%s produced no CI result after sibling panic: err=%v", r.Name, r.Err)
+		}
+	}
+}
+
+// TestRunGuardsPanicAsError: a direct Run of the poisoned unit returns
+// the failure as an error value, never a crash, and the error is NOT a
+// raw PanicError — the builder converts per-procedure panics into
+// build diagnostics before the unit guard would see them.
+func TestRunGuardsPanicAsError(t *testing.T) {
+	vdg.TestHookBuildFunc = func(fnName string) {
+		if fnName == "new_left_particle" {
+			panic("injected corpus panic")
+		}
+	}
+	defer func() { vdg.TestHookBuildFunc = nil }()
+
+	r, err := experiments.Run("part", false, vdg.Options{})
+	if err == nil || !r.Failed() {
+		t.Fatal("poisoned unit reported success")
+	}
+	if _, ok := limits.AsPanic(err); ok {
+		t.Fatalf("panic escaped procedure isolation to the unit guard: %v", err)
+	}
+	if !strings.Contains(err.Error(), "build") {
+		t.Fatalf("want a build-stage diagnostic, got: %v", err)
+	}
+}

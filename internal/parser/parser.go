@@ -55,6 +55,7 @@ func ParseFile(name, src string) (*ast.File, []*Error) {
 	file := &ast.File{Name: name}
 	for !p.at(token.EOF) {
 		start := p.off
+		nerrs := len(p.errs)
 		d := p.parseTopDecl()
 		if d != nil {
 			file.Decls = append(file.Decls, d)
@@ -63,12 +64,59 @@ func ParseFile(name, src string) (*ast.File, []*Error) {
 			file.Decls = append(file.Decls, p.pending...)
 			p.pending = p.pending[:0]
 		}
+		if len(p.errs) > nerrs && !p.atTopDeclStart() {
+			// The declaration went wrong and we are sitting in the
+			// wreckage. Skip to the next plausible declaration boundary
+			// so each top-level mistake yields one diagnostic instead of
+			// a cascade.
+			p.synchronizeTop()
+		}
 		if p.off == start {
 			// Ensure progress even on malformed input.
 			p.advance()
 		}
 	}
 	return file, p.errs
+}
+
+// atTopDeclStart reports whether the current token can begin a
+// file-scope declaration.
+func (p *Parser) atTopDeclStart() bool {
+	switch p.cur().Kind {
+	case token.STATIC, token.EXTERN, token.TYPEDEF, token.EOF:
+		return true
+	}
+	return p.isTypeName(p.cur())
+}
+
+// synchronizeTop discards tokens until just past the next ';' or '}',
+// or until a token that can begin a file-scope declaration. Used after
+// a top-level parse error to resume at the next declaration.
+func (p *Parser) synchronizeTop() {
+	for !p.at(token.EOF) {
+		switch p.cur().Kind {
+		case token.SEMI, token.RBRACE:
+			p.advance()
+			return
+		}
+		if p.atTopDeclStart() {
+			return
+		}
+		p.advance()
+	}
+}
+
+// synchronizeStmt discards tokens until just past the next ';', or up
+// to (not past) a '}' so the enclosing block still sees its closer.
+// Used after a statement-level parse error.
+func (p *Parser) synchronizeStmt() {
+	for !p.at(token.EOF) && !p.at(token.RBRACE) {
+		if p.at(token.SEMI) {
+			p.advance()
+			return
+		}
+		p.advance()
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -605,7 +653,13 @@ func (p *Parser) parseBlock() *ast.Block {
 	b := &ast.Block{TokPos: pos}
 	for !p.at(token.RBRACE) && !p.at(token.EOF) {
 		start := p.off
+		nerrs := len(p.errs)
 		b.Stmts = append(b.Stmts, p.parseStmts()...)
+		if len(p.errs) > nerrs {
+			// Recover at the next statement boundary so one bad
+			// statement produces one diagnostic, not one per token.
+			p.synchronizeStmt()
+		}
 		if p.off == start {
 			p.advance()
 		}

@@ -43,6 +43,18 @@ type relatedJSON struct {
 // WriteDiagsJSON renders diagnostics as an indented JSON array (an
 // empty slice renders as []).
 func WriteDiagsJSON(w io.Writer, diags []checkers.Diag) error {
+	return writeDiagsJSON(w, diags, "")
+}
+
+// WriteDiagsJSONDegraded renders a degraded vet run: the output becomes
+// an object {"degraded": true, "reason": ..., "diagnostics": [...]} so
+// consumers cannot mistake a truncated analysis for a clean one. The
+// plain-array shape of WriteDiagsJSON is unchanged for healthy runs.
+func WriteDiagsJSONDegraded(w io.Writer, diags []checkers.Diag, reason string) error {
+	return writeDiagsJSON(w, diags, reason)
+}
+
+func writeDiagsJSON(w io.Writer, diags []checkers.Diag, degradedReason string) error {
 	out := make([]diagJSON, 0, len(diags))
 	for _, d := range diags {
 		j := diagJSON{
@@ -65,5 +77,12 @@ func WriteDiagsJSON(w io.Writer, diags []checkers.Diag) error {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
+	if degradedReason != "" {
+		return enc.Encode(struct {
+			Degraded    bool       `json:"degraded"`
+			Reason      string     `json:"reason"`
+			Diagnostics []diagJSON `json:"diagnostics"`
+		}{true, degradedReason, out})
+	}
 	return enc.Encode(out)
 }

@@ -337,7 +337,12 @@ func (c *Checker) resolveType(te ast.TypeExpr) *ctypes.Type {
 	}
 	switch te := te.(type) {
 	case *ast.BaseType:
-		return ctypes.Basic(te.Name)
+		bt, err := ctypes.Basic(te.Name)
+		if err != nil {
+			c.errorf(te.Pos(), "unsupported basic type %s", te.Name)
+			return ctypes.IntType
+		}
+		return bt
 	case *ast.NamedType:
 		if e := c.lookup(te.Name); e != nil && e.typedef != nil {
 			return e.typedef

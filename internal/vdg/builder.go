@@ -76,16 +76,45 @@ func Build(prog *sema.Program, opts Options) (*Graph, []*BuildError) {
 	}
 	for _, fn := range prog.Funcs {
 		if fn.Body != nil {
-			b.buildFunc(fn)
+			b.buildFuncIsolated(fn)
 		}
 	}
 	if mainFn := prog.FuncMap["main"]; mainFn != nil {
 		b.g.Entry = b.g.FuncOf[mainFn]
 	}
-	SimplifyGammas(b.g)
-	RemoveDeadNodes(b.g)
-	ClassifyIndirect(b.g)
+	// A recovered per-procedure panic leaves that function half-built;
+	// the unit is already doomed (errs is non-empty), so don't run the
+	// graph-wide passes over inconsistent nodes.
+	if !b.panicked {
+		SimplifyGammas(b.g)
+		RemoveDeadNodes(b.g)
+		ClassifyIndirect(b.g)
+	}
 	return b.g, b.errs
+}
+
+// TestHookBuildFunc, when non-nil, runs before each procedure is
+// built. Tests use it to inject per-procedure panics and prove the
+// isolation boundary; it must stay nil in production code.
+var TestHookBuildFunc func(fnName string)
+
+// buildFuncIsolated builds one procedure behind a recover boundary: a
+// panic while translating one function becomes a BuildError on that
+// function, and the remaining procedures still build. The graph nodes
+// created before the panic are left in place — harmless, because a
+// unit with build errors is rejected by the driver before any
+// analysis runs.
+func (b *builder) buildFuncIsolated(fn *sema.Function) {
+	defer func() {
+		if r := recover(); r != nil {
+			b.panicked = true
+			b.errorf(fn.Object.Pos, "internal error building %s: %v", fn.Name, r)
+		}
+	}()
+	if TestHookBuildFunc != nil {
+		TestHookBuildFunc(fn.Name)
+	}
+	b.buildFunc(fn)
 }
 
 type builder struct {
@@ -98,6 +127,10 @@ type builder struct {
 	strBases  map[*ast.StringLit]*paths.Base
 	heapBase  *paths.Base // when SingleHeapBase
 	heapSeq   int
+
+	// panicked records that a per-procedure panic was recovered; the
+	// graph may then contain a half-built function.
+	panicked bool
 }
 
 func (b *builder) errorf(pos token.Pos, format string, args ...any) {
