@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench golden fuzz-smoke
+.PHONY: all build test race vet fmt-check bench golden fuzz-smoke oracle race-canary
 
 all: build test vet fmt-check
 
@@ -30,6 +30,22 @@ bench:
 golden:
 	$(GO) test ./internal/checkers -run Golden -update
 	$(GO) test ./cmd/aliaslab -run ModRef -update
+
+# Differential/metamorphic oracle: the paper's invariants (CS ⊆ CI,
+# widening lattice, indirect agreement) over the corpus and fixtures,
+# plus parallel-batch determinism — under the race detector.
+oracle:
+	$(GO) test -race -count=1 ./internal/oracle
+
+# The deliberately-racy shared-universe canary must FAIL under -race;
+# a pass means the race detector lost sight of the pattern the worker
+# pool exists to prevent.
+race-canary:
+	@if $(GO) test -race -tags racecheck -run TestSharedUniverseCanary ./internal/sched >/dev/null 2>&1; then \
+		echo "race canary NOT caught: shared-universe race went undetected"; exit 1; \
+	else \
+		echo "race canary caught as expected"; \
+	fi
 
 # Short fuzzing pass over the robustness targets; CI runs the same.
 fuzz-smoke:

@@ -323,6 +323,33 @@ func BenchmarkFullReport(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchSequential and BenchmarkBatchParallel time the full
+// CI+CS corpus batch at worker-pool widths 1 and GOMAXPROCS. Their
+// ratio is the parallel speedup of the corpus engine; the reported
+// units metric pins the batch shape. Output is merge-order
+// deterministic, so the two configurations produce identical results —
+// only the wall clock moves.
+func BenchmarkBatchSequential(b *testing.B) {
+	benchmarkBatch(b, 1)
+}
+
+func BenchmarkBatchParallel(b *testing.B) {
+	benchmarkBatch(b, 0) // 0 = GOMAXPROCS workers
+}
+
+func benchmarkBatch(b *testing.B, jobs int) {
+	b.Helper()
+	var units int
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.RunBatch(corpus.Names(), experiments.BatchOptions{WithCS: true, Jobs: jobs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		units = len(rs)
+	}
+	b.ReportMetric(float64(units), "units")
+}
+
 // BenchmarkAblationBoundedAssumptions runs the CS analysis with
 // [LR92]-style bounded assumption sets (paper §4.2) and reports how much
 // of the unbounded analysis' precision the k=1 bound gives up.

@@ -1,9 +1,10 @@
-// Command aliaslab analyzes a mini-C source file with the points-to
+// Command aliaslab analyzes mini-C source files with the points-to
 // analyses of the study and prints the results.
 //
 // Usage:
 //
 //	aliaslab [flags] file.c
+//	aliaslab [flags] a.c b.c c.c     # multi-file batch, parallel via -jobs
 //	aliaslab -corpus part            # analyze an embedded benchmark
 //	aliaslab -vet file.c             # run the pointer-bug checkers
 //
@@ -12,14 +13,22 @@
 // checker mode (-vet, filtered with -checkers and rendered per
 // -format).
 //
+// With several files, each is an independent translation unit: units
+// analyze concurrently on a bounded worker pool (-jobs, default
+// GOMAXPROCS) and render in argument order under a "== file ==" header,
+// so the output is identical at any -jobs value. The exit status is the
+// highest per-file status.
+//
 // Resource governance: -timeout, -max-steps, and -max-pairs bound the
-// run. A context-sensitive analysis that blows its budget degrades
-// gracefully (assumption-set widening, then the context-insensitive
-// answer) instead of failing; degraded output is labeled and explained
-// on stderr.
+// run. In multi-file mode the caps govern the whole batch through one
+// shared ledger, not each file separately. A context-sensitive analysis
+// that blows its budget degrades gracefully (assumption-set widening,
+// then the context-insensitive answer) instead of failing; degraded
+// output is labeled and explained on stderr.
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -36,12 +45,25 @@ import (
 	"aliaslab/internal/limits"
 	"aliaslab/internal/modref"
 	"aliaslab/internal/report"
+	"aliaslab/internal/sched"
 	"aliaslab/internal/stats"
 	"aliaslab/internal/vdg"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// config is the per-unit part of the CLI configuration: everything
+// analyzeUnit needs once a unit is loaded.
+type config struct {
+	analysis string
+	print    string
+	fn       string
+	vet      bool
+	checkers string
+	format   string
+	budget   limits.Budget
 }
 
 // run is the whole CLI behind a testable seam: it parses args, executes
@@ -53,6 +75,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	print_ := fs.String("print", "indirect", "what to print: pointsto, indirect, modref, callgraph, sizes, dot")
 	fn := fs.String("fn", "main", "function to render with -print dot")
 	corpusName := fs.String("corpus", "", "analyze an embedded corpus program instead of a file")
+	jobs := fs.Int("jobs", 0, "files analyzed concurrently in multi-file mode (0 = GOMAXPROCS)")
 	noSSA := fs.Bool("nossa", false, "ablation: keep non-addressed scalars in the store")
 	singleHeap := fs.Bool("singleheap", false, "ablation: one heap base location for all allocation sites")
 	recursiveSingle := fs.Bool("recursivesingle", false, "ablation: single-instance locations for address-taken locals of recursive procedures")
@@ -82,24 +105,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Diagnostics:           *vet,
 	}
 
-	var u *driver.Unit
-	var err error
-	switch {
-	case *corpusName != "":
-		u, err = corpus.Load(*corpusName, opts)
-	case fs.NArg() == 1:
-		u, err = driver.LoadFile(fs.Arg(0), opts)
-	default:
-		fmt.Fprintln(stderr, "usage: aliaslab [flags] file.c  (or -corpus <name>)")
-		return 2
-	}
-	if err != nil {
-		fmt.Fprintln(stderr, "aliaslab:", err)
-		return 1
-	}
-
 	// Assemble the resource budget shared by all analysis modes. The
-	// deadline spans the whole run; step/pair caps apply per attempt.
+	// deadline spans the whole run; step/pair caps apply per attempt
+	// (per batch in multi-file mode, via a shared ledger).
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -108,8 +116,91 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	budget := limits.Budget{Ctx: ctx, MaxSteps: maxSteps, MaxPairs: *maxPairs}
 
-	if *vet {
-		return runVet(u, budget, *checkersFlag, *format, stdout, stderr)
+	cfg := config{
+		analysis: *analysis,
+		print:    *print_,
+		fn:       *fn,
+		vet:      *vet,
+		checkers: *checkersFlag,
+		format:   *format,
+		budget:   budget,
+	}
+
+	if *corpusName != "" || fs.NArg() == 1 {
+		// Single-unit mode: exactly the classic CLI, straight to the
+		// real streams.
+		var u *driver.Unit
+		var err error
+		if *corpusName != "" {
+			u, err = corpus.Load(*corpusName, opts)
+		} else {
+			u, err = driver.LoadFile(fs.Arg(0), opts)
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "aliaslab:", err)
+			return 1
+		}
+		return analyzeUnit(u, cfg, stdout, stderr)
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: aliaslab [flags] file.c ...  (or -corpus <name>)")
+		return 2
+	}
+	return runMulti(fs.Args(), opts, cfg, *jobs, stdout, stderr)
+}
+
+// runMulti analyzes several files as independent units on the worker
+// pool and renders them in argument order. Every unit buffers its own
+// output, so interleaved completion cannot scramble the rendering: the
+// bytes are identical at any -jobs value.
+func runMulti(files []string, opts vdg.Options, cfg config, jobs int, stdout, stderr io.Writer) int {
+	// One ledger across the batch: the step/pair caps govern the sum of
+	// the workers' work, exactly as in the corpus engine.
+	cfg.budget = cfg.budget.Share(&limits.Ledger{})
+
+	type result struct {
+		out, errOut bytes.Buffer
+		code        int
+	}
+	results := make([]result, len(files))
+	errs := sched.Pool{Jobs: jobs}.Map(cfg.budget.Ctx, len(files), func(_ context.Context, i int) error {
+		r := &results[i]
+		u, err := driver.LoadFile(files[i], opts)
+		if err != nil {
+			fmt.Fprintln(&r.errOut, "aliaslab:", err)
+			r.code = 1
+			return nil
+		}
+		r.code = analyzeUnit(u, cfg, &r.out, &r.errOut)
+		return nil
+	})
+
+	worst := 0
+	for i := range results {
+		r := &results[i]
+		if errs[i] != nil && r.code == 0 {
+			// A panic the unit guard missed, or a skipped slot after
+			// cancellation.
+			fmt.Fprintln(&r.errOut, "aliaslab:", errs[i])
+			r.code = 1
+		}
+		fmt.Fprintf(stdout, "== %s ==\n", files[i])
+		io.Copy(stdout, &r.out)
+		if r.errOut.Len() > 0 {
+			fmt.Fprintf(stderr, "== %s ==\n", files[i])
+			io.Copy(stderr, &r.errOut)
+		}
+		if r.code > worst {
+			worst = r.code
+		}
+	}
+	return worst
+}
+
+// analyzeUnit executes the configured command on one loaded unit.
+func analyzeUnit(u *driver.Unit, cfg config, stdout, stderr io.Writer) int {
+	if cfg.vet {
+		return runVet(u, cfg.budget, cfg.checkers, cfg.format, stdout, stderr)
 	}
 
 	// Run the selected analysis under the budget, always materializing a
@@ -121,15 +212,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var sets map[*vdg.Output]*core.PairSet
 	var label string
 	unsound := false
-	switch *analysis {
+	switch cfg.analysis {
 	case "ci", "cs":
 		gr := core.AnalyzeGoverned(u.Graph, core.GovernedOptions{
-			Budget:    budget,
-			Sensitive: *analysis == "cs",
+			Budget:    cfg.budget,
+			Sensitive: cfg.analysis == "cs",
 		})
 		ci, sets = gr.CI, gr.Sets
 		label = "context-insensitive"
-		if *analysis == "cs" {
+		if cfg.analysis == "cs" {
 			label = "context-sensitive"
 		}
 		if gr.Degraded() {
@@ -147,11 +238,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sets = baseline.Analyze(u.Graph).Sets()
 		label = "program-wide (Weihl baseline)"
 	default:
-		fmt.Fprintln(stderr, "aliaslab: unknown analysis", *analysis)
+		fmt.Fprintln(stderr, "aliaslab: unknown analysis", cfg.analysis)
 		return 2
 	}
 
-	switch *print_ {
+	switch cfg.print {
 	case "sizes":
 		s := stats.Sizes(u.Name, u.SourceLines, u.Graph)
 		fmt.Fprintf(stdout, "%s: %d lines, %d VDG nodes, %d alias-related outputs\n",
@@ -165,14 +256,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case "callgraph":
 		printCallGraph(stdout, u, ci)
 	case "dot":
-		fg := u.Graph.FuncOf[u.Prog.FuncMap[*fn]]
+		fg := u.Graph.FuncOf[u.Prog.FuncMap[cfg.fn]]
 		if fg == nil {
-			fmt.Fprintf(stderr, "aliaslab: no function %q\n", *fn)
+			fmt.Fprintf(stderr, "aliaslab: no function %q\n", cfg.fn)
 			return 1
 		}
 		vdg.WriteDot(stdout, fg)
 	default:
-		fmt.Fprintln(stderr, "aliaslab: unknown -print mode", *print_)
+		fmt.Fprintln(stderr, "aliaslab: unknown -print mode", cfg.print)
 		return 2
 	}
 	if unsound {

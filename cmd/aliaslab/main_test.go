@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -137,5 +138,85 @@ func TestRecursiveSingleFlag(t *testing.T) {
 func TestUsageError(t *testing.T) {
 	if _, _, code := runCLI(t); code != 2 {
 		t.Errorf("no arguments: exit %d, want 2", code)
+	}
+}
+
+// writeTempN writes n distinguishable single-finding programs and
+// returns their paths.
+func writeTempN(t *testing.T, n int) []string {
+	t.Helper()
+	dir := t.TempDir()
+	var out []string
+	for i := 0; i < n; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("prog%d.c", i))
+		if err := os.WriteFile(path, []byte(leakSrc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, path)
+	}
+	return out
+}
+
+// TestMultiFileRendersInArgumentOrder: several files analyze (possibly
+// in parallel) and render under per-file headers in argument order,
+// with identical bytes at every -jobs width.
+func TestMultiFileRendersInArgumentOrder(t *testing.T) {
+	files := writeTempN(t, 5)
+	var want string
+	for _, jobs := range []string{"1", "4"} {
+		args := append([]string{"-jobs", jobs, "-print", "pointsto"}, files...)
+		out, stderr, code := runCLI(t, args...)
+		if code != 0 {
+			t.Fatalf("jobs=%s: exit %d, stderr: %s", jobs, code, stderr)
+		}
+		var lastIdx int
+		for _, f := range files {
+			idx := strings.Index(out, "== "+f+" ==")
+			if idx < 0 {
+				t.Fatalf("jobs=%s: missing header for %s in output:\n%s", jobs, f, out)
+			}
+			if idx < lastIdx {
+				t.Fatalf("jobs=%s: %s rendered out of argument order", jobs, f)
+			}
+			lastIdx = idx
+		}
+		if want == "" {
+			want = out
+		} else if out != want {
+			t.Fatalf("multi-file output differs between -jobs widths")
+		}
+	}
+}
+
+// TestMultiFileWorstExitCode: one bad file among good ones fails the
+// run with the bad file's code while the good files still render.
+func TestMultiFileWorstExitCode(t *testing.T) {
+	good := writeTemp(t, leakSrc)
+	bad := filepath.Join(t.TempDir(), "bad.c")
+	if err := os.WriteFile(bad, []byte("int main(void) { int x = = ; }"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, stderr, code := runCLI(t, "-print", "sizes", good, bad)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(out, "== "+good+" ==") || !strings.Contains(out, "lines") {
+		t.Fatalf("good file did not render:\n%s", out)
+	}
+	if !strings.Contains(stderr, "== "+bad+" ==") || !strings.Contains(stderr, "parse") {
+		t.Fatalf("bad file's diagnostics missing from stderr:\n%s", stderr)
+	}
+}
+
+// TestMultiFileVet: the checker suite runs per file in multi-file mode
+// and the findings stay attached to the right file.
+func TestMultiFileVet(t *testing.T) {
+	files := writeTempN(t, 3)
+	out, _, code := runCLI(t, append([]string{"-vet"}, files...)...)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (findings present)", code)
+	}
+	if n := strings.Count(out, "never freed"); n != 3 {
+		t.Fatalf("want one leak finding per file (3), got %d:\n%s", n, out)
 	}
 }

@@ -6,15 +6,26 @@
 //	experiments              # all figures + cost table
 //	experiments -fig 4       # one figure (2, 3, 4, 6, or 7)
 //	experiments -costs       # CI vs CS work/time comparison only
+//	experiments -json        # machine-readable summary (deterministic)
+//	experiments -jobs 8      # analyze corpus units on 8 workers
+//	experiments -timing      # per-unit wall times + parallel speedup
 //	experiments -nossa       # ablation: keep scalars in the store
 //	experiments -singleheap  # ablation: one heap base for all sites
+//
+// The corpus units analyze on a bounded worker pool (-jobs, default
+// GOMAXPROCS); results merge back in the corpus' canonical order, so
+// every figure and the JSON summary are byte-identical at any -jobs
+// value, including the sequential -jobs=1 run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
+	"aliaslab/internal/corpus"
 	"aliaslab/internal/experiments"
 	"aliaslab/internal/vdg"
 )
@@ -22,27 +33,44 @@ import (
 func main() {
 	fig := flag.Int("fig", 0, "render one figure (2, 3, 4, 6, 7); 0 = everything")
 	costs := flag.Bool("costs", false, "render only the CI vs CS cost comparison")
+	jsonOut := flag.Bool("json", false, "render the machine-readable JSON summary instead of figures")
+	jobs := flag.Int("jobs", 0, "corpus units analyzed concurrently (0 = GOMAXPROCS, 1 = sequential)")
+	timing := flag.Bool("timing", false, "append per-unit wall times and the aggregate parallel speedup")
 	noSSA := flag.Bool("nossa", false, "ablation: keep non-addressed scalars in the store")
 	singleHeap := flag.Bool("singleheap", false, "ablation: name all heap storage with one base")
 	flag.Parse()
 
 	opts := vdg.Options{NoSSA: *noSSA, SingleHeapBase: *singleHeap}
-	needCS := *costs || *fig == 0 || *fig == 6 || *fig == 7
+	needCS := *costs || *jsonOut || *fig == 0 || *fig == 6 || *fig == 7
 
-	rs, err := experiments.RunAll(needCS, opts)
+	t0 := time.Now()
+	rs, err := experiments.RunBatch(corpus.Names(), experiments.BatchOptions{
+		WithCS: needCS, Opts: opts, Jobs: *jobs,
+	})
+	wall := time.Since(t0)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 	// Per-unit failures don't stop the batch: report them, render the
-	// figures for the programs that did analyze.
+	// figures for the programs that did analyze. A capped unit gets its
+	// own marker — a CS run stopped at its step bound is not converged
+	// and must not pass silently for one that is.
 	failed := experiments.Failures(rs)
 	for _, r := range failed {
 		fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", r.Name, r.Err)
+		if r.Capped {
+			fmt.Fprintf(os.Stderr, "experiments: %s: capped — context-sensitive analysis stopped before convergence; its results are an under-approximation\n", r.Name)
+		}
 	}
 
 	w := os.Stdout
 	switch {
+	case *jsonOut:
+		if err := experiments.WriteJSON(w, rs); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
 	case *costs:
 		experiments.Costs(w, rs)
 	case *fig == 2:
@@ -61,7 +89,20 @@ func main() {
 	default:
 		experiments.WriteAll(w, rs)
 	}
+	if *timing && !*jsonOut {
+		fmt.Fprintln(w)
+		experiments.Timing(w, rs, wall, effectiveJobs(*jobs))
+	}
 	if len(failed) > 0 {
 		os.Exit(1)
 	}
+}
+
+// effectiveJobs mirrors the pool's default so the timing table reports
+// the width that actually ran.
+func effectiveJobs(jobs int) int {
+	if jobs <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return jobs
 }

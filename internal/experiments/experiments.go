@@ -4,6 +4,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"aliaslab/internal/driver"
 	"aliaslab/internal/limits"
 	"aliaslab/internal/report"
+	"aliaslab/internal/sched"
 	"aliaslab/internal/stats"
 	"aliaslab/internal/vdg"
 )
@@ -35,15 +37,54 @@ type ProgramResult struct {
 	CISets map[*vdg.Output]*core.PairSet
 	CSSets map[*vdg.Output]*core.PairSet
 
+	// WallTime is the unit's total load+analyze wall time, used by the
+	// batch report to compare aggregate work against batch wall clock
+	// (the parallel speedup).
+	WallTime time.Duration
+
+	// Capped is set when the context-sensitive analysis stopped at the
+	// MaxCSSteps bound (or a budget limit) before converging. A capped
+	// unit also carries Err: its CS numbers are an under-approximation
+	// and must never be presented as a converged result.
+	Capped bool
+
+	// Stopped is the budget violation that halted this unit, when the
+	// batch ran under a shared limits.Budget; nil otherwise.
+	Stopped *limits.Violation
+
 	// Err records a per-unit failure — front-end diagnostics, a panic
-	// recovered at the driver boundary, an aborted fixpoint. A failed
-	// unit still occupies its slot in batch results so the remaining
-	// corpus keeps analyzing; figures skip it.
+	// recovered at the driver boundary, an aborted fixpoint, or a batch
+	// cancellation that skipped the unit. A failed unit still occupies
+	// its slot in batch results so the remaining corpus keeps
+	// analyzing; figures skip it.
 	Err error
 }
 
 // Failed reports whether this unit produced no usable analysis.
 func (r *ProgramResult) Failed() bool { return r.Err != nil }
+
+// BatchOptions configures a corpus batch run.
+type BatchOptions struct {
+	// WithCS additionally runs the context-sensitive analysis (with the
+	// §4.2 optimizations) on every unit.
+	WithCS bool
+
+	// Opts is the VDG construction configuration (ablations,
+	// diagnostics instrumentation).
+	Opts vdg.Options
+
+	// Jobs is the worker-pool width: how many units analyze
+	// concurrently. <= 0 means GOMAXPROCS; 1 reproduces the sequential
+	// engine exactly. Results are merged in input order regardless, so
+	// rendered output is identical at every width.
+	Jobs int
+
+	// Budget, when limited, governs the whole batch: its step/pair caps
+	// are shared across workers through one atomic ledger (installed
+	// here if the caller did not provide one), and a violation in any
+	// worker cancels the units that have not started yet.
+	Budget limits.Budget
+}
 
 // Run loads and analyzes one corpus program. withCS additionally runs
 // the context-sensitive analysis (with the §4.2 optimizations). The
@@ -51,51 +92,158 @@ func (r *ProgramResult) Failed() bool { return r.Err != nil }
 // ProgramResult.Err (and mirrored in the returned error), never
 // propagated as a crash.
 func Run(name string, withCS bool, opts vdg.Options) (*ProgramResult, error) {
+	r := runUnit(name, BatchOptions{WithCS: withCS, Opts: opts})
+	return r, r.Err
+}
+
+// runUnit analyzes one unit under the batch configuration. It is the
+// worker body of RunBatch: everything it touches — universe, VDG,
+// solver state — is created here and owned by this unit alone; the only
+// shared object is the budget's atomic ledger.
+func runUnit(name string, bo BatchOptions) *ProgramResult {
 	r := &ProgramResult{Name: name}
+	t0 := time.Now()
 	r.Err = limits.Guard("analyze "+name, func() error {
-		u, err := corpus.Load(name, opts)
+		u, err := corpus.Load(name, bo.Opts)
 		if err != nil {
 			return err
 		}
 		r.Unit = u
 
 		t0 := time.Now()
-		r.CI = core.AnalyzeInsensitive(u.Graph)
+		r.CI = core.AnalyzeInsensitiveBudgeted(u.Graph, bo.Budget)
 		r.CITime = time.Since(t0)
 		r.CISets = r.CI.Sets
+		if r.CI.Stopped != nil {
+			r.Stopped = r.CI.Stopped
+			return fmt.Errorf("%s: context-insensitive analysis stopped early: %w", name, r.CI.Stopped)
+		}
 
-		if withCS {
+		if bo.WithCS {
 			t0 = time.Now()
-			r.CS = core.AnalyzeSensitive(u.Graph, core.SensitiveOptions{CI: r.CI, MaxSteps: MaxCSSteps})
+			r.CS = core.AnalyzeSensitive(u.Graph, core.SensitiveOptions{CI: r.CI, MaxSteps: MaxCSSteps, Budget: bo.Budget})
 			r.CSTime = time.Since(t0)
 			if r.CS.Aborted {
+				r.Capped = true
+				r.Stopped = r.CS.Stopped
+				if r.CS.Stopped != nil {
+					return fmt.Errorf("%s: context-sensitive analysis stopped early: %w", name, r.CS.Stopped)
+				}
 				return fmt.Errorf("%s: context-sensitive analysis exceeded %d steps", name, MaxCSSteps)
 			}
 			r.CSSets = r.CS.Strip()
 		}
 		return nil
 	})
-	return r, r.Err
+	r.WallTime = time.Since(t0)
+	return r
 }
 
-// RunAll analyzes the whole corpus. A failing unit does not stop the
-// batch: its ProgramResult carries the error and the remaining
-// programs still run. The returned error is non-nil only when every
-// unit failed.
-func RunAll(withCS bool, opts vdg.Options) ([]*ProgramResult, error) {
-	var out []*ProgramResult
+// RunBatch analyzes the named corpus programs on a bounded worker pool
+// and returns one result per name, in input order. The merge order —
+// not the completion order — determines every figure, golden, and JSON
+// rendering, so the output is byte-identical at any Jobs width,
+// including the sequential Jobs=1 run.
+//
+// A failing unit does not stop the batch: its ProgramResult carries the
+// error and the remaining programs still run. The exception is a
+// tripped shared budget: the violating unit records the violation and
+// the units that have not started are skipped (their results carry the
+// violation as the skip cause). The returned error is non-nil only when
+// every unit failed.
+func RunBatch(names []string, bo BatchOptions) ([]*ProgramResult, error) {
+	ctx := bo.Budget.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	if !bo.Budget.Unlimited() {
+		// Thread the batch context through the budget so in-flight
+		// solvers observe a cancellation at their next gate poll, and
+		// install one ledger for the whole batch: the caps govern the
+		// pooled work of all workers, not each unit separately. An
+		// unlimited budget stays zero — the solvers then run the exact
+		// ungoverned algorithms of the sequential engine.
+		bo.Budget.Ctx = ctx
+		if bo.Budget.Ledger == nil {
+			bo.Budget.Ledger = &limits.Ledger{}
+		}
+	}
+
+	rs := make([]*ProgramResult, len(names))
+	errs := sched.Pool{Jobs: bo.Jobs}.Map(ctx, len(names), func(_ context.Context, i int) error {
+		r := runUnit(names[i], bo)
+		rs[i] = r
+		if r.Stopped != nil {
+			// The shared budget is spent; analyzing further units could
+			// only spin on an exhausted gate. Stop the batch cleanly.
+			cancel(r.Stopped)
+		}
+		return r.Err
+	})
+
 	failures := 0
-	for _, name := range corpus.Names() {
-		r, _ := Run(name, withCS, opts)
-		if r.Failed() {
+	for i, name := range names {
+		if rs[i] == nil {
+			// The pool skipped (cancelled batch) or guarded a panic that
+			// escaped runUnit's own guard; keep the slot with the error.
+			rs[i] = &ProgramResult{Name: name, Err: errs[i]}
+		}
+		if rs[i].Failed() {
 			failures++
 		}
-		out = append(out, r)
 	}
-	if failures == len(out) && failures > 0 {
-		return out, fmt.Errorf("experiments: all %d corpus programs failed", failures)
+	if failures == len(rs) && failures > 0 {
+		return rs, fmt.Errorf("experiments: all %d corpus programs failed", failures)
 	}
-	return out, nil
+	return rs, nil
+}
+
+// RunAll analyzes the whole corpus sequentially (the reference
+// execution: RunBatch at Jobs=1 over the canonical corpus order). A
+// failing unit does not stop the batch: its ProgramResult carries the
+// error and the remaining programs still run. The returned error is
+// non-nil only when every unit failed.
+func RunAll(withCS bool, opts vdg.Options) ([]*ProgramResult, error) {
+	return RunBatch(corpus.Names(), BatchOptions{WithCS: withCS, Opts: opts, Jobs: 1})
+}
+
+// TotalWork sums the per-unit wall times of a batch: the time a
+// sequential run would have spent analyzing. Dividing by the batch's
+// actual wall clock gives the parallel speedup.
+func TotalWork(rs []*ProgramResult) time.Duration {
+	var total time.Duration
+	for _, r := range rs {
+		total += r.WallTime
+	}
+	return total
+}
+
+// Timing renders the per-unit wall times and the aggregate parallel
+// speedup of a batch that took wall to run at the given worker count.
+// Capped units are marked so a bounded CS run cannot read as converged.
+func Timing(w io.Writer, rs []*ProgramResult, wall time.Duration, jobs int) {
+	headers := []string{"name", "wall time", "status"}
+	var rows [][]string
+	for _, r := range rs {
+		status := "ok"
+		switch {
+		case r.Capped:
+			status = "capped (CS did not converge)"
+		case r.Failed():
+			status = "failed"
+		}
+		rows = append(rows, []string{r.Name, r.WallTime.Round(time.Microsecond).String(), status})
+	}
+	report.Table(w, fmt.Sprintf("Per-unit wall time (-jobs=%d)", jobs), headers, rows)
+	work := TotalWork(rs)
+	speedup := 1.0
+	if wall > 0 {
+		speedup = float64(work) / float64(wall)
+	}
+	fmt.Fprintf(w, "\nbatch: %d units in %s wall, %s aggregate work, %.2fx speedup at -jobs=%d\n",
+		len(rs), wall.Round(time.Microsecond), work.Round(time.Microsecond), speedup, jobs)
 }
 
 // Failures lists the failed units of a batch.

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+
+	"aliaslab/internal/stats"
+)
+
+// The JSON rendering exposes the evaluation to machine consumers. It
+// contains only deterministic quantities — censuses, histograms, solver
+// work counters — and deliberately no wall-clock times, so the bytes
+// are identical run to run and at every -jobs width; the determinism
+// oracle compares them directly.
+
+// UnitJSON is the machine-readable record of one corpus program.
+type UnitJSON struct {
+	Name  string `json:"name"`
+	Error string `json:"error,omitempty"`
+	// Capped marks a context-sensitive analysis that stopped at its
+	// step bound or budget before converging: the CS numbers (absent
+	// here, since a capped unit fails) must not be read as a converged
+	// result.
+	Capped bool `json:"capped,omitempty"`
+
+	Lines        int `json:"lines,omitempty"`
+	Nodes        int `json:"nodes,omitempty"`
+	AliasOutputs int `json:"aliasOutputs,omitempty"`
+
+	CI *AnalysisJSON `json:"ci,omitempty"`
+	CS *AnalysisJSON `json:"cs,omitempty"`
+
+	// IndirectDiffs counts indirect operations whose referent sets
+	// differ between CI and CS — the paper's headline quantity (zero on
+	// every benchmark). Present only when both analyses ran.
+	IndirectDiffs *int `json:"indirectDiffs,omitempty"`
+}
+
+// AnalysisJSON summarizes one analysis of one unit.
+type AnalysisJSON struct {
+	Census   CensusJSON `json:"census"`
+	FlowIns  int        `json:"flowIns"`
+	FlowOuts int        `json:"flowOuts"`
+	Reads    OpsJSON    `json:"reads"`
+	Writes   OpsJSON    `json:"writes"`
+}
+
+// CensusJSON mirrors stats.PairCensus.
+type CensusJSON struct {
+	Pointer   int `json:"pointer"`
+	Function  int `json:"function"`
+	Aggregate int `json:"aggregate"`
+	Store     int `json:"store"`
+	Total     int `json:"total"`
+}
+
+// OpsJSON mirrors one stats.OpHistogram.
+type OpsJSON struct {
+	Total   int    `json:"total"`
+	ByRefs  [4]int `json:"byRefs"` // ops at 1, 2, 3, >=4 locations
+	Zero    int    `json:"zero"`
+	Max     int    `json:"max"`
+	SumRefs int    `json:"sumRefs"`
+}
+
+func censusJSON(c stats.PairCensus) CensusJSON {
+	return CensusJSON{Pointer: c.Pointer, Function: c.Function, Aggregate: c.Aggregate, Store: c.Store, Total: c.Total}
+}
+
+func opsJSON(h stats.OpHistogram) OpsJSON {
+	return OpsJSON{Total: h.Total, ByRefs: h.N, Zero: h.Zero, Max: h.Max, SumRefs: h.SumRefs}
+}
+
+// UnitsJSON builds the machine-readable batch summary in batch order.
+func UnitsJSON(rs []*ProgramResult) []UnitJSON {
+	out := make([]UnitJSON, 0, len(rs))
+	for _, r := range rs {
+		u := UnitJSON{Name: r.Name, Capped: r.Capped}
+		if r.Err != nil {
+			u.Error = r.Err.Error()
+		}
+		if r.Unit != nil {
+			s := stats.Sizes(r.Name, r.Unit.SourceLines, r.Unit.Graph)
+			u.Lines, u.Nodes, u.AliasOutputs = s.Lines, s.Nodes, s.AliasOutputs
+		}
+		if !r.Failed() && r.CI != nil {
+			io := stats.CountIndirect(r.Unit.Graph, r.CISets)
+			u.CI = &AnalysisJSON{
+				Census:   censusJSON(stats.Census(r.Unit.Graph, r.CISets)),
+				FlowIns:  r.CI.Metrics.FlowIns,
+				FlowOuts: r.CI.Metrics.FlowOuts,
+				Reads:    opsJSON(io.Reads),
+				Writes:   opsJSON(io.Writes),
+			}
+			if r.CS != nil && r.CSSets != nil {
+				io := stats.CountIndirect(r.Unit.Graph, r.CSSets)
+				u.CS = &AnalysisJSON{
+					Census:   censusJSON(stats.Census(r.Unit.Graph, r.CSSets)),
+					FlowIns:  r.CS.Metrics.FlowIns,
+					FlowOuts: r.CS.Metrics.FlowOuts,
+					Reads:    opsJSON(io.Reads),
+					Writes:   opsJSON(io.Writes),
+				}
+				diffs := len(stats.IndirectDiff(r.Unit.Graph, r.CISets, r.CSSets))
+				u.IndirectDiffs = &diffs
+			}
+		}
+		out = append(out, u)
+	}
+	return out
+}
+
+// WriteJSON renders the batch as indented JSON. The output is a stable
+// function of the analysis results alone: rendering the same corpus at
+// any worker count produces identical bytes.
+func WriteJSON(w io.Writer, rs []*ProgramResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Programs []UnitJSON `json:"programs"`
+	}{Programs: UnitsJSON(rs)})
+}

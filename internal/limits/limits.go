@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"sync/atomic"
 	"time"
 )
 
@@ -66,6 +67,30 @@ func (v *Violation) Error() string {
 
 func (v *Violation) Unwrap() error { return v.Err }
 
+// Ledger is a batch-wide work counter shared by concurrent solvers.
+// Each Gate charged against a ledger adds its solver's step/pair deltas
+// atomically, so one Budget can govern a whole parallel batch: the caps
+// bound the *sum* of work across workers, and whichever worker pushes a
+// counter over the line observes the Violation first. Readers (reports,
+// tests) may sample the totals at any time.
+type Ledger struct {
+	steps atomic.Int64
+	pairs atomic.Int64
+}
+
+// Steps returns the total steps charged so far.
+func (l *Ledger) Steps() int { return int(l.steps.Load()) }
+
+// Pairs returns the total pairs charged so far.
+func (l *Ledger) Pairs() int { return int(l.pairs.Load()) }
+
+// add charges deltas and returns the new totals.
+func (l *Ledger) add(steps, pairs int) (int, int) {
+	s := l.steps.Add(int64(steps))
+	p := l.pairs.Add(int64(pairs))
+	return int(s), int(p)
+}
+
 // Budget bounds one analysis attempt. The zero value is unlimited:
 // solvers running under it behave exactly as the ungoverned algorithms.
 type Budget struct {
@@ -84,11 +109,26 @@ type Budget struct {
 	// over-approximation). It is carried here so one Budget describes a
 	// whole attempt; the CI solver ignores it.
 	MaxAssumptions int
+
+	// Ledger, when non-nil, makes the step/pair caps batch-wide: every
+	// solver governed by this budget charges its work to the shared
+	// ledger and the caps apply to the pooled totals, not to each
+	// solver separately. Used by the parallel corpus engine so N
+	// workers share one budget.
+	Ledger *Ledger
 }
 
-// Unlimited reports whether no limit of any kind is configured.
+// Unlimited reports whether no limit of any kind is configured. A
+// budget with only a Ledger is not "unlimited": it enforces nothing,
+// but the gate still has to meter work into the shared ledger.
 func (b Budget) Unlimited() bool {
-	return b.Ctx == nil && b.MaxSteps <= 0 && b.MaxPairs <= 0
+	return b.Ctx == nil && b.MaxSteps <= 0 && b.MaxPairs <= 0 && b.Ledger == nil
+}
+
+// Share returns a copy of b charging the given ledger.
+func (b Budget) Share(l *Ledger) Budget {
+	b.Ledger = l
+	return b
 }
 
 // WithTimeout returns a copy of b whose context enforces the given
@@ -118,6 +158,14 @@ type Gate struct {
 	ctx                context.Context
 	maxSteps, maxPairs int
 	sincePoll          int
+
+	// ledger, when set, makes the caps batch-wide: Step charges the
+	// delta since its previous call to the shared ledger and compares
+	// the caps against the pooled totals. lastSteps/lastPairs remember
+	// the solver counters already charged (a Gate belongs to exactly
+	// one solver, so they need no synchronization).
+	ledger               *Ledger
+	lastSteps, lastPairs int
 }
 
 // Gate materializes the budget's checker. It returns nil for an
@@ -127,16 +175,26 @@ func (b Budget) Gate() *Gate {
 	if b.Unlimited() {
 		return nil
 	}
-	return &Gate{ctx: b.Ctx, maxSteps: b.MaxSteps, maxPairs: b.MaxPairs}
+	return &Gate{ctx: b.Ctx, maxSteps: b.MaxSteps, maxPairs: b.MaxPairs, ledger: b.Ledger}
 }
 
 // Step accounts one unit of solver work. steps and pairs are the
 // solver's running counters (the Gate does not duplicate them). It
 // returns a non-nil Violation when any limit is exceeded; the solver
 // must then stop draining its worklist and annotate its result.
+//
+// Under a shared Ledger the caps apply to the batch-wide totals: the
+// gate first publishes this solver's work since the previous call, then
+// compares the pooled counters. The solver that crosses a cap may not
+// be the one that did most of the work — that is the point.
 func (g *Gate) Step(steps, pairs int) *Violation {
 	if g == nil {
 		return nil
+	}
+	if g.ledger != nil {
+		ds, dp := steps-g.lastSteps, pairs-g.lastPairs
+		g.lastSteps, g.lastPairs = steps, pairs
+		steps, pairs = g.ledger.add(ds, dp)
 	}
 	if g.maxSteps > 0 && steps >= g.maxSteps {
 		return &Violation{Reason: Steps, Limit: g.maxSteps}

@@ -1,0 +1,221 @@
+package oracle
+
+// Fixture is a small C program with a known relationship to the
+// oracle's invariants. The theorem invariants (CS ⊆ CI, the widening
+// lattice, governed-tier equivalence) must hold on every fixture; the
+// empirical indirect-agreement invariant holds only where the fixture
+// says so — the adversarial entries are built to violate it, which is
+// what keeps the oracle honest: a metric that can never fire proves
+// nothing when it stays zero on the corpus.
+type Fixture struct {
+	Name string
+	Src  string
+
+	// IndirectAgreement records whether CI and CS compute identical
+	// referent sets at every indirect operation's location input. The
+	// test suite asserts this in BOTH directions: agreeing fixtures
+	// must show a zero delta, disagreeing ones a non-zero delta.
+	IndirectAgreement bool
+}
+
+// Fixtures are checker-shaped programs (one per pointer-bug pattern the
+// -vet suite recognizes) plus adversarial programs that stress the
+// analyses' divergence points: polymorphic call sites, recursion over
+// heap structures, escaping locals, multi-level indirection.
+var Fixtures = []Fixture{
+	{
+		Name:              "uaf",
+		IndirectAgreement: true,
+		Src: `
+int main(void) {
+	int *p;
+	p = (int *) malloc(4);
+	*p = 1;
+	free(p);
+	*p = 2;
+	free(p);
+	return 0;
+}
+`,
+	},
+	{
+		Name:              "dangling",
+		IndirectAgreement: true,
+		Src: `
+int *g;
+int *escape_by_return(void) {
+	int x;
+	x = 1;
+	return &x;
+}
+void escape_by_store(void) {
+	int y;
+	g = &y;
+	return;
+}
+int main(void) {
+	int *p;
+	p = escape_by_return();
+	escape_by_store();
+	return 0;
+}
+`,
+	},
+	{
+		Name:              "nullderef",
+		IndirectAgreement: true,
+		Src: `
+int main(void) {
+	int *p;
+	int *q;
+	int x;
+	x = 0;
+	p = 0;
+	q = 0;
+	x = x + *p;
+	if (q) {
+		x = x + *q;
+	}
+	return x;
+}
+`,
+	},
+	{
+		Name:              "uninit",
+		IndirectAgreement: true,
+		Src: `
+int main(void) {
+	int *p;
+	int x;
+	x = *p;
+	return x;
+}
+`,
+	},
+	{
+		Name:              "leak",
+		IndirectAgreement: true,
+		Src: `
+int *gp;
+int main(void) {
+	int *p;
+	int *q;
+	p = (int *) malloc(4);
+	q = (int *) malloc(4);
+	gp = (int *) malloc(4);
+	*p = 1;
+	free(q);
+	return 0;
+}
+`,
+	},
+	{
+		Name:              "structs",
+		IndirectAgreement: true,
+		Src: `
+int a, b;
+int *p;
+int **pp;
+struct pairs { int *first; int *second; } s;
+int main(void) {
+	p = &a;
+	pp = &p;
+	*pp = &b;
+	s.first = p;
+	s.second = &a;
+	return *p;
+}
+`,
+	},
+	{
+		Name:              "list-recursion",
+		IndirectAgreement: true,
+		Src: `
+struct node { struct node *next; int v; };
+struct node *cons(struct node *tail) {
+	struct node *n;
+	n = (struct node *) malloc(8);
+	n->next = tail;
+	n->v = 0;
+	return n;
+}
+int sum(struct node *l) {
+	if (l == 0) {
+		return 0;
+	}
+	return l->v + sum(l->next);
+}
+int main(void) {
+	struct node *l;
+	l = cons(cons(cons(0)));
+	return sum(l);
+}
+`,
+	},
+	{
+		Name:              "out-param",
+		IndirectAgreement: true,
+		Src: `
+int a, b;
+void pick(int **out, int flag) {
+	if (flag) {
+		*out = &a;
+	} else {
+		*out = &b;
+	}
+	return;
+}
+int main(void) {
+	int *p;
+	int *q;
+	pick(&p, 0);
+	pick(&q, 1);
+	return *p + *q;
+}
+`,
+	},
+	{
+		// The classic unrealizable-path program: a polymorphic identity
+		// function called from two sites. CI merges the sites, so *x
+		// reads {a, b}; CS keeps them apart, so *x reads {a}. The
+		// indirect delta is non-zero by construction — the negative
+		// control proving IndirectDiff can fire.
+		Name:              "polymorphic-id",
+		IndirectAgreement: false,
+		Src: `
+int a, b;
+int *id(int *p) {
+	return p;
+}
+int main(void) {
+	int *x;
+	int *y;
+	x = id(&a);
+	y = id(&b);
+	return *x + *y;
+}
+`,
+	},
+	{
+		// Same divergence through a field: storing through a struct
+		// out-parameter from two call sites. Exercises access paths
+		// (field selection) on the divergent side of the oracle.
+		Name:              "polymorphic-field",
+		IndirectAgreement: false,
+		Src: `
+int a, b;
+struct box { int *ptr; };
+void fill(struct box *bx, int *v) {
+	bx->ptr = v;
+	return;
+}
+int main(void) {
+	struct box m;
+	struct box n;
+	fill(&m, &a);
+	fill(&n, &b);
+	return *(m.ptr) + *(n.ptr);
+}
+`,
+	},
+}

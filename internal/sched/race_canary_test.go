@@ -1,0 +1,41 @@
+//go:build racecheck
+
+// This file is a CI canary, not part of the normal test suite: it
+// DELIBERATELY violates the pool's isolation contract by sharing one
+// paths.Universe between workers, and is expected to FAIL under the
+// race detector. CI runs it inverted:
+//
+//	if go test -race -tags racecheck -run SharedUniverseCanary ./internal/sched; then
+//	    echo "race detector missed the shared-universe canary"; exit 1
+//	fi
+//
+// If this test ever passes under -race, the detector (or the build
+// tags guarding it) is misconfigured and the "universes are
+// worker-local" guarantee is no longer being checked by anything.
+package sched_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"aliaslab/internal/paths"
+	"aliaslab/internal/sched"
+)
+
+func TestSharedUniverseCanary(t *testing.T) {
+	u := paths.NewUniverse()
+	base := u.NewBase(paths.VarBase, "shared", false, false)
+	root := u.Root(base)
+	// Interning mutates Path.ext maps and the universe's id counter;
+	// doing it from multiple workers is exactly the bug the isolation
+	// contract forbids. The field names differ per item so every call
+	// takes the map-write path.
+	sched.Pool{Jobs: 8}.Map(context.Background(), 64, func(_ context.Context, i int) error {
+		for k := 0; k < 100; k++ {
+			u.Field(root, fmt.Sprintf("f%d_%d", i, k))
+		}
+		return nil
+	})
+	t.Log("shared-universe canary ran to completion; without -race this proves nothing")
+}
