@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench golden fuzz-smoke oracle race-canary
+.PHONY: all build test race vet fmt-check bench bench-compare golden fuzz-smoke oracle race-canary
 
 all: build test vet fmt-check
 
@@ -24,6 +24,34 @@ fmt-check:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Compare the solve microbenchmarks between a base ref and the working
+# tree. Uses benchstat when it is on PATH; otherwise falls back to the
+# in-repo cmd/benchdiff comparator (geomean-only, no significance
+# test). The comparison is written to bench-compare.txt.
+#
+# The pattern includes benchmarks that predate the solver engine
+# (BatchSequential, InsensitivePerProgram) so the base side is never
+# empty even when the base ref lacks the Solve*/PairSetReferents ones.
+BENCH_BASE ?= HEAD
+BENCH_PATTERN ?= SolveCI|SolveCS|PairSetReferents|BatchSequential|InsensitivePerProgram
+BENCH_COUNT ?= 3
+BENCH_PKGS ?= . ./internal/core
+
+bench-compare:
+	@set -e; \
+	base_dir="$$(mktemp -d)"; \
+	trap 'git worktree remove --force "$$base_dir" >/dev/null 2>&1 || rm -rf "$$base_dir"' EXIT; \
+	git worktree add --detach "$$base_dir" $(BENCH_BASE) >/dev/null; \
+	echo "== benchmarking base ($(BENCH_BASE))"; \
+	(cd "$$base_dir" && $(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -count $(BENCH_COUNT) $(BENCH_PKGS)) > bench-base.txt || true; \
+	echo "== benchmarking working tree"; \
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -count $(BENCH_COUNT) $(BENCH_PKGS) > bench-head.txt; \
+	if command -v benchstat >/dev/null 2>&1; then \
+		benchstat bench-base.txt bench-head.txt | tee bench-compare.txt; \
+	else \
+		$(GO) run ./cmd/benchdiff bench-base.txt bench-head.txt | tee bench-compare.txt; \
+	fi
 
 # Regenerate the checked-in golden files (checker corpus output and the
 # modref CLI snapshot).

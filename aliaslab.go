@@ -30,6 +30,7 @@ import (
 	"aliaslab/internal/driver"
 	"aliaslab/internal/limits"
 	"aliaslab/internal/modref"
+	"aliaslab/internal/solver"
 	"aliaslab/internal/stats"
 	"aliaslab/internal/vdg"
 )
@@ -136,6 +137,55 @@ type Result struct {
 	// (applications of flow-in and flow-out).
 	TransferFns int
 	MeetOps     int
+
+	// Engine carries the solver engine's work counters for the analysis
+	// that produced the final sets (zero for the baseline, which does
+	// not run on the engine).
+	Engine EngineStats
+}
+
+// Engine selects the solver engine configuration of an analysis run.
+// The zero value is the default engine (FIFO worklist).
+type Engine struct {
+	// Worklist is the worklist strategy: "" or "fifo" (the default),
+	// "lifo", or "priority". Every strategy reaches the same fixpoint;
+	// only the visit order (and the order-dependent counters) changes.
+	Worklist string
+}
+
+func (e Engine) strategy() (solver.Strategy, error) {
+	s, err := solver.ParseStrategy(e.Worklist)
+	if err != nil {
+		return solver.FIFO, fmt.Errorf("aliaslab: %w", err)
+	}
+	return s, nil
+}
+
+// EngineStats reports one engine run's work counters. Steps and
+// PairInserts are strategy-independent on converged runs; Meets, the
+// subsumption counters, and PeakDepth depend on the visit order.
+type EngineStats struct {
+	Worklist     string
+	Steps        int
+	Meets        int
+	PairInserts  int
+	SubsumeHits  int
+	SubsumeDrops int
+	Enqueued     int
+	PeakDepth    int
+}
+
+func engineStats(st solver.Stats) EngineStats {
+	return EngineStats{
+		Worklist:     st.Strategy.String(),
+		Steps:        st.Steps,
+		Meets:        st.Meets,
+		PairInserts:  st.PairInserts,
+		SubsumeHits:  st.SubsumeHits,
+		SubsumeDrops: st.SubsumeDrops,
+		Enqueued:     st.Enqueued,
+		PeakDepth:    st.PeakDepth,
+	}
 }
 
 // Notes returns the degradation trace for budget-governed runs: one
@@ -172,10 +222,21 @@ func (l Limits) budget(ctx context.Context) (limits.Budget, context.CancelFunc) 
 
 // Analyze runs the context-insensitive analysis (paper Figure 1).
 func (p *Program) Analyze() (*Result, error) {
-	ci := core.AnalyzeInsensitive(p.unit.Graph)
+	return p.AnalyzeWithEngine(Engine{})
+}
+
+// AnalyzeWithEngine is Analyze on an explicitly configured solver
+// engine.
+func (p *Program) AnalyzeWithEngine(eng Engine) (*Result, error) {
+	strategy, err := eng.strategy()
+	if err != nil {
+		return nil, err
+	}
+	ci := core.AnalyzeInsensitiveEngine(p.unit.Graph, limits.Budget{}, strategy)
 	return &Result{
 		prog: p, ci: ci, sets: ci.Sets, label: "context-insensitive",
 		TransferFns: ci.Metrics.FlowIns, MeetOps: ci.Metrics.FlowOuts,
+		Engine: engineStats(ci.Engine),
 	}, nil
 }
 
@@ -184,14 +245,25 @@ func (p *Program) Analyze() (*Result, error) {
 // sets. maxSteps bounds the work (0 = unlimited); the analysis is
 // exponential in the worst case.
 func (p *Program) AnalyzeContextSensitive(maxSteps int) (*Result, error) {
-	ci := core.AnalyzeInsensitive(p.unit.Graph)
-	cs := core.AnalyzeSensitive(p.unit.Graph, core.SensitiveOptions{CI: ci, MaxSteps: maxSteps})
+	return p.AnalyzeContextSensitiveWithEngine(maxSteps, Engine{})
+}
+
+// AnalyzeContextSensitiveWithEngine is AnalyzeContextSensitive on an
+// explicitly configured solver engine.
+func (p *Program) AnalyzeContextSensitiveWithEngine(maxSteps int, eng Engine) (*Result, error) {
+	strategy, err := eng.strategy()
+	if err != nil {
+		return nil, err
+	}
+	ci := core.AnalyzeInsensitiveEngine(p.unit.Graph, limits.Budget{}, strategy)
+	cs := core.AnalyzeSensitive(p.unit.Graph, core.SensitiveOptions{CI: ci, MaxSteps: maxSteps, Strategy: strategy})
 	if cs.Aborted {
 		return nil, fmt.Errorf("aliaslab: context-sensitive analysis exceeded %d steps", maxSteps)
 	}
 	return &Result{
 		prog: p, ci: ci, sets: cs.Strip(), label: "context-sensitive",
 		TransferFns: cs.Metrics.FlowIns, MeetOps: cs.Metrics.FlowOuts,
+		Engine: engineStats(cs.Engine),
 	}, nil
 }
 
@@ -240,10 +312,12 @@ func resultFromGoverned(p *Program, gr *core.GovernedResult, requested string) *
 		prog: p, ci: gr.CI, sets: gr.Sets, label: requested,
 		Degraded: gr.Degraded(), notes: gr.Notes,
 		TransferFns: gr.CI.Metrics.FlowIns, MeetOps: gr.CI.Metrics.FlowOuts,
+		Engine: engineStats(gr.CI.Engine),
 	}
 	if gr.CS != nil {
 		res.TransferFns = gr.CS.Metrics.FlowIns
 		res.MeetOps = gr.CS.Metrics.FlowOuts
+		res.Engine = engineStats(gr.CS.Engine)
 	}
 	if gr.Degraded() {
 		res.label = fmt.Sprintf("%s (degraded: %s)", requested, gr.Tier)

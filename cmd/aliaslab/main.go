@@ -11,7 +11,9 @@
 // Flags select the analysis (-analysis ci|cs|baseline), what to print
 // (-print pointsto|indirect|modref|callgraph|sizes), ablations, and the
 // checker mode (-vet, filtered with -checkers and rendered per
-// -format).
+// -format). The solver's worklist discipline is swappable (-worklist
+// fifo|lifo|priority — every strategy reaches the same fixpoint) and
+// -stats prints the engine's work counters on stderr.
 //
 // With several files, each is an independent translation unit: units
 // analyze concurrently on a bounded worker pool (-jobs, default
@@ -46,6 +48,7 @@ import (
 	"aliaslab/internal/modref"
 	"aliaslab/internal/report"
 	"aliaslab/internal/sched"
+	"aliaslab/internal/solver"
 	"aliaslab/internal/stats"
 	"aliaslab/internal/vdg"
 )
@@ -64,6 +67,8 @@ type config struct {
 	checkers string
 	format   string
 	budget   limits.Budget
+	strategy solver.Strategy
+	stats    bool
 }
 
 // run is the whole CLI behind a testable seam: it parses args, executes
@@ -84,10 +89,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.IntVar(&maxSteps, "maxsteps", 50_000_000, "alias for -max-steps")
 	maxPairs := fs.Int("max-pairs", 0, "cap on materialized points-to pairs per attempt (0 = unlimited)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole analysis, e.g. 30s (0 = none)")
+	worklist := fs.String("worklist", "", "solver worklist strategy: fifo (default), lifo, or priority")
+	statsFlag := fs.Bool("stats", false, "print solver engine counters to stderr after each analysis")
 	vet := fs.Bool("vet", false, "run the pointer-bug checkers instead of printing analysis results")
 	checkersFlag := fs.String("checkers", "", "comma-separated checker IDs for -vet (default: all; see -vet -checkers help)")
 	format := fs.String("format", "text", "-vet output format: text or json")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	strategy, err := solver.ParseStrategy(*worklist)
+	if err != nil {
+		fmt.Fprintln(stderr, "aliaslab:", err)
 		return 2
 	}
 
@@ -124,6 +137,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		checkers: *checkersFlag,
 		format:   *format,
 		budget:   budget,
+		strategy: strategy,
+		stats:    *statsFlag,
 	}
 
 	if *corpusName != "" || fs.NArg() == 1 {
@@ -200,7 +215,7 @@ func runMulti(files []string, opts vdg.Options, cfg config, jobs int, stdout, st
 // analyzeUnit executes the configured command on one loaded unit.
 func analyzeUnit(u *driver.Unit, cfg config, stdout, stderr io.Writer) int {
 	if cfg.vet {
-		return runVet(u, cfg.budget, cfg.checkers, cfg.format, stdout, stderr)
+		return runVet(u, cfg, stdout, stderr)
 	}
 
 	// Run the selected analysis under the budget, always materializing a
@@ -217,8 +232,15 @@ func analyzeUnit(u *driver.Unit, cfg config, stdout, stderr io.Writer) int {
 		gr := core.AnalyzeGoverned(u.Graph, core.GovernedOptions{
 			Budget:    cfg.budget,
 			Sensitive: cfg.analysis == "cs",
+			Strategy:  cfg.strategy,
 		})
 		ci, sets = gr.CI, gr.Sets
+		if cfg.stats {
+			printEngineStats(stderr, "ci", gr.CI.Engine)
+			if gr.CS != nil {
+				printEngineStats(stderr, "cs", gr.CS.Engine)
+			}
+		}
 		label = "context-insensitive"
 		if cfg.analysis == "cs" {
 			label = "context-sensitive"
@@ -234,9 +256,12 @@ func analyzeUnit(u *driver.Unit, cfg config, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "aliaslab: warning: partial context-insensitive fixpoint; the result under-approximates and is NOT a sound may-alias answer")
 		}
 	case "baseline":
-		ci = core.AnalyzeInsensitive(u.Graph)
+		ci = core.AnalyzeInsensitiveEngine(u.Graph, limits.Budget{}, cfg.strategy)
 		sets = baseline.Analyze(u.Graph).Sets()
 		label = "program-wide (Weihl baseline)"
+		if cfg.stats {
+			printEngineStats(stderr, "ci", ci.Engine)
+		}
 	default:
 		fmt.Fprintln(stderr, "aliaslab: unknown analysis", cfg.analysis)
 		return 2
@@ -277,10 +302,10 @@ func analyzeUnit(u *driver.Unit, cfg config, stdout, stderr io.Writer) int {
 // program (mirroring `go vet`), and 3 a degraded run: the points-to
 // analysis hit its budget, so the findings are best-effort and a clean
 // report does not certify the program.
-func runVet(u *driver.Unit, budget limits.Budget, checkerIDs, format string, stdout, stderr io.Writer) int {
+func runVet(u *driver.Unit, cfg config, stdout, stderr io.Writer) int {
 	var ids []string
-	if checkerIDs != "" {
-		for _, id := range strings.Split(checkerIDs, ",") {
+	if cfg.checkers != "" {
+		for _, id := range strings.Split(cfg.checkers, ",") {
 			if id = strings.TrimSpace(id); id != "" {
 				ids = append(ids, id)
 			}
@@ -291,14 +316,17 @@ func runVet(u *driver.Unit, budget limits.Budget, checkerIDs, format string, std
 		fmt.Fprintln(stderr, "aliaslab:", err)
 		return 2
 	}
-	res := core.AnalyzeInsensitiveBudgeted(u.Graph, budget)
+	res := core.AnalyzeInsensitiveEngine(u.Graph, cfg.budget, cfg.strategy)
+	if cfg.stats {
+		printEngineStats(stderr, "ci", res.Engine)
+	}
 	diags := checkers.Run(checkers.NewContext(u.Graph, res), sel)
 	degradedReason := ""
 	if res.Stopped != nil {
 		degradedReason = res.Stopped.Error()
 		fmt.Fprintf(stderr, "aliaslab: warning: vet ran on a partial points-to solution (%s); findings may be missing\n", degradedReason)
 	}
-	switch format {
+	switch cfg.format {
 	case "text":
 		report.WriteDiags(stdout, diags)
 	case "json":
@@ -309,7 +337,7 @@ func runVet(u *driver.Unit, budget limits.Budget, checkerIDs, format string, std
 			return 1
 		}
 	default:
-		fmt.Fprintln(stderr, "aliaslab: unknown -format", format)
+		fmt.Fprintln(stderr, "aliaslab: unknown -format", cfg.format)
 		return 2
 	}
 	if degradedReason != "" {
@@ -319,6 +347,13 @@ func runVet(u *driver.Unit, budget limits.Budget, checkerIDs, format string, std
 		return 1
 	}
 	return 0
+}
+
+// printEngineStats renders one analysis run's solver counters on
+// stderr (it is diagnostics, not part of the result rendering).
+func printEngineStats(w io.Writer, analysis string, st solver.Stats) {
+	fmt.Fprintf(w, "aliaslab: %s engine [%s]: steps %d, meets %d, pair inserts %d, subsume hits %d, subsume drops %d, enqueued %d, peak depth %d\n",
+		analysis, st.Strategy, st.Steps, st.Meets, st.PairInserts, st.SubsumeHits, st.SubsumeDrops, st.Enqueued, st.PeakDepth)
 }
 
 // printPointsTo dumps the final store at main's return: the pairs a

@@ -1,0 +1,125 @@
+// Command benchdiff compares two `go test -bench` output files and
+// prints a benchstat-style table: geometric-mean ns/op per benchmark,
+// the delta, and benchmarks present on only one side. It is the
+// zero-dependency fallback `make bench-compare` uses when benchstat is
+// not installed; it reports central tendency only, no significance
+// test — install golang.org/x/perf/cmd/benchstat for that.
+//
+// Usage:
+//
+//	benchdiff old.txt new.txt
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// samples collects the ns/op readings of one benchmark across -count
+// repetitions, keyed by benchmark name with the -cpu suffix kept (the
+// suffix distinguishes genuinely different configurations).
+type samples map[string][]float64
+
+// parse extracts benchmark result lines:
+//
+//	BenchmarkSolveCI/fifo-8   	     100	   7774814 ns/op	  14391 pair-inserts
+func parse(path string) (samples, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(samples)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err == nil && v > 0 {
+				out[fields[0]] = append(out[fields[0]], v)
+			}
+			break
+		}
+	}
+	return out, sc.Err()
+}
+
+func geomean(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+func human(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.3fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.3fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.1fns", ns)
+	}
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff old.txt new.txt")
+		os.Exit(2)
+	}
+	old, err := parse(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	new_, err := parse(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(old)+len(new_))
+	seen := make(map[string]bool)
+	for n := range old {
+		names = append(names, n)
+		seen[n] = true
+	}
+	for n := range new_ {
+		if !seen[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "%-50s %12s %12s %9s\n", "benchmark (geomean ns/op)", "old", "new", "delta")
+	for _, n := range names {
+		o, haveOld := old[n]
+		nw, haveNew := new_[n]
+		switch {
+		case !haveOld:
+			fmt.Fprintf(w, "%-50s %12s %12s %9s\n", n, "-", human(geomean(nw)), "new")
+		case !haveNew:
+			fmt.Fprintf(w, "%-50s %12s %12s %9s\n", n, human(geomean(o)), "-", "gone")
+		default:
+			og, ng := geomean(o), geomean(nw)
+			fmt.Fprintf(w, "%-50s %12s %12s %+8.2f%%\n", n, human(og), human(ng), 100*(ng-og)/og)
+		}
+	}
+}

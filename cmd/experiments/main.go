@@ -9,6 +9,8 @@
 //	experiments -json        # machine-readable summary (deterministic)
 //	experiments -jobs 8      # analyze corpus units on 8 workers
 //	experiments -timing      # per-unit wall times + parallel speedup
+//	experiments -worklist lifo   # solver worklist: fifo (default), lifo, priority
+//	experiments -stats       # append solver engine counters (or embed in -json)
 //	experiments -nossa       # ablation: keep scalars in the store
 //	experiments -singleheap  # ablation: one heap base for all sites
 //
@@ -27,6 +29,7 @@ import (
 
 	"aliaslab/internal/corpus"
 	"aliaslab/internal/experiments"
+	"aliaslab/internal/solver"
 	"aliaslab/internal/vdg"
 )
 
@@ -36,16 +39,24 @@ func main() {
 	jsonOut := flag.Bool("json", false, "render the machine-readable JSON summary instead of figures")
 	jobs := flag.Int("jobs", 0, "corpus units analyzed concurrently (0 = GOMAXPROCS, 1 = sequential)")
 	timing := flag.Bool("timing", false, "append per-unit wall times and the aggregate parallel speedup")
+	worklist := flag.String("worklist", "", "solver worklist strategy: fifo (default), lifo, or priority")
+	statsOut := flag.Bool("stats", false, "append the solver engine counters (embedded in the summary with -json)")
 	noSSA := flag.Bool("nossa", false, "ablation: keep non-addressed scalars in the store")
 	singleHeap := flag.Bool("singleheap", false, "ablation: name all heap storage with one base")
 	flag.Parse()
+
+	strategy, err := solver.ParseStrategy(*worklist)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
 
 	opts := vdg.Options{NoSSA: *noSSA, SingleHeapBase: *singleHeap}
 	needCS := *costs || *jsonOut || *fig == 0 || *fig == 6 || *fig == 7
 
 	t0 := time.Now()
 	rs, err := experiments.RunBatch(corpus.Names(), experiments.BatchOptions{
-		WithCS: needCS, Opts: opts, Jobs: *jobs,
+		WithCS: needCS, Opts: opts, Jobs: *jobs, Strategy: strategy,
 	})
 	wall := time.Since(t0)
 	if err != nil {
@@ -67,7 +78,7 @@ func main() {
 	w := os.Stdout
 	switch {
 	case *jsonOut:
-		if err := experiments.WriteJSON(w, rs); err != nil {
+		if err := experiments.WriteJSONWith(w, rs, experiments.JSONOptions{EngineStats: *statsOut}); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
@@ -88,6 +99,10 @@ func main() {
 		os.Exit(2)
 	default:
 		experiments.WriteAll(w, rs)
+	}
+	if *statsOut && !*jsonOut {
+		fmt.Fprintln(w)
+		experiments.EngineStats(w, rs)
 	}
 	if *timing && !*jsonOut {
 		fmt.Fprintln(w)

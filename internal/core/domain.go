@@ -1,0 +1,258 @@
+// Dense pair domain. Paths are interned with dense creation-order IDs,
+// so a points-to pair packs into a single uint64 key and pair sets can
+// trade the generic map[Pair]struct{} for a sparse-set hybrid: small
+// sets (the overwhelming majority of outputs) stay a linear scan over a
+// packed-key slice with zero map allocations, large sets promote to a
+// uint64-keyed membership map. Assumption-set interning likewise keys
+// on an FNV-1a hash of the ID triples instead of building a string per
+// lookup; hash collisions are resolved by element comparison, so
+// interning stays exact.
+package core
+
+import (
+	"sort"
+
+	"aliaslab/internal/paths"
+)
+
+// pairKey packs the interned path IDs of a pair into one comparable
+// word: path ID in the high 32 bits, referent ID in the low. Packed
+// keys order exactly like Pair.less, and path universes stay far below
+// 2^32 paths (the pair budget trips first by orders of magnitude).
+func pairKey(p Pair) uint64 {
+	return uint64(uint32(p.Path.ID()))<<32 | uint64(uint32(p.Ref.ID()))
+}
+
+// pairSetSmall is the membership-scan threshold: sets at or below this
+// size dedupe by scanning the packed-key slice, larger ones carry a
+// map. Most outputs hold a handful of pairs; the scan beats a map
+// lookup there and never allocates.
+const pairSetSmall = 16
+
+// PairSet is an insertion-ordered set of pairs over the dense pair
+// domain. Iterating the List gives a deterministic order when the
+// construction sequence is deterministic, which every worklist strategy
+// of the solver engine guarantees.
+type PairSet struct {
+	keys []uint64 // packed pair keys, insertion order (parallel to list)
+	list []Pair
+	m    map[uint64]struct{} // non-nil once the set outgrows the scan
+
+	// refs memoizes Referents incrementally: the distinct referents of
+	// ε-path pairs, in first-appearance order. Pairs are never removed,
+	// so maintaining it on Add is exact.
+	refs    []*paths.Path
+	refSeen map[uint64]struct{} // non-nil once refs outgrows the scan
+}
+
+// Add inserts p, reporting whether it was new.
+func (s *PairSet) Add(p Pair) bool {
+	k := pairKey(p)
+	if s.m != nil {
+		if _, ok := s.m[k]; ok {
+			return false
+		}
+		s.m[k] = struct{}{}
+	} else {
+		for _, kk := range s.keys {
+			if kk == k {
+				return false
+			}
+		}
+		if len(s.keys) >= pairSetSmall {
+			s.m = make(map[uint64]struct{}, 2*len(s.keys))
+			for _, kk := range s.keys {
+				s.m[kk] = struct{}{}
+			}
+			s.m[k] = struct{}{}
+		}
+	}
+	s.keys = append(s.keys, k)
+	s.list = append(s.list, p)
+	if p.Path.IsEmptyOffset() {
+		s.addReferent(p.Ref)
+	}
+	return true
+}
+
+// addReferent records the referent of a new ε-path pair, deduplicated
+// with the same small-scan/map hybrid as the pair keys.
+func (s *PairSet) addReferent(ref *paths.Path) {
+	k := uint64(uint32(ref.ID()))
+	if s.refSeen != nil {
+		if _, ok := s.refSeen[k]; ok {
+			return
+		}
+		s.refSeen[k] = struct{}{}
+	} else {
+		for _, r := range s.refs {
+			if r == ref {
+				return
+			}
+		}
+		if len(s.refs) >= pairSetSmall {
+			s.refSeen = make(map[uint64]struct{}, 2*len(s.refs))
+			for _, r := range s.refs {
+				s.refSeen[uint64(uint32(r.ID()))] = struct{}{}
+			}
+			s.refSeen[k] = struct{}{}
+		}
+	}
+	s.refs = append(s.refs, ref)
+}
+
+// Has reports membership.
+func (s *PairSet) Has(p Pair) bool {
+	k := pairKey(p)
+	if s.m != nil {
+		_, ok := s.m[k]
+		return ok
+	}
+	for _, kk := range s.keys {
+		if kk == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of pairs.
+func (s *PairSet) Len() int { return len(s.list) }
+
+// List returns the pairs in insertion order. The caller must not mutate
+// the returned slice.
+func (s *PairSet) List() []Pair { return s.list }
+
+// Sorted returns the pairs ordered by interned path IDs.
+func (s *PairSet) Sorted() []Pair {
+	out := append([]Pair(nil), s.list...)
+	sort.Slice(out, func(i, j int) bool { return out[i].less(out[j]) })
+	return out
+}
+
+// Referents returns the distinct referent locations of the set's
+// ε-path pairs — the locations a pointer value may denote — in
+// first-appearance order. The slice is maintained incrementally on Add
+// and shared across calls; the caller must not mutate it.
+func (s *PairSet) Referents() []*paths.Path { return s.refs }
+
+// ---------------------------------------------------------------------------
+// Assumption-set interning (hashed on ID triples)
+
+// aHash is an FNV-1a hash over the (formal, path, referent) ID triples
+// of a canonical (sorted, deduplicated) assumption slice.
+func aHash(elems []Assumption) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for _, a := range elems {
+		mix(uint64(a.Formal.ID))
+		mix(uint64(a.P.Path.ID()))
+		mix(uint64(a.P.Ref.ID()))
+	}
+	return h
+}
+
+// assumptionsEqual compares two canonical slices element-wise
+// (assumptions are comparable structs of interned pointers).
+func assumptionsEqual(a, b []Assumption) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ATable interns assumption sets, keyed by the FNV-1a hash of their ID
+// triples with per-hash collision buckets: a hash hit is confirmed by
+// element comparison before the interned set is reused, so two distinct
+// sets can never alias even under a hash collision.
+type ATable struct {
+	sets  map[uint64][]*ASet
+	empty *ASet
+}
+
+// NewATable returns an empty intern table.
+func NewATable() *ATable {
+	return &ATable{sets: make(map[uint64][]*ASet), empty: &ASet{}}
+}
+
+// EmptySet returns the interned empty assumption set.
+func (t *ATable) EmptySet() *ASet { return t.empty }
+
+// intern returns the canonical *ASet for a sorted, deduplicated
+// element slice, creating it on first sight. The slice is adopted, not
+// copied: callers must not retain it.
+func (t *ATable) intern(elems []Assumption) *ASet {
+	if len(elems) == 0 {
+		return t.empty
+	}
+	h := aHash(elems)
+	for _, s := range t.sets[h] {
+		if assumptionsEqual(s.Elems, elems) {
+			return s
+		}
+	}
+	s := &ASet{Elems: elems}
+	t.sets[h] = append(t.sets[h], s)
+	return s
+}
+
+// Make interns the set containing the given assumptions (deduplicated
+// and sorted).
+func (t *ATable) Make(elems ...Assumption) *ASet {
+	if len(elems) == 0 {
+		return t.empty
+	}
+	sorted := append([]Assumption(nil), elems...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].less(sorted[j]) })
+	dedup := sorted[:1]
+	for _, a := range sorted[1:] {
+		if a != dedup[len(dedup)-1] {
+			dedup = append(dedup, a)
+		}
+	}
+	return t.intern(dedup)
+}
+
+// Union returns the interned union of a and b.
+func (t *ATable) Union(a, b *ASet) *ASet {
+	if a == b || b.Empty() {
+		return a
+	}
+	if a.Empty() {
+		return b
+	}
+	merged := make([]Assumption, 0, len(a.Elems)+len(b.Elems))
+	i, j := 0, 0
+	for i < len(a.Elems) && j < len(b.Elems) {
+		switch {
+		case a.Elems[i] == b.Elems[j]:
+			merged = append(merged, a.Elems[i])
+			i++
+			j++
+		case a.Elems[i].less(b.Elems[j]):
+			merged = append(merged, a.Elems[i])
+			i++
+		default:
+			merged = append(merged, b.Elems[j])
+			j++
+		}
+	}
+	merged = append(merged, a.Elems[i:]...)
+	merged = append(merged, b.Elems[j:]...)
+	return t.intern(merged)
+}

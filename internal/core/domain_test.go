@@ -1,0 +1,148 @@
+package core
+
+// Tests of the dense pair domain: the sparse-set/map promotion of
+// PairSet, the incremental Referents memoization, and the hashed
+// assumption-set interning (including its collision buckets, which the
+// FNV keying makes reachable in principle even though no natural input
+// collides).
+
+import (
+	"testing"
+
+	"aliaslab/internal/paths"
+)
+
+// TestPairSetPromotion crosses the small-set scan threshold and checks
+// that membership, deduplication, and insertion order survive the
+// promotion to the map representation.
+func TestPairSetPromotion(t *testing.T) {
+	_, pool := pairUniverse()
+	if len(pool) <= 2*pairSetSmall {
+		t.Fatalf("pool too small to cross the %d-element threshold", pairSetSmall)
+	}
+	s := &PairSet{}
+	for i, p := range pool {
+		if !s.Add(p) {
+			t.Fatalf("pair %d reported duplicate on first add", i)
+		}
+	}
+	if s.m == nil {
+		t.Fatalf("set of %d pairs never promoted to the map representation", len(pool))
+	}
+	if s.Len() != len(pool) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(pool))
+	}
+	for i, p := range pool {
+		if !s.Has(p) {
+			t.Fatalf("pair %d lost after promotion", i)
+		}
+		if s.Add(p) {
+			t.Fatalf("pair %d re-added after promotion", i)
+		}
+		if s.List()[i] != p {
+			t.Fatalf("insertion order broken at %d", i)
+		}
+	}
+}
+
+// TestReferentsIncremental checks the memoized Referents against a
+// recomputation from List, across the promotion threshold: distinct
+// ε-path referents only, first-appearance order.
+func TestReferentsIncremental(t *testing.T) {
+	u, _ := pairUniverse()
+	var locs []*paths.Path
+	for _, name := range []string{"r0", "r1", "r2", "r3", "r4", "r5"} {
+		b := u.NewBase(paths.VarBase, name, false, false)
+		locs = append(locs, u.Root(b))
+		locs = append(locs, u.Field(u.Root(b), "f"))
+		locs = append(locs, u.Field(u.Root(b), "g"))
+	}
+	s := &PairSet{}
+	check := func() {
+		t.Helper()
+		var want []*paths.Path
+		seen := make(map[*paths.Path]bool)
+		for _, p := range s.List() {
+			if p.Path.IsEmptyOffset() && !seen[p.Ref] {
+				seen[p.Ref] = true
+				want = append(want, p.Ref)
+			}
+		}
+		got := s.Referents()
+		if len(got) != len(want) {
+			t.Fatalf("Referents has %d entries, recompute finds %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("Referents[%d] = %v, want %v (first-appearance order)", i, got[i], want[i])
+			}
+		}
+	}
+	for i, ref := range locs {
+		s.Add(Pair{Path: u.Empty(), Ref: ref})
+		s.Add(Pair{Path: u.Field(u.Empty(), "f"), Ref: ref}) // offset pair: not a referent
+		s.Add(Pair{Path: locs[0], Ref: ref})                 // store pair: not a referent
+		s.Add(Pair{Path: u.Empty(), Ref: locs[i/2]})         // duplicate referent
+		check()
+	}
+	if s.refSeen == nil {
+		t.Fatalf("%d referents never promoted the memo to its map representation", len(s.Referents()))
+	}
+}
+
+// TestATableHashCollisionResolved forces two distinct assumption sets
+// into the same hash bucket and checks they intern to distinct sets:
+// bucket hits must be confirmed by element comparison, never by hash
+// alone.
+func TestATableHashCollisionResolved(t *testing.T) {
+	_, pool := pairUniverse()
+	at := NewATable()
+	a := []Assumption{{Formal: fakeFormals[0], P: pool[0]}}
+	b := []Assumption{{Formal: fakeFormals[1], P: pool[1]}}
+
+	// Manufacture the collision: pre-seed a's interned set into b's
+	// bucket, as if aHash had mapped both slices to the same key.
+	sa := at.intern(a)
+	at.sets[aHash(b)] = append(at.sets[aHash(b)], sa)
+
+	sb := at.intern(b)
+	if sb == sa {
+		t.Fatal("distinct assumption sets aliased through a shared hash bucket")
+	}
+	if len(sb.Elems) != 1 || sb.Elems[0] != b[0] {
+		t.Fatalf("interned set carries %v, want %v", sb.Elems, b)
+	}
+	if at.intern(b) != sb {
+		t.Fatal("re-interning after a collision no longer canonicalizes")
+	}
+}
+
+// BenchmarkPairSetReferents measures the memoized Referents on a
+// realistically small set and on a promoted one. Before the
+// memoization, every call rebuilt a map and a slice over the whole set
+// (~µs at these sizes); now it returns the incrementally-maintained
+// slice.
+func BenchmarkPairSetReferents(b *testing.B) {
+	u, _ := pairUniverse()
+	build := func(n int) *PairSet {
+		s := &PairSet{}
+		for i := 0; i < n; i++ {
+			base := u.NewBase(paths.VarBase, "v"+string(rune('a'+i%26))+string(rune('a'+i/26)), false, false)
+			s.Add(Pair{Path: u.Empty(), Ref: u.Root(base)})
+		}
+		return s
+	}
+	for _, size := range []struct {
+		name string
+		n    int
+	}{{"small", 4}, {"promoted", 64}} {
+		s := build(size.n)
+		b.Run(size.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if got := s.Referents(); len(got) != size.n {
+					b.Fatalf("got %d referents, want %d", len(got), size.n)
+				}
+			}
+		})
+	}
+}

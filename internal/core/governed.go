@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"aliaslab/internal/limits"
+	"aliaslab/internal/solver"
 	"aliaslab/internal/vdg"
 )
 
@@ -77,6 +78,10 @@ type GovernedOptions struct {
 	// "the unoptimized algorithm is exponential" safety valve without
 	// any other governance (0 = unlimited).
 	MaxSteps int
+
+	// Strategy selects the solver engine's worklist discipline for
+	// every attempt in the pipeline (zero value: FIFO).
+	Strategy solver.Strategy
 }
 
 // GovernedResult is the outcome of the degradation pipeline.
@@ -119,7 +124,7 @@ func (r *GovernedResult) Degraded() bool { return r.Tier.Degraded() }
 func AnalyzeGoverned(g *vdg.Graph, opts GovernedOptions) *GovernedResult {
 	r := &GovernedResult{}
 
-	r.CI = AnalyzeInsensitiveBudgeted(g, opts.Budget)
+	r.CI = AnalyzeInsensitiveEngine(g, opts.Budget, opts.Strategy)
 	if r.CI.Stopped != nil {
 		r.Tier = TierPartialCI
 		r.Stopped = r.CI.Stopped
@@ -135,7 +140,7 @@ func AnalyzeGoverned(g *vdg.Graph, opts GovernedOptions) *GovernedResult {
 	}
 
 	cs := AnalyzeSensitive(g, SensitiveOptions{
-		CI: r.CI, MaxSteps: opts.MaxSteps, Budget: opts.Budget,
+		CI: r.CI, MaxSteps: opts.MaxSteps, Budget: opts.Budget, Strategy: opts.Strategy,
 	})
 	if !cs.Aborted {
 		r.Tier = TierFull
@@ -150,7 +155,7 @@ func AnalyzeGoverned(g *vdg.Graph, opts GovernedOptions) *GovernedResult {
 		widen = DefaultWidenAssumptions
 	}
 	wcs := AnalyzeSensitive(g, SensitiveOptions{
-		CI: r.CI, MaxSteps: opts.MaxSteps, MaxAssumptions: widen, Budget: opts.Budget,
+		CI: r.CI, MaxSteps: opts.MaxSteps, MaxAssumptions: widen, Budget: opts.Budget, Strategy: opts.Strategy,
 	})
 	if !wcs.Aborted {
 		r.Tier = TierWidened

@@ -3,17 +3,24 @@ package core
 import (
 	"aliaslab/internal/limits"
 	"aliaslab/internal/paths"
+	"aliaslab/internal/solver"
 	"aliaslab/internal/vdg"
 )
 
 // Metrics counts analysis work in the paper's terms: flow-in is one
 // transfer-function application (processing one (input, pair) arrival);
 // flow-out is one meet operation (attempting to add a pair to an
-// output's set).
+// output's set). It is derived from the engine's solver.Stats at the
+// end of a run.
 type Metrics struct {
 	FlowIns  int
 	FlowOuts int
 	Pairs    int // pairs actually added across all outputs
+}
+
+// metricsFrom maps engine counters onto the paper's vocabulary.
+func metricsFrom(st *solver.Stats) Metrics {
+	return Metrics{FlowIns: st.Steps, FlowOuts: st.Meets, Pairs: st.PairInserts}
 }
 
 // Result is the output of the context-insensitive analysis: a points-to
@@ -29,6 +36,10 @@ type Result struct {
 	Callers map[*vdg.FuncGraph][]*vdg.Node
 
 	Metrics Metrics
+
+	// Engine is the solver-engine counter record of the run (strategy,
+	// steps, meets, subsumption, worklist depth).
+	Engine solver.Stats
 
 	// Stopped is non-nil when a resource budget halted the fixpoint
 	// before convergence. The sets computed so far are then an
@@ -57,12 +68,41 @@ type workItem struct {
 	pair Pair
 }
 
+// topoPriority assigns each VDG input its scheduling key for the
+// Priority strategy: creation order over functions, nodes, and inputs,
+// which approximates a topological order of the acyclic core of the
+// graph (earlier nodes feed later ones).
+func topoPriority(g *vdg.Graph) map[*vdg.Input]int {
+	pri := make(map[*vdg.Input]int)
+	order := 0
+	for _, fg := range g.Funcs {
+		for _, n := range fg.Nodes {
+			for _, in := range n.Inputs {
+				pri[in] = order
+				order++
+			}
+		}
+	}
+	return pri
+}
+
+// engineConfig assembles the solver configuration shared by both
+// analyses' item types.
+func engineConfig[T any](g *vdg.Graph, strategy solver.Strategy, budget limits.Budget, maxSteps int, input func(T) *vdg.Input) solver.Config[T] {
+	cfg := solver.Config[T]{Strategy: strategy, Budget: budget, MaxSteps: maxSteps}
+	if strategy == solver.Priority {
+		pri := topoPriority(g)
+		cfg.Prio = func(item T) int { return pri[input(item)] }
+	}
+	return cfg
+}
+
 // insensitive is the analysis state.
 type insensitive struct {
-	g    *vdg.Graph
-	res  *Result
-	work []workItem // FIFO queue
-	head int
+	g   *vdg.Graph
+	res *Result
+	eng *solver.Engine[workItem]
+	st  *solver.Stats
 }
 
 // AnalyzeInsensitive runs the context-insensitive points-to analysis of
@@ -73,10 +113,18 @@ func AnalyzeInsensitive(g *vdg.Graph) *Result {
 }
 
 // AnalyzeInsensitiveBudgeted is AnalyzeInsensitive under a resource
-// budget: the worklist loop checks the budget before every flow-in and
-// stops with Result.Stopped set when a limit trips. Under the zero
+// budget: the engine checks the budget before every flow-in and stops
+// with Result.Stopped set when a limit trips. Under the zero
 // (unlimited) budget the result is identical to AnalyzeInsensitive.
 func AnalyzeInsensitiveBudgeted(g *vdg.Graph, budget limits.Budget) *Result {
+	return AnalyzeInsensitiveEngine(g, budget, solver.FIFO)
+}
+
+// AnalyzeInsensitiveEngine is the fully configured entry point: the
+// analysis runs on the shared solver engine under the given budget and
+// worklist strategy. Every strategy converges to the same fixpoint;
+// FIFO is the reference discipline for golden outputs.
+func AnalyzeInsensitiveEngine(g *vdg.Graph, budget limits.Budget, strategy solver.Strategy) *Result {
 	a := &insensitive{
 		g: g,
 		res: &Result{
@@ -85,7 +133,9 @@ func AnalyzeInsensitiveBudgeted(g *vdg.Graph, budget limits.Budget) *Result {
 			Callees: make(map[*vdg.Node][]*vdg.FuncGraph),
 			Callers: make(map[*vdg.FuncGraph][]*vdg.Node),
 		},
+		eng: solver.New(engineConfig(g, strategy, budget, 0, func(it workItem) *vdg.Input { return it.in })),
 	}
+	a.st = a.eng.Stats()
 	empty := g.Universe.Empty()
 
 	// Seed: every base-location constant points to its location.
@@ -97,25 +147,17 @@ func AnalyzeInsensitiveBudgeted(g *vdg.Graph, budget limits.Budget) *Result {
 		}
 	}
 
-	gate := budget.Gate()
-	for a.head < len(a.work) {
-		if v := gate.Step(a.res.Metrics.FlowIns, a.res.Metrics.Pairs); v != nil {
-			a.res.Stopped = v
-			break
-		}
-		item := a.work[a.head]
-		a.head++
-		a.res.Metrics.FlowIns++
-		a.flowIn(item.in, item.pair)
-	}
-	a.work = nil
+	out := a.eng.Run(func(it workItem) { a.flowIn(it.in, it.pair) })
+	a.res.Stopped = out.Stopped
+	a.res.Engine = *a.st
+	a.res.Metrics = metricsFrom(a.st)
 	return a.res
 }
 
 // flowOut adds pair to the set on out; new pairs are queued at every
 // consumer.
 func (a *insensitive) flowOut(out *vdg.Output, pair Pair) {
-	a.res.Metrics.FlowOuts++
+	a.st.Meets++
 	s, ok := a.res.Sets[out]
 	if !ok {
 		s = &PairSet{}
@@ -124,9 +166,9 @@ func (a *insensitive) flowOut(out *vdg.Output, pair Pair) {
 	if !s.Add(pair) {
 		return
 	}
-	a.res.Metrics.Pairs++
+	a.st.PairInserts++
 	for _, in := range out.Consumers {
-		a.work = append(a.work, workItem{in: in, pair: pair})
+		a.eng.Push(workItem{in: in, pair: pair})
 	}
 }
 

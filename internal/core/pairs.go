@@ -2,11 +2,15 @@
 // points-to analysis of Figure 1 and the maximally context-sensitive
 // variant of Figure 5 with its assumption sets, subsumption rule, and
 // the two CI-driven pruning optimizations of §4.2.
+//
+// The representation work lives in domain.go (the dense pair domain and
+// hashed assumption-set interning); the fixpoint loop itself is owned by
+// internal/solver, which both analyses drive through per-node transfer
+// functions.
 package core
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"aliaslab/internal/paths"
@@ -31,61 +35,6 @@ func (p Pair) less(q Pair) bool {
 		return p.Path.ID() < q.Path.ID()
 	}
 	return p.Ref.ID() < q.Ref.ID()
-}
-
-// PairSet is an insertion-ordered set of pairs. Iterating the List gives
-// a deterministic order when the construction sequence is deterministic,
-// which the FIFO worklist guarantees.
-type PairSet struct {
-	m    map[Pair]struct{}
-	list []Pair
-}
-
-// Add inserts p, reporting whether it was new.
-func (s *PairSet) Add(p Pair) bool {
-	if s.m == nil {
-		s.m = make(map[Pair]struct{})
-	}
-	if _, ok := s.m[p]; ok {
-		return false
-	}
-	s.m[p] = struct{}{}
-	s.list = append(s.list, p)
-	return true
-}
-
-// Has reports membership.
-func (s *PairSet) Has(p Pair) bool {
-	_, ok := s.m[p]
-	return ok
-}
-
-// Len returns the number of pairs.
-func (s *PairSet) Len() int { return len(s.list) }
-
-// List returns the pairs in insertion order. The caller must not mutate
-// the returned slice.
-func (s *PairSet) List() []Pair { return s.list }
-
-// Sorted returns the pairs ordered by interned path IDs.
-func (s *PairSet) Sorted() []Pair {
-	out := append([]Pair(nil), s.list...)
-	sort.Slice(out, func(i, j int) bool { return out[i].less(out[j]) })
-	return out
-}
-
-// Referents returns the distinct referent locations of the set's
-// ε-path pairs — the locations a pointer value may denote.
-func (s *PairSet) Referents() []*paths.Path {
-	var out []*paths.Path
-	seen := make(map[*paths.Path]bool)
-	for _, p := range s.list {
-		if p.Path.IsEmptyOffset() && !seen[p.Ref] {
-			seen[p.Ref] = true
-			out = append(out, p.Ref)
-		}
-	}
-	return out
 }
 
 // ---------------------------------------------------------------------------
@@ -113,7 +62,6 @@ func (a Assumption) less(b Assumption) bool {
 // makes subset tests cheap to memoize and equality a pointer compare.
 type ASet struct {
 	Elems []Assumption // sorted, no duplicates
-	key   string
 }
 
 // Empty reports whether the set has no assumptions.
@@ -153,89 +101,6 @@ func (s *ASet) SubsetOf(t *ASet) bool {
 	return i == len(s.Elems)
 }
 
-// ATable interns assumption sets.
-type ATable struct {
-	sets  map[string]*ASet
-	empty *ASet
-}
-
-// NewATable returns an empty intern table.
-func NewATable() *ATable {
-	t := &ATable{sets: make(map[string]*ASet)}
-	t.empty = &ASet{key: ""}
-	t.sets[""] = t.empty
-	return t
-}
-
-// EmptySet returns the interned empty assumption set.
-func (t *ATable) EmptySet() *ASet { return t.empty }
-
-func aKey(elems []Assumption) string {
-	var sb strings.Builder
-	for _, a := range elems {
-		fmt.Fprintf(&sb, "%d:%d:%d;", a.Formal.ID, a.P.Path.ID(), a.P.Ref.ID())
-	}
-	return sb.String()
-}
-
-// Make interns the set containing the given assumptions (deduplicated
-// and sorted).
-func (t *ATable) Make(elems ...Assumption) *ASet {
-	if len(elems) == 0 {
-		return t.empty
-	}
-	sorted := append([]Assumption(nil), elems...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].less(sorted[j]) })
-	dedup := sorted[:1]
-	for _, a := range sorted[1:] {
-		if a != dedup[len(dedup)-1] {
-			dedup = append(dedup, a)
-		}
-	}
-	key := aKey(dedup)
-	if s, ok := t.sets[key]; ok {
-		return s
-	}
-	s := &ASet{Elems: dedup, key: key}
-	t.sets[key] = s
-	return s
-}
-
-// Union returns the interned union of a and b.
-func (t *ATable) Union(a, b *ASet) *ASet {
-	if a == b || b.Empty() {
-		return a
-	}
-	if a.Empty() {
-		return b
-	}
-	merged := make([]Assumption, 0, len(a.Elems)+len(b.Elems))
-	i, j := 0, 0
-	for i < len(a.Elems) && j < len(b.Elems) {
-		switch {
-		case a.Elems[i] == b.Elems[j]:
-			merged = append(merged, a.Elems[i])
-			i++
-			j++
-		case a.Elems[i].less(b.Elems[j]):
-			merged = append(merged, a.Elems[i])
-			i++
-		default:
-			merged = append(merged, b.Elems[j])
-			j++
-		}
-	}
-	merged = append(merged, a.Elems[i:]...)
-	merged = append(merged, b.Elems[j:]...)
-	key := aKey(merged)
-	if s, ok := t.sets[key]; ok {
-		return s
-	}
-	s := &ASet{Elems: merged, key: key}
-	t.sets[key] = s
-	return s
-}
-
 // QPair is a qualified points-to pair: the pair holds on an output
 // whenever every assumption in A holds on entry to the enclosing
 // procedure.
@@ -258,6 +123,14 @@ type QSet struct {
 // Add inserts q, reporting whether it survived subsumption (and thus
 // must be propagated).
 func (s *QSet) Add(q QPair) bool {
+	added, _ := s.AddCounted(q)
+	return added
+}
+
+// AddCounted is Add with the subsumption accounting the engine counters
+// want: dropped is the number of existing stronger assumption sets the
+// arrival displaced (0 when the arrival itself was subsumed).
+func (s *QSet) AddCounted(q QPair) (added bool, dropped int) {
 	if s.m == nil {
 		s.m = make(map[Pair][]*ASet)
 	}
@@ -267,7 +140,7 @@ func (s *QSet) Add(q QPair) bool {
 	}
 	for _, a := range sets {
 		if a.SubsetOf(q.A) {
-			return false // already holds under a weaker assumption
+			return false, 0 // already holds under a weaker assumption
 		}
 	}
 	kept := sets[:0]
@@ -276,8 +149,9 @@ func (s *QSet) Add(q QPair) bool {
 			kept = append(kept, a)
 		}
 	}
+	dropped = len(sets) - len(kept)
 	s.m[q.P] = append(kept, q.A)
-	return true
+	return true, dropped
 }
 
 // Pairs returns the distinct plain pairs in first-appearance order.

@@ -3,6 +3,7 @@ package core
 import (
 	"aliaslab/internal/limits"
 	"aliaslab/internal/paths"
+	"aliaslab/internal/solver"
 	"aliaslab/internal/vdg"
 )
 
@@ -35,6 +36,11 @@ type SensitiveOptions struct {
 	// via the MaxAssumptions field above (the larger of the two wins
 	// nothing — the smaller positive bound applies).
 	Budget limits.Budget
+
+	// Strategy selects the solver engine's worklist discipline (zero
+	// value: FIFO, the reference order for golden outputs). Every
+	// strategy converges to the same stripped fixpoint.
+	Strategy solver.Strategy
 }
 
 // effectiveMaxAssumptions merges the two ways to request widening.
@@ -58,6 +64,9 @@ type SensitiveResult struct {
 	Callers map[*vdg.FuncGraph][]*vdg.Node
 
 	Metrics Metrics
+
+	// Engine is the solver-engine counter record of the run.
+	Engine solver.Stats
 
 	// Aborted is set when MaxSteps or the budget was exhausted; results
 	// are then an under-approximation of the fixpoint and must not be
@@ -120,8 +129,8 @@ type sensitive struct {
 	// maxAssumptions is the resolved widening threshold (0 = exact).
 	maxAssumptions int
 
-	work []qItem
-	head int
+	eng *solver.Engine[qItem]
+	st  *solver.Stats
 
 	// CI-derived node facts for the optimizations.
 	singleLoc map[*vdg.Node]bool          // lookup/update references ≤1 location
@@ -152,8 +161,10 @@ func AnalyzeSensitive(g *vdg.Graph, opts SensitiveOptions) *SensitiveResult {
 		at:             NewATable(),
 		opts:           opts,
 		maxAssumptions: opts.effectiveMaxAssumptions(),
+		eng:            solver.New(engineConfig(g, opts.Strategy, opts.Budget, opts.MaxSteps, func(it qItem) *vdg.Input { return it.in })),
 		retNeeds:       make(map[*vdg.Output]map[Pair][]retEntry),
 	}
+	a.st = a.eng.Stats()
 	a.res.Widened = a.maxAssumptions > 0
 	if opts.CI != nil {
 		a.singleLoc = make(map[*vdg.Node]bool)
@@ -178,23 +189,11 @@ func AnalyzeSensitive(g *vdg.Graph, opts SensitiveOptions) *SensitiveResult {
 		}
 	}
 
-	gate := opts.Budget.Gate()
-	for a.head < len(a.work) {
-		if opts.MaxSteps > 0 && a.res.Metrics.FlowIns >= opts.MaxSteps {
-			a.res.Aborted = true
-			break
-		}
-		if v := gate.Step(a.res.Metrics.FlowIns, a.res.Metrics.Pairs); v != nil {
-			a.res.Aborted = true
-			a.res.Stopped = v
-			break
-		}
-		item := a.work[a.head]
-		a.head++
-		a.res.Metrics.FlowIns++
-		a.flowIn(item.in, item.q)
-	}
-	a.work = nil
+	out := a.eng.Run(func(it qItem) { a.flowIn(it.in, it.q) })
+	a.res.Aborted = out.Aborted
+	a.res.Stopped = out.Stopped
+	a.res.Engine = *a.st
+	a.res.Metrics = metricsFrom(a.st)
 	return a.res
 }
 
@@ -210,19 +209,22 @@ func (a *sensitive) bound(s *ASet) *ASet {
 }
 
 func (a *sensitive) flowOut(out *vdg.Output, q QPair) {
-	a.res.Metrics.FlowOuts++
+	a.st.Meets++
 	q.A = a.bound(q.A)
 	s, ok := a.res.QSets[out]
 	if !ok {
 		s = &QSet{}
 		a.res.QSets[out] = s
 	}
-	if !s.Add(q) {
+	added, dropped := s.AddCounted(q)
+	if !added {
+		a.st.SubsumeHits++
 		return // subsumed: already holds under weaker assumptions
 	}
-	a.res.Metrics.Pairs++
+	a.st.SubsumeDrops += dropped
+	a.st.PairInserts++
 	for _, in := range out.Consumers {
-		a.work = append(a.work, qItem{in: in, q: q})
+		a.eng.Push(qItem{in: in, q: q})
 	}
 }
 

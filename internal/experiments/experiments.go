@@ -15,6 +15,7 @@ import (
 	"aliaslab/internal/limits"
 	"aliaslab/internal/report"
 	"aliaslab/internal/sched"
+	"aliaslab/internal/solver"
 	"aliaslab/internal/stats"
 	"aliaslab/internal/vdg"
 )
@@ -84,6 +85,10 @@ type BatchOptions struct {
 	// here if the caller did not provide one), and a violation in any
 	// worker cancels the units that have not started yet.
 	Budget limits.Budget
+
+	// Strategy selects the solver engine's worklist discipline for every
+	// analysis in the batch (zero value: FIFO, the golden reference).
+	Strategy solver.Strategy
 }
 
 // Run loads and analyzes one corpus program. withCS additionally runs
@@ -111,7 +116,7 @@ func runUnit(name string, bo BatchOptions) *ProgramResult {
 		r.Unit = u
 
 		t0 := time.Now()
-		r.CI = core.AnalyzeInsensitiveBudgeted(u.Graph, bo.Budget)
+		r.CI = core.AnalyzeInsensitiveEngine(u.Graph, bo.Budget, bo.Strategy)
 		r.CITime = time.Since(t0)
 		r.CISets = r.CI.Sets
 		if r.CI.Stopped != nil {
@@ -121,7 +126,7 @@ func runUnit(name string, bo BatchOptions) *ProgramResult {
 
 		if bo.WithCS {
 			t0 = time.Now()
-			r.CS = core.AnalyzeSensitive(u.Graph, core.SensitiveOptions{CI: r.CI, MaxSteps: MaxCSSteps, Budget: bo.Budget})
+			r.CS = core.AnalyzeSensitive(u.Graph, core.SensitiveOptions{CI: r.CI, MaxSteps: MaxCSSteps, Budget: bo.Budget, Strategy: bo.Strategy})
 			r.CSTime = time.Since(t0)
 			if r.CS.Aborted {
 				r.Capped = true
@@ -368,6 +373,33 @@ func Costs(w io.Writer, rs []*ProgramResult) {
 		})
 	}
 	report.Table(w, "Analysis cost: context-insensitive vs context-sensitive (paper §3.2/§4.2)", headers, rows)
+}
+
+// EngineStats renders the solver engine counters of a batch, one row
+// per analysis run. Steps and pair inserts are strategy-independent on
+// converged runs; meets, the subsumption counters, and peak worklist
+// depth depend on the visit order, which is why this table (and the
+// matching JSON block) is opt-in rather than part of the golden output.
+func EngineStats(w io.Writer, rs []*ProgramResult) {
+	headers := []string{"name", "analysis", "worklist", "steps", "meets", "pair inserts", "subsume hits", "subsume drops", "enqueued", "peak depth"}
+	var rows [][]string
+	row := func(name, analysis string, st solver.Stats) []string {
+		return []string{
+			name, analysis, st.Strategy.String(),
+			report.Itoa(st.Steps), report.Itoa(st.Meets), report.Itoa(st.PairInserts),
+			report.Itoa(st.SubsumeHits), report.Itoa(st.SubsumeDrops),
+			report.Itoa(st.Enqueued), report.Itoa(st.PeakDepth),
+		}
+	}
+	for _, r := range ok(rs) {
+		if r.CI != nil {
+			rows = append(rows, row(r.Name, "CI", r.CI.Engine))
+		}
+		if r.CS != nil {
+			rows = append(rows, row(r.Name, "CS", r.CS.Engine))
+		}
+	}
+	report.Table(w, "Solver engine counters", headers, rows)
 }
 
 func ratio(a, b int) float64 {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 
+	"aliaslab/internal/solver"
 	"aliaslab/internal/stats"
 )
 
@@ -43,6 +44,44 @@ type AnalysisJSON struct {
 	FlowOuts int        `json:"flowOuts"`
 	Reads    OpsJSON    `json:"reads"`
 	Writes   OpsJSON    `json:"writes"`
+
+	// Engine carries the solver engine counters, present only when the
+	// caller opted in (JSONOptions.EngineStats). Several counters are
+	// visit-order-dependent, so including them unconditionally would
+	// break the byte-identity of the default rendering across worklist
+	// strategies.
+	Engine *EngineJSON `json:"engine,omitempty"`
+}
+
+// EngineJSON mirrors solver.Stats.
+type EngineJSON struct {
+	Worklist     string `json:"worklist"`
+	Steps        int    `json:"steps"`
+	Meets        int    `json:"meets"`
+	PairInserts  int    `json:"pairInserts"`
+	SubsumeHits  int    `json:"subsumeHits"`
+	SubsumeDrops int    `json:"subsumeDrops"`
+	Enqueued     int    `json:"enqueued"`
+	PeakDepth    int    `json:"peakDepth"`
+}
+
+func engineJSON(st solver.Stats) *EngineJSON {
+	return &EngineJSON{
+		Worklist:     st.Strategy.String(),
+		Steps:        st.Steps,
+		Meets:        st.Meets,
+		PairInserts:  st.PairInserts,
+		SubsumeHits:  st.SubsumeHits,
+		SubsumeDrops: st.SubsumeDrops,
+		Enqueued:     st.Enqueued,
+		PeakDepth:    st.PeakDepth,
+	}
+}
+
+// JSONOptions selects optional blocks of the JSON rendering.
+type JSONOptions struct {
+	// EngineStats attaches each analysis's solver engine counters.
+	EngineStats bool
 }
 
 // CensusJSON mirrors stats.PairCensus.
@@ -73,6 +112,11 @@ func opsJSON(h stats.OpHistogram) OpsJSON {
 
 // UnitsJSON builds the machine-readable batch summary in batch order.
 func UnitsJSON(rs []*ProgramResult) []UnitJSON {
+	return UnitsJSONWith(rs, JSONOptions{})
+}
+
+// UnitsJSONWith is UnitsJSON with optional blocks enabled.
+func UnitsJSONWith(rs []*ProgramResult, jo JSONOptions) []UnitJSON {
 	out := make([]UnitJSON, 0, len(rs))
 	for _, r := range rs {
 		u := UnitJSON{Name: r.Name, Capped: r.Capped}
@@ -92,6 +136,9 @@ func UnitsJSON(rs []*ProgramResult) []UnitJSON {
 				Reads:    opsJSON(io.Reads),
 				Writes:   opsJSON(io.Writes),
 			}
+			if jo.EngineStats {
+				u.CI.Engine = engineJSON(r.CI.Engine)
+			}
 			if r.CS != nil && r.CSSets != nil {
 				io := stats.CountIndirect(r.Unit.Graph, r.CSSets)
 				u.CS = &AnalysisJSON{
@@ -100,6 +147,9 @@ func UnitsJSON(rs []*ProgramResult) []UnitJSON {
 					FlowOuts: r.CS.Metrics.FlowOuts,
 					Reads:    opsJSON(io.Reads),
 					Writes:   opsJSON(io.Writes),
+				}
+				if jo.EngineStats {
+					u.CS.Engine = engineJSON(r.CS.Engine)
 				}
 				diffs := len(stats.IndirectDiff(r.Unit.Graph, r.CISets, r.CSSets))
 				u.IndirectDiffs = &diffs
@@ -114,9 +164,16 @@ func UnitsJSON(rs []*ProgramResult) []UnitJSON {
 // function of the analysis results alone: rendering the same corpus at
 // any worker count produces identical bytes.
 func WriteJSON(w io.Writer, rs []*ProgramResult) error {
+	return WriteJSONWith(w, rs, JSONOptions{})
+}
+
+// WriteJSONWith is WriteJSON with optional blocks enabled. The default
+// (zero) options render exactly the bytes of WriteJSON; the engine
+// block is additive and only present when requested.
+func WriteJSONWith(w io.Writer, rs []*ProgramResult, jo JSONOptions) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(struct {
 		Programs []UnitJSON `json:"programs"`
-	}{Programs: UnitsJSON(rs)})
+	}{Programs: UnitsJSONWith(rs, jo)})
 }

@@ -214,6 +214,21 @@ func (g *Gate) Step(steps, pairs int) *Violation {
 	return nil
 }
 
+// Flush publishes any work not yet charged to the shared ledger,
+// without enforcing the caps. The in-loop Step runs before each item,
+// so the work of the final items between the last check and convergence
+// is otherwise never pooled; solvers call Flush once after a clean
+// drain so a batch ledger's totals equal the exact sum of the per-run
+// counters. A nil Gate or a ledger-less budget makes it a no-op.
+func (g *Gate) Flush(steps, pairs int) {
+	if g == nil || g.ledger == nil {
+		return
+	}
+	ds, dp := steps-g.lastSteps, pairs-g.lastPairs
+	g.lastSteps, g.lastPairs = steps, pairs
+	g.ledger.add(ds, dp)
+}
+
 // PanicError is a recovered panic converted into a structured error:
 // what stage was running, the panic value, and the stack at the point
 // of the panic. It lets a batch driver report one broken unit as a
