@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench bench-compare golden fuzz-smoke oracle race-canary
+.PHONY: all build test race vet fmt-check bench bench-compare golden fuzz-smoke oracle race-canary cover
 
 all: build test vet fmt-check
 
@@ -53,11 +53,28 @@ bench-compare:
 		$(GO) run ./cmd/benchdiff bench-base.txt bench-head.txt | tee bench-compare.txt; \
 	fi
 
-# Regenerate the checked-in golden files (checker corpus output and the
-# modref CLI snapshot).
+# Regenerate the checked-in golden files (checker corpus output, the
+# modref and traced-vet CLI snapshots, and the deterministic metrics
+# block over the corpus).
 golden:
 	$(GO) test ./internal/checkers -run Golden -update
-	$(GO) test ./cmd/aliaslab -run ModRef -update
+	$(GO) test ./cmd/aliaslab -run 'ModRef|TraceGolden' -update
+	UPDATE_GOLDEN=1 $(GO) test ./internal/experiments -run MetricsGolden
+
+# Statement-coverage floor for the observability layer and the report
+# renderers — the packages behind every number the CLIs print. CI runs
+# the same check.
+COVER_FLOOR ?= 70.0
+
+cover:
+	@set -e; \
+	for pkg in ./internal/obs ./internal/report; do \
+		$(GO) test -coverprofile=/tmp/cover.out $$pkg >/dev/null; \
+		pct="$$($(GO) tool cover -func=/tmp/cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}')"; \
+		echo "$$pkg coverage: $$pct% (floor $(COVER_FLOOR)%)"; \
+		ok="$$(awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN {print (p+0 >= f+0) ? 1 : 0}')"; \
+		if [ "$$ok" != 1 ]; then echo "coverage below floor for $$pkg"; exit 1; fi; \
+	done
 
 # Differential/metamorphic oracle: the paper's invariants (CS ⊆ CI,
 # widening lattice, indirect agreement) over the corpus and fixtures,

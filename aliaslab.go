@@ -30,6 +30,7 @@ import (
 	"aliaslab/internal/driver"
 	"aliaslab/internal/limits"
 	"aliaslab/internal/modref"
+	"aliaslab/internal/obs"
 	"aliaslab/internal/solver"
 	"aliaslab/internal/stats"
 	"aliaslab/internal/vdg"
@@ -64,6 +65,10 @@ func (o Options) internal() vdg.Options {
 // Program is a parsed, checked, VDG-built translation unit.
 type Program struct {
 	unit *driver.Unit
+
+	// trace, when the program was built with ParseProgramTraced,
+	// receives the solve spans of analysis calls; nil otherwise.
+	trace *Trace
 }
 
 // ParseProgram builds a Program from source text.
@@ -232,7 +237,9 @@ func (p *Program) AnalyzeWithEngine(eng Engine) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp := p.span("solve-ci")
 	ci := core.AnalyzeInsensitiveEngine(p.unit.Graph, limits.Budget{}, strategy)
+	core.AttachEngine(sp, ci.Engine)
 	return &Result{
 		prog: p, ci: ci, sets: ci.Sets, label: "context-insensitive",
 		TransferFns: ci.Metrics.FlowIns, MeetOps: ci.Metrics.FlowOuts,
@@ -255,8 +262,12 @@ func (p *Program) AnalyzeContextSensitiveWithEngine(maxSteps int, eng Engine) (*
 	if err != nil {
 		return nil, err
 	}
+	sp := p.span("solve-ci")
 	ci := core.AnalyzeInsensitiveEngine(p.unit.Graph, limits.Budget{}, strategy)
+	core.AttachEngine(sp, ci.Engine)
+	sp = p.span("solve-cs")
 	cs := core.AnalyzeSensitive(p.unit.Graph, core.SensitiveOptions{CI: ci, MaxSteps: maxSteps, Strategy: strategy})
+	core.AttachEngine(sp, cs.Engine)
 	if cs.Aborted {
 		return nil, fmt.Errorf("aliaslab: context-sensitive analysis exceeded %d steps", maxSteps)
 	}
@@ -275,7 +286,9 @@ func (p *Program) AnalyzeContextSensitiveWithEngine(maxSteps int, eng Engine) (*
 func (p *Program) AnalyzeLimited(ctx context.Context, lim Limits) (*Result, error) {
 	budget, cancel := lim.budget(ctx)
 	defer cancel()
-	gr := core.AnalyzeGoverned(p.unit.Graph, core.GovernedOptions{Budget: budget})
+	sp := p.span("solve")
+	gr := core.AnalyzeGoverned(p.unit.Graph, core.GovernedOptions{Budget: budget, Span: sp})
+	sp.End()
 	res := resultFromGoverned(p, gr, "context-insensitive")
 	if gr.Tier == core.TierPartialCI {
 		return res, fmt.Errorf("aliaslab: context-insensitive analysis stopped early (%v); partial result is not sound", gr.Stopped)
@@ -293,11 +306,14 @@ func (p *Program) AnalyzeLimited(ctx context.Context, lim Limits) (*Result, erro
 func (p *Program) AnalyzeContextSensitiveLimited(ctx context.Context, lim Limits) (*Result, error) {
 	budget, cancel := lim.budget(ctx)
 	defer cancel()
+	sp := p.span("solve")
 	gr := core.AnalyzeGoverned(p.unit.Graph, core.GovernedOptions{
 		Budget:           budget,
 		Sensitive:        true,
 		WidenAssumptions: lim.WidenAssumptions,
+		Span:             sp,
 	})
+	sp.End()
 	res := resultFromGoverned(p, gr, "context-sensitive")
 	if gr.Tier == core.TierPartialCI {
 		return res, fmt.Errorf("aliaslab: analysis stopped early (%v); partial result is not sound", gr.Stopped)
@@ -501,8 +517,13 @@ func (p *Program) vet(budget limits.Budget, checkerIDs []string) ([]Diagnostic, 
 	if err != nil {
 		return nil, false, fmt.Errorf("aliaslab: rebuilding for vet: %w", err)
 	}
+	sp := p.span("solve-ci")
 	res := core.AnalyzeInsensitiveBudgeted(u.Graph, budget)
+	core.AttachEngine(sp, res.Engine)
+	sp = p.span("checkers")
 	diags := checkers.Run(checkers.NewContext(u.Graph, res), sel)
+	sp.SetAttr(obs.Int("diags", len(diags)))
+	sp.End()
 	out := make([]Diagnostic, 0, len(diags))
 	for _, d := range diags {
 		pub := Diagnostic{

@@ -46,6 +46,7 @@ import (
 	"aliaslab/internal/driver"
 	"aliaslab/internal/limits"
 	"aliaslab/internal/modref"
+	"aliaslab/internal/obs"
 	"aliaslab/internal/report"
 	"aliaslab/internal/sched"
 	"aliaslab/internal/solver"
@@ -69,6 +70,10 @@ type config struct {
 	budget   limits.Budget
 	strategy solver.Strategy
 	stats    bool
+
+	// span is the unit's trace span (nil when untraced); analyzeUnit
+	// records its solve/checkers/report phases as children.
+	span *obs.Span
 }
 
 // run is the whole CLI behind a testable seam: it parses args, executes
@@ -94,6 +99,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	vet := fs.Bool("vet", false, "run the pointer-bug checkers instead of printing analysis results")
 	checkersFlag := fs.String("checkers", "", "comma-separated checker IDs for -vet (default: all; see -vet -checkers help)")
 	format := fs.String("format", "text", "-vet output format: text or json")
+	traceOn := fs.Bool("trace", false, "record phase spans and print the span tree to stderr")
+	traceOut := fs.String("trace-out", "", "write the phase spans as a Chrome trace_event file (implies -trace)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile (with per-phase pprof labels) to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -109,6 +118,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-10s %s\n", c.ID, c.Doc)
 		}
 		return 0
+	}
+
+	// Observability: all of it hangs off a nil tracer when unused, so
+	// the default run stays on the untraced hot path and its output is
+	// byte-identical with and without this block compiled in.
+	tracing := *traceOn || *traceOut != ""
+	var tr *obs.Tracer
+	if tracing || *cpuprofile != "" {
+		tr = obs.New(obs.Config{MemStats: tracing, Labels: true})
+	}
+	if *cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, "aliaslab:", err)
+			return 1
+		}
+		defer stop()
 	}
 
 	opts := vdg.Options{
@@ -141,34 +167,67 @@ func run(args []string, stdout, stderr io.Writer) int {
 		stats:    *statsFlag,
 	}
 
-	if *corpusName != "" || fs.NArg() == 1 {
-		// Single-unit mode: exactly the classic CLI, straight to the
-		// real streams.
-		var u *driver.Unit
-		var err error
-		if *corpusName != "" {
-			u, err = corpus.Load(*corpusName, opts)
-		} else {
-			u, err = driver.LoadFile(fs.Arg(0), opts)
+	code := func() int {
+		if *corpusName != "" || fs.NArg() == 1 {
+			// Single-unit mode: exactly the classic CLI, straight to the
+			// real streams.
+			unitName := *corpusName
+			if unitName == "" {
+				unitName = fs.Arg(0)
+			}
+			sp := tr.StartSpan("unit", obs.Str("unit", unitName))
+			defer sp.End()
+			cfg.span = sp
+			var u *driver.Unit
+			var err error
+			if *corpusName != "" {
+				u, err = corpus.LoadSpan(*corpusName, opts, sp)
+			} else {
+				u, err = driver.LoadFileSpan(fs.Arg(0), opts, sp)
+			}
+			if err != nil {
+				fmt.Fprintln(stderr, "aliaslab:", err)
+				return 1
+			}
+			return analyzeUnit(u, cfg, stdout, stderr)
+		}
+		if fs.NArg() == 0 {
+			fmt.Fprintln(stderr, "usage: aliaslab [flags] file.c ...  (or -corpus <name>)")
+			return 2
+		}
+		return runMulti(fs.Args(), opts, cfg, *jobs, tr, stdout, stderr)
+	}()
+
+	if tracing {
+		obs.WriteTree(stderr, tr)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = obs.WriteChromeTrace(f, tr)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
 		}
 		if err != nil {
 			fmt.Fprintln(stderr, "aliaslab:", err)
 			return 1
 		}
-		return analyzeUnit(u, cfg, stdout, stderr)
 	}
-	if fs.NArg() == 0 {
-		fmt.Fprintln(stderr, "usage: aliaslab [flags] file.c ...  (or -corpus <name>)")
-		return 2
+	if *memprofile != "" {
+		if err := obs.WriteHeapProfile(*memprofile); err != nil {
+			fmt.Fprintln(stderr, "aliaslab:", err)
+			return 1
+		}
 	}
-	return runMulti(fs.Args(), opts, cfg, *jobs, stdout, stderr)
+	return code
 }
 
 // runMulti analyzes several files as independent units on the worker
 // pool and renders them in argument order. Every unit buffers its own
 // output, so interleaved completion cannot scramble the rendering: the
 // bytes are identical at any -jobs value.
-func runMulti(files []string, opts vdg.Options, cfg config, jobs int, stdout, stderr io.Writer) int {
+func runMulti(files []string, opts vdg.Options, cfg config, jobs int, tr *obs.Tracer, stdout, stderr io.Writer) int {
 	// One ledger across the batch: the step/pair caps govern the sum of
 	// the workers' work, exactly as in the corpus engine.
 	cfg.budget = cfg.budget.Share(&limits.Ledger{})
@@ -177,18 +236,33 @@ func runMulti(files []string, opts vdg.Options, cfg config, jobs int, stdout, st
 		out, errOut bytes.Buffer
 		code        int
 	}
+	batch := tr.StartSpan("batch", obs.Int("units", len(files)))
 	results := make([]result, len(files))
+	spans := make([]*obs.Span, len(files))
 	errs := sched.Pool{Jobs: jobs}.Map(cfg.budget.Ctx, len(files), func(_ context.Context, i int) error {
 		r := &results[i]
-		u, err := driver.LoadFile(files[i], opts)
+		// Detached per-unit span, built entirely on this worker and
+		// adopted by the batch root in argument order after the pool
+		// drains — the same discipline that keeps the buffered output
+		// deterministic.
+		sp := tr.Detached("unit", obs.Str("unit", files[i]))
+		spans[i] = sp
+		ucfg := cfg
+		ucfg.span = sp
+		defer sp.End()
+		u, err := driver.LoadFileSpan(files[i], opts, sp)
 		if err != nil {
 			fmt.Fprintln(&r.errOut, "aliaslab:", err)
 			r.code = 1
 			return nil
 		}
-		r.code = analyzeUnit(u, cfg, &r.out, &r.errOut)
+		r.code = analyzeUnit(u, ucfg, &r.out, &r.errOut)
 		return nil
 	})
+	for _, sp := range spans {
+		batch.Attach(sp)
+	}
+	batch.End()
 
 	worst := 0
 	for i := range results {
@@ -233,6 +307,7 @@ func analyzeUnit(u *driver.Unit, cfg config, stdout, stderr io.Writer) int {
 			Budget:    cfg.budget,
 			Sensitive: cfg.analysis == "cs",
 			Strategy:  cfg.strategy,
+			Span:      cfg.span,
 		})
 		ci, sets = gr.CI, gr.Sets
 		if cfg.stats {
@@ -256,8 +331,12 @@ func analyzeUnit(u *driver.Unit, cfg config, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "aliaslab: warning: partial context-insensitive fixpoint; the result under-approximates and is NOT a sound may-alias answer")
 		}
 	case "baseline":
+		sp := cfg.span.Child("solve-ci")
 		ci = core.AnalyzeInsensitiveEngine(u.Graph, limits.Budget{}, cfg.strategy)
+		core.AttachEngine(sp, ci.Engine)
+		sp = cfg.span.Child("solve-baseline")
 		sets = baseline.Analyze(u.Graph).Sets()
+		sp.End()
 		label = "program-wide (Weihl baseline)"
 		if cfg.stats {
 			printEngineStats(stderr, "ci", ci.Engine)
@@ -267,6 +346,8 @@ func analyzeUnit(u *driver.Unit, cfg config, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	rsp := cfg.span.Child("report", obs.Str("print", cfg.print))
+	defer rsp.End()
 	switch cfg.print {
 	case "sizes":
 		s := stats.Sizes(u.Name, u.SourceLines, u.Graph)
@@ -316,16 +397,23 @@ func runVet(u *driver.Unit, cfg config, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "aliaslab:", err)
 		return 2
 	}
+	sp := cfg.span.Child("solve-ci")
 	res := core.AnalyzeInsensitiveEngine(u.Graph, cfg.budget, cfg.strategy)
+	core.AttachEngine(sp, res.Engine)
 	if cfg.stats {
 		printEngineStats(stderr, "ci", res.Engine)
 	}
+	sp = cfg.span.Child("checkers")
 	diags := checkers.Run(checkers.NewContext(u.Graph, res), sel)
+	sp.SetAttr(obs.Int("diags", len(diags)))
+	sp.End()
 	degradedReason := ""
 	if res.Stopped != nil {
 		degradedReason = res.Stopped.Error()
 		fmt.Fprintf(stderr, "aliaslab: warning: vet ran on a partial points-to solution (%s); findings may be missing\n", degradedReason)
 	}
+	rsp := cfg.span.Child("report", obs.Str("format", cfg.format))
+	defer rsp.End()
 	switch cfg.format {
 	case "text":
 		report.WriteDiags(stdout, diags)

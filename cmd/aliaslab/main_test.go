@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -120,6 +121,47 @@ func TestVetCheckersHelp(t *testing.T) {
 		if !strings.Contains(out, id) {
 			t.Errorf("checker %s missing from help:\n%s", id, out)
 		}
+	}
+}
+
+// timingTokens matches the run-to-run-varying fields of a trace line:
+// wall time and allocation deltas. Everything else in the tree — span
+// names, nesting, unit names, solver counters, diagnostic counts — is
+// deterministic and golden-able.
+var timingTokens = regexp.MustCompile(`(dur|alloc|mallocs)=\S+`)
+
+// TestTraceGolden pins the full observable surface of a traced vet run
+// on a corpus fixture: the vet JSON on stdout (byte-exact) and the
+// span tree on stderr with timing fields scrubbed. Regenerate with:
+// go test ./cmd/aliaslab -run TraceGolden -update
+func TestTraceGolden(t *testing.T) {
+	out, stderr, code := runCLI(t, "-trace", "-corpus", "part", "-vet", "-format", "json")
+	if code != 1 {
+		t.Fatalf("exit %d (want 1: fixture has findings), stderr: %s", code, stderr)
+	}
+	got := out + "--- trace ---\n" + timingTokens.ReplaceAllString(stderr, "$1=X")
+	golden := filepath.Join("testdata", "trace_vet_part.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("traced vet output differs from %s:\n--- got\n%s--- want\n%s", golden, got, want)
+	}
+}
+
+// TestTraceOffByDefault: without -trace the CLI writes nothing to
+// stderr — the observability layer must not leak into default output.
+func TestTraceOffByDefault(t *testing.T) {
+	_, stderr, _ := runCLI(t, "-corpus", "part", "-vet", "-format", "json")
+	if stderr != "" {
+		t.Errorf("untraced run wrote to stderr: %q", stderr)
 	}
 }
 

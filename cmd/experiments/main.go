@@ -11,13 +11,21 @@
 //	experiments -timing      # per-unit wall times + parallel speedup
 //	experiments -worklist lifo   # solver worklist: fifo (default), lifo, priority
 //	experiments -stats       # append solver engine counters (or embed in -json)
+//	experiments -metrics     # collect batch metrics (table, or embed in -json)
+//	experiments -trace       # phase span tree on stderr
+//	experiments -trace-out f # Chrome trace_event file (load in about:tracing)
+//	experiments -cpuprofile f  # pprof CPU profile with per-phase labels
+//	experiments -memprofile f  # pprof heap profile at exit
 //	experiments -nossa       # ablation: keep scalars in the store
 //	experiments -singleheap  # ablation: one heap base for all sites
 //
 // The corpus units analyze on a bounded worker pool (-jobs, default
 // GOMAXPROCS); results merge back in the corpus' canonical order, so
 // every figure and the JSON summary are byte-identical at any -jobs
-// value, including the sequential -jobs=1 run.
+// value, including the sequential -jobs=1 run. The observability flags
+// keep that guarantee: only Deterministic-stability metrics reach the
+// JSON summary; wall-clock and visit-order quantities render on stderr
+// and in the trace file only.
 package main
 
 import (
@@ -29,11 +37,15 @@ import (
 
 	"aliaslab/internal/corpus"
 	"aliaslab/internal/experiments"
+	"aliaslab/internal/obs"
+	"aliaslab/internal/report"
 	"aliaslab/internal/solver"
 	"aliaslab/internal/vdg"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	fig := flag.Int("fig", 0, "render one figure (2, 3, 4, 6, 7); 0 = everything")
 	costs := flag.Bool("costs", false, "render only the CI vs CS cost comparison")
 	jsonOut := flag.Bool("json", false, "render the machine-readable JSON summary instead of figures")
@@ -41,6 +53,11 @@ func main() {
 	timing := flag.Bool("timing", false, "append per-unit wall times and the aggregate parallel speedup")
 	worklist := flag.String("worklist", "", "solver worklist strategy: fifo (default), lifo, or priority")
 	statsOut := flag.Bool("stats", false, "append the solver engine counters (embedded in the summary with -json)")
+	metricsOut := flag.Bool("metrics", false, "collect batch metrics: table on stdout, or the deterministic subset embedded in the -json summary")
+	traceOn := flag.Bool("trace", false, "record phase spans and print the span tree to stderr")
+	traceOut := flag.String("trace-out", "", "write the phase spans as a Chrome trace_event file (implies -trace)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile (with per-phase pprof labels) to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	noSSA := flag.Bool("nossa", false, "ablation: keep non-addressed scalars in the store")
 	singleHeap := flag.Bool("singleheap", false, "ablation: name all heap storage with one base")
 	flag.Parse()
@@ -48,7 +65,27 @@ func main() {
 	strategy, err := solver.ParseStrategy(*worklist)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(2)
+		return 2
+	}
+
+	tracing := *traceOn || *traceOut != ""
+	var tr *obs.Tracer
+	if tracing || *cpuprofile != "" {
+		// MemStats deltas only when a human will read the tree; pprof
+		// labels always, so a CPU profile attributes samples to phases.
+		tr = obs.New(obs.Config{MemStats: tracing, Labels: true})
+	}
+	var reg *obs.Registry
+	if *metricsOut {
+		reg = obs.NewRegistry()
+	}
+	if *cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		defer stop()
 	}
 
 	opts := vdg.Options{NoSSA: *noSSA, SingleHeapBase: *singleHeap}
@@ -57,11 +94,12 @@ func main() {
 	t0 := time.Now()
 	rs, err := experiments.RunBatch(corpus.Names(), experiments.BatchOptions{
 		WithCS: needCS, Opts: opts, Jobs: *jobs, Strategy: strategy,
+		Trace: tr, Metrics: reg,
 	})
 	wall := time.Since(t0)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		return 1
 	}
 	// Per-unit failures don't stop the batch: report them, render the
 	// figures for the programs that did analyze. A capped unit gets its
@@ -76,11 +114,12 @@ func main() {
 	}
 
 	w := os.Stdout
+	rsp := tr.StartSpan("report")
 	switch {
 	case *jsonOut:
-		if err := experiments.WriteJSONWith(w, rs, experiments.JSONOptions{EngineStats: *statsOut}); err != nil {
+		if err := experiments.WriteJSONWith(w, rs, experiments.JSONOptions{EngineStats: *statsOut, Metrics: reg}); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return 1
 		}
 	case *costs:
 		experiments.Costs(w, rs)
@@ -96,7 +135,7 @@ func main() {
 		experiments.Figure7(w, rs)
 	case *fig != 0:
 		fmt.Fprintln(os.Stderr, "experiments: unknown figure", *fig)
-		os.Exit(2)
+		return 2
 	default:
 		experiments.WriteAll(w, rs)
 	}
@@ -104,13 +143,44 @@ func main() {
 		fmt.Fprintln(w)
 		experiments.EngineStats(w, rs)
 	}
+	if *metricsOut && !*jsonOut {
+		// The text table shows everything, Volatile metrics included —
+		// it is a diagnostic, not a golden surface.
+		fmt.Fprintln(w)
+		report.Metrics(w, reg.Snapshot())
+	}
 	if *timing && !*jsonOut {
 		fmt.Fprintln(w)
 		experiments.Timing(w, rs, wall, effectiveJobs(*jobs))
 	}
-	if len(failed) > 0 {
-		os.Exit(1)
+	rsp.End()
+
+	if tracing {
+		obs.WriteTree(os.Stderr, tr)
 	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = obs.WriteChromeTrace(f, tr)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+	}
+	if *memprofile != "" {
+		if err := obs.WriteHeapProfile(*memprofile); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+	}
+	if len(failed) > 0 {
+		return 1
+	}
+	return 0
 }
 
 // effectiveJobs mirrors the pool's default so the timing table reports

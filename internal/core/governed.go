@@ -4,9 +4,27 @@ import (
 	"fmt"
 
 	"aliaslab/internal/limits"
+	"aliaslab/internal/obs"
 	"aliaslab/internal/solver"
 	"aliaslab/internal/vdg"
 )
+
+// AttachEngine annotates a solve span with a run's engine counters and
+// ends it. The counters are the same record EngineStats renders; on the
+// span they let a trace attribute fixpoint cost (steps, meets, queue
+// depth) to the exact attempt that paid it. Nil-safe.
+func AttachEngine(sp *obs.Span, st solver.Stats) {
+	if sp == nil {
+		return
+	}
+	sp.SetAttr(obs.Str("worklist", st.Strategy.String()))
+	sp.SetAttr(obs.Int("steps", st.Steps))
+	sp.SetAttr(obs.Int("meets", st.Meets))
+	sp.SetAttr(obs.Int("pairInserts", st.PairInserts))
+	sp.SetAttr(obs.Int("enqueued", st.Enqueued))
+	sp.SetAttr(obs.Int("peakDepth", st.PeakDepth))
+	sp.End()
+}
 
 // Tier records how much an analysis had to degrade to fit its budget.
 // The ordering is meaningful: higher tiers are coarser answers.
@@ -82,6 +100,11 @@ type GovernedOptions struct {
 	// Strategy selects the solver engine's worklist discipline for
 	// every attempt in the pipeline (zero value: FIFO).
 	Strategy solver.Strategy
+
+	// Span, when non-nil, records one child span per solve attempt
+	// (solve-ci, solve-cs, solve-cs-widened) with the attempt's engine
+	// counters attached. Nil traces nothing.
+	Span *obs.Span
 }
 
 // GovernedResult is the outcome of the degradation pipeline.
@@ -124,7 +147,9 @@ func (r *GovernedResult) Degraded() bool { return r.Tier.Degraded() }
 func AnalyzeGoverned(g *vdg.Graph, opts GovernedOptions) *GovernedResult {
 	r := &GovernedResult{}
 
+	sp := opts.Span.Child("solve-ci")
 	r.CI = AnalyzeInsensitiveEngine(g, opts.Budget, opts.Strategy)
+	AttachEngine(sp, r.CI.Engine)
 	if r.CI.Stopped != nil {
 		r.Tier = TierPartialCI
 		r.Stopped = r.CI.Stopped
@@ -139,9 +164,11 @@ func AnalyzeGoverned(g *vdg.Graph, opts GovernedOptions) *GovernedResult {
 		return r
 	}
 
+	sp = opts.Span.Child("solve-cs")
 	cs := AnalyzeSensitive(g, SensitiveOptions{
 		CI: r.CI, MaxSteps: opts.MaxSteps, Budget: opts.Budget, Strategy: opts.Strategy,
 	})
+	AttachEngine(sp, cs.Engine)
 	if !cs.Aborted {
 		r.Tier = TierFull
 		r.CS = cs
@@ -154,9 +181,11 @@ func AnalyzeGoverned(g *vdg.Graph, opts GovernedOptions) *GovernedResult {
 	if widen <= 0 {
 		widen = DefaultWidenAssumptions
 	}
+	sp = opts.Span.Child("solve-cs-widened")
 	wcs := AnalyzeSensitive(g, SensitiveOptions{
 		CI: r.CI, MaxSteps: opts.MaxSteps, MaxAssumptions: widen, Budget: opts.Budget, Strategy: opts.Strategy,
 	})
+	AttachEngine(sp, wcs.Engine)
 	if !wcs.Aborted {
 		r.Tier = TierWidened
 		r.CS = wcs

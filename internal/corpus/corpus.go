@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"aliaslab/internal/driver"
+	"aliaslab/internal/obs"
 	"aliaslab/internal/vdg"
 )
 
@@ -89,11 +90,17 @@ func All() []Program {
 
 // Load runs a corpus program through the front end.
 func Load(name string, opts vdg.Options) (*driver.Unit, error) {
+	return LoadSpan(name, opts, nil)
+}
+
+// LoadSpan is Load with phase tracing: the front-end stages record
+// child spans under parent (nil records nothing).
+func LoadSpan(name string, opts vdg.Options, parent *obs.Span) (*driver.Unit, error) {
 	p, err := Get(name)
 	if err != nil {
 		return nil, err
 	}
-	return driver.LoadString(name+".c", p.Source, opts)
+	return driver.LoadStringSpan(name+".c", p.Source, opts, parent)
 }
 
 // Verify checks that the embedded file set matches the declared name

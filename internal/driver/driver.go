@@ -9,9 +9,12 @@ import (
 	"strings"
 
 	"aliaslab/internal/ast"
+	"aliaslab/internal/lexer"
 	"aliaslab/internal/limits"
+	"aliaslab/internal/obs"
 	"aliaslab/internal/parser"
 	"aliaslab/internal/sema"
+	"aliaslab/internal/token"
 	"aliaslab/internal/vdg"
 )
 
@@ -41,35 +44,77 @@ type Unit struct {
 // of killing the process — one malformed unit must never take down a
 // batch run.
 func LoadString(name, src string, opts vdg.Options) (*Unit, error) {
-	var file *ast.File
-	var perrs []*parser.Error
-	if err := limits.Guard("parse "+name, func() error {
-		file, perrs = parser.ParseFile(name, src)
+	return LoadStringSpan(name, src, opts, nil)
+}
+
+// LoadStringSpan is LoadString with phase tracing: each front-end stage
+// (lex, parse, sema, vdg) runs under a child span of parent, with the
+// stage's output size attached. A nil parent records nothing and costs
+// one nil check per stage — the untraced hot path is unchanged.
+func LoadStringSpan(name, src string, opts vdg.Options, parent *obs.Span) (*Unit, error) {
+	var toks []token.Token
+	var lexErrs []*lexer.Error
+	sp := parent.Child("lex")
+	if err := limits.Guard("lex "+name, func() error {
+		lx := lexer.New(name, src)
+		toks = lx.All()
+		lexErrs = lx.Errors()
 		return nil
 	}); err != nil {
 		return nil, err
 	}
+	if sp != nil {
+		sp.SetAttr(obs.Int("tokens", len(toks)))
+		sp.End()
+	}
+
+	var file *ast.File
+	var perrs []*parser.Error
+	sp = parent.Child("parse")
+	if err := limits.Guard("parse "+name, func() error {
+		file, perrs = parser.ParseTokens(name, toks, lexErrs)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if sp != nil {
+		sp.SetAttr(obs.Int("decls", len(file.Decls)))
+		sp.End()
+	}
 	if len(perrs) > 0 {
 		return nil, diagError("parse", len(perrs), firstN(perrs, 10))
 	}
+
 	var prog *sema.Program
 	var serrs []*sema.Error
+	sp = parent.Child("sema")
 	if err := limits.Guard("typecheck "+name, func() error {
 		prog, serrs = sema.Check(file)
 		return nil
 	}); err != nil {
 		return nil, err
 	}
+	sp.End()
 	if len(serrs) > 0 {
 		return nil, diagError("typecheck", len(serrs), firstN(serrs, 10))
 	}
+
 	var graph *vdg.Graph
 	var berrs []*vdg.BuildError
+	sp = parent.Child("vdg")
 	if err := limits.Guard("build "+name, func() error {
 		graph, berrs = vdg.Build(prog, opts)
 		return nil
 	}); err != nil {
 		return nil, err
+	}
+	if sp != nil {
+		nodes := 0
+		for _, fg := range graph.Funcs {
+			nodes += len(fg.Nodes)
+		}
+		sp.SetAttr(obs.Int("nodes", nodes))
+		sp.End()
 	}
 	if len(berrs) > 0 {
 		return nil, diagError("build", len(berrs), firstN(berrs, 10))
@@ -87,11 +132,16 @@ func LoadString(name, src string, opts vdg.Options) (*Unit, error) {
 
 // LoadFile processes a file on disk.
 func LoadFile(path string, opts vdg.Options) (*Unit, error) {
+	return LoadFileSpan(path, opts, nil)
+}
+
+// LoadFileSpan is LoadFile with phase tracing (see LoadStringSpan).
+func LoadFileSpan(path string, opts vdg.Options, parent *obs.Span) (*Unit, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return LoadString(path, string(data), opts)
+	return LoadStringSpan(path, string(data), opts, parent)
 }
 
 // countLines counts non-blank lines, the convention used for the

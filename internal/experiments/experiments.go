@@ -13,6 +13,7 @@ import (
 	"aliaslab/internal/corpus"
 	"aliaslab/internal/driver"
 	"aliaslab/internal/limits"
+	"aliaslab/internal/obs"
 	"aliaslab/internal/report"
 	"aliaslab/internal/sched"
 	"aliaslab/internal/solver"
@@ -89,6 +90,20 @@ type BatchOptions struct {
 	// Strategy selects the solver engine's worklist discipline for every
 	// analysis in the batch (zero value: FIFO, the golden reference).
 	Strategy solver.Strategy
+
+	// Trace, when non-nil, records the batch as a span tree: one root
+	// batch span, one detached span per unit (attached in input order
+	// after the merge barrier, so the tree shape is deterministic even
+	// though spans finish in any order) with load and solve phases as
+	// children. Nil stays on the unobserved hot path.
+	Trace *obs.Tracer
+
+	// Metrics, when non-nil, collects batch metrics: unit counts, VDG
+	// sizes, engine counters, pairs-per-procedure and worklist-depth
+	// distributions, ledger charge totals. Workers write it lock-free;
+	// only Deterministic-stability metrics appear in the byte-stable
+	// JSON rendering.
+	Metrics *obs.Registry
 }
 
 // Run loads and analyzes one corpus program. withCS additionally runs
@@ -97,27 +112,36 @@ type BatchOptions struct {
 // ProgramResult.Err (and mirrored in the returned error), never
 // propagated as a crash.
 func Run(name string, withCS bool, opts vdg.Options) (*ProgramResult, error) {
-	r := runUnit(name, BatchOptions{WithCS: withCS, Opts: opts})
+	r, _ := runUnit(context.Background(), name, BatchOptions{WithCS: withCS, Opts: opts})
 	return r, r.Err
 }
 
 // runUnit analyzes one unit under the batch configuration. It is the
 // worker body of RunBatch: everything it touches — universe, VDG,
-// solver state — is created here and owned by this unit alone; the only
-// shared object is the budget's atomic ledger.
-func runUnit(name string, bo BatchOptions) *ProgramResult {
+// solver state — is created here and owned by this unit alone; the
+// shared objects are the budget's atomic ledger and the lock-free
+// metric registry. The returned span is detached (nil when untraced):
+// it is built entirely on this goroutine and handed to the caller to
+// attach in canonical order.
+func runUnit(ctx context.Context, name string, bo BatchOptions) (*ProgramResult, *obs.Span) {
 	r := &ProgramResult{Name: name}
+	sp := bo.Trace.Detached("unit", obs.Str("unit", name))
+	if w, ok := obs.Worker(ctx); ok {
+		sp.SetAttr(obs.Int("worker", w))
+	}
 	t0 := time.Now()
 	r.Err = limits.Guard("analyze "+name, func() error {
-		u, err := corpus.Load(name, bo.Opts)
+		u, err := corpus.LoadSpan(name, bo.Opts, sp)
 		if err != nil {
 			return err
 		}
 		r.Unit = u
 
+		ssp := sp.Child("solve-ci")
 		t0 := time.Now()
 		r.CI = core.AnalyzeInsensitiveEngine(u.Graph, bo.Budget, bo.Strategy)
 		r.CITime = time.Since(t0)
+		core.AttachEngine(ssp, r.CI.Engine)
 		r.CISets = r.CI.Sets
 		if r.CI.Stopped != nil {
 			r.Stopped = r.CI.Stopped
@@ -125,9 +149,11 @@ func runUnit(name string, bo BatchOptions) *ProgramResult {
 		}
 
 		if bo.WithCS {
+			ssp = sp.Child("solve-cs")
 			t0 = time.Now()
 			r.CS = core.AnalyzeSensitive(u.Graph, core.SensitiveOptions{CI: r.CI, MaxSteps: MaxCSSteps, Budget: bo.Budget, Strategy: bo.Strategy})
 			r.CSTime = time.Since(t0)
+			core.AttachEngine(ssp, r.CS.Engine)
 			if r.CS.Aborted {
 				r.Capped = true
 				r.Stopped = r.CS.Stopped
@@ -141,7 +167,9 @@ func runUnit(name string, bo BatchOptions) *ProgramResult {
 		return nil
 	})
 	r.WallTime = time.Since(t0)
-	return r
+	recordUnit(bo.Metrics, r)
+	sp.End()
+	return r, sp
 }
 
 // RunBatch analyzes the named corpus programs on a bounded worker pool
@@ -176,10 +204,13 @@ func RunBatch(names []string, bo BatchOptions) ([]*ProgramResult, error) {
 		}
 	}
 
+	batch := bo.Trace.StartSpan("batch", obs.Int("units", len(names)))
 	rs := make([]*ProgramResult, len(names))
-	errs := sched.Pool{Jobs: bo.Jobs}.Map(ctx, len(names), func(_ context.Context, i int) error {
-		r := runUnit(names[i], bo)
+	spans := make([]*obs.Span, len(names))
+	errs := sched.Pool{Jobs: bo.Jobs, Obs: bo.Metrics}.Map(ctx, len(names), func(ctx context.Context, i int) error {
+		r, sp := runUnit(ctx, names[i], bo)
 		rs[i] = r
+		spans[i] = sp
 		if r.Stopped != nil {
 			// The shared budget is spent; analyzing further units could
 			// only spin on an exhausted gate. Stop the batch cleanly.
@@ -187,6 +218,15 @@ func RunBatch(names []string, bo BatchOptions) ([]*ProgramResult, error) {
 		}
 		return r.Err
 	})
+	// The merge barrier has passed: adopt the unit spans in input order,
+	// the same canonical order the results render in, so the trace tree
+	// is identical at every Jobs width even though spans finished in
+	// completion order.
+	for _, sp := range spans {
+		batch.Attach(sp)
+	}
+	recordLedger(bo.Metrics, bo.Budget.Ledger)
+	batch.End()
 
 	failures := 0
 	for i, name := range names {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 
+	"aliaslab/internal/obs"
 	"aliaslab/internal/solver"
 	"aliaslab/internal/stats"
 )
@@ -82,6 +83,14 @@ func engineJSON(st solver.Stats) *EngineJSON {
 type JSONOptions struct {
 	// EngineStats attaches each analysis's solver engine counters.
 	EngineStats bool
+
+	// Metrics, when non-nil, appends the registry's Deterministic-
+	// stability metrics as a "metrics" block. Volatile metrics (times,
+	// visit-order-dependent counters) are excluded by construction, so
+	// the block — like the rest of the rendering — is byte-identical at
+	// every -jobs width and worklist strategy for batches that complete
+	// without budget cancellation.
+	Metrics *obs.Registry
 }
 
 // CensusJSON mirrors stats.PairCensus.
@@ -173,7 +182,12 @@ func WriteJSON(w io.Writer, rs []*ProgramResult) error {
 func WriteJSONWith(w io.Writer, rs []*ProgramResult, jo JSONOptions) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(struct {
-		Programs []UnitJSON `json:"programs"`
-	}{Programs: UnitsJSONWith(rs, jo)})
+	doc := struct {
+		Programs []UnitJSON       `json:"programs"`
+		Metrics  []obs.MetricJSON `json:"metrics,omitempty"`
+	}{Programs: UnitsJSONWith(rs, jo)}
+	if jo.Metrics != nil {
+		doc.Metrics = obs.MetricsJSON(jo.Metrics.DeterministicSnapshot())
+	}
+	return enc.Encode(doc)
 }

@@ -74,8 +74,9 @@ func (v *Violation) Unwrap() error { return v.Err }
 // counter over the line observes the Violation first. Readers (reports,
 // tests) may sample the totals at any time.
 type Ledger struct {
-	steps atomic.Int64
-	pairs atomic.Int64
+	steps   atomic.Int64
+	pairs   atomic.Int64
+	charges atomic.Int64
 }
 
 // Steps returns the total steps charged so far.
@@ -84,8 +85,15 @@ func (l *Ledger) Steps() int { return int(l.steps.Load()) }
 // Pairs returns the total pairs charged so far.
 func (l *Ledger) Pairs() int { return int(l.pairs.Load()) }
 
+// Charges returns how many charge operations (gate polls and flushes)
+// have hit the ledger. Steps/Charges is the mean charge batch size —
+// the contention profile of the shared budget, sampled by the
+// observability layer.
+func (l *Ledger) Charges() int { return int(l.charges.Load()) }
+
 // add charges deltas and returns the new totals.
 func (l *Ledger) add(steps, pairs int) (int, int) {
+	l.charges.Add(1)
 	s := l.steps.Add(int64(steps))
 	p := l.pairs.Add(int64(pairs))
 	return int(s), int(p)

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// chromeEvent is one trace_event record ("X" = complete event).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`  // microseconds since trace start
+	Dur  float64           `json:"dur"` // microseconds
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the tracer's spans in the Chrome
+// trace_event format (load the file in chrome://tracing or Perfetto).
+// Each span becomes a complete event; the "worker" span attribute, when
+// present, selects the thread lane so a parallel batch draws one row
+// per worker-pool lane.
+func WriteChromeTrace(w io.Writer, t *Tracer) error {
+	roots := t.Roots()
+	var epoch time.Time
+	for _, s := range roots {
+		if epoch.IsZero() || s.start.Before(epoch) {
+			epoch = s.start
+		}
+	}
+	var events []chromeEvent
+	for _, s := range roots {
+		events = appendEvents(events, s, epoch, 0)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{TraceEvents: events})
+}
+
+func appendEvents(events []chromeEvent, s *Span, epoch time.Time, tid int) []chromeEvent {
+	e := chromeEvent{
+		Name: s.Name,
+		Cat:  "phase",
+		Ph:   "X",
+		Ts:   float64(s.start.Sub(epoch)) / float64(time.Microsecond),
+		Dur:  float64(s.dur) / float64(time.Microsecond),
+		Pid:  1,
+		Tid:  tid,
+	}
+	if len(s.attrs) > 0 {
+		e.Args = make(map[string]string, len(s.attrs))
+		for _, a := range s.attrs {
+			e.Args[a.Key] = a.Val
+			if a.Key == "worker" {
+				if id, err := parseInt(a.Val); err == nil {
+					e.Tid = id
+				}
+			}
+		}
+	}
+	events = append(events, e)
+	for _, c := range s.children {
+		events = appendEvents(events, c, epoch, e.Tid)
+	}
+	return events
+}
+
+func parseInt(s string) (int, error) {
+	n := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, io.ErrUnexpectedEOF
+		}
+		n = n*10 + int(s[i]-'0')
+	}
+	return n, nil
+}

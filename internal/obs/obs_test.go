@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock yields deterministic, strictly increasing times.
+func fakeClock() func() time.Time {
+	t0 := time.Unix(1000, 0)
+	n := 0
+	return func() time.Time {
+		n++
+		return t0.Add(time.Duration(n) * time.Millisecond)
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	s := tr.StartSpan("root")
+	if s != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	// Every span method must no-op on nil.
+	c := s.Child("child", Int("k", 1))
+	c.SetAttr(Str("x", "y"))
+	c.End()
+	s.Attach(tr.Detached("d"))
+	s.End()
+	if s.Dur() != 0 || s.Attrs() != nil || s.Children() != nil {
+		t.Fatal("nil span leaked state")
+	}
+	if got := tr.Roots(); got != nil {
+		t.Fatalf("nil tracer has roots: %v", got)
+	}
+	if s.LabelCtx() == nil {
+		t.Fatal("nil span LabelCtx must return a usable context")
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	tr := New(Config{now: fakeClock()})
+	root := tr.StartSpan("unit", Str("unit", "demo.c"))
+	p := root.Child("parse")
+	p.End()
+	s := root.Child("solve")
+	s.SetAttr(Int("steps", 42))
+	s.End()
+	root.End()
+
+	roots := tr.Roots()
+	if len(roots) != 1 || roots[0].Name != "unit" {
+		t.Fatalf("roots = %v", roots)
+	}
+	kids := roots[0].Children()
+	if len(kids) != 2 || kids[0].Name != "parse" || kids[1].Name != "solve" {
+		t.Fatalf("children = %v", kids)
+	}
+	if kids[0].Dur() <= 0 || roots[0].Dur() <= kids[0].Dur() {
+		t.Fatalf("durations not nested: root=%v child=%v", roots[0].Dur(), kids[0].Dur())
+	}
+	if a := kids[1].Attrs(); len(a) != 1 || a[0].Key != "steps" || a[0].Val != "42" {
+		t.Fatalf("attrs = %v", a)
+	}
+	// Double End is a no-op.
+	d := roots[0].Dur()
+	roots[0].End()
+	if roots[0].Dur() != d {
+		t.Fatal("second End changed the duration")
+	}
+}
+
+func TestDetachedAttachOrder(t *testing.T) {
+	tr := New(Config{now: fakeClock()})
+	batch := tr.StartSpan("batch")
+	// Built "out of order", attached in canonical order.
+	b := tr.Detached("unit", Str("unit", "b"))
+	a := tr.Detached("unit", Str("unit", "a"))
+	b.End()
+	a.End()
+	batch.Attach(a)
+	batch.Attach(b)
+	batch.End()
+	kids := batch.Children()
+	if len(kids) != 2 || kids[0].Attrs()[0].Val != "a" || kids[1].Attrs()[0].Val != "b" {
+		t.Fatalf("attach order not preserved: %v", kids)
+	}
+	if len(tr.Roots()) != 1 {
+		t.Fatal("detached spans must not register as roots")
+	}
+}
+
+func TestWriteTree(t *testing.T) {
+	tr := New(Config{now: fakeClock()})
+	root := tr.StartSpan("unit", Str("unit", "demo.c"))
+	root.Child("parse").End()
+	root.End()
+	var buf bytes.Buffer
+	WriteTree(&buf, tr)
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 lines, got:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[0], "unit dur=") || !strings.Contains(lines[0], "unit=demo.c") {
+		t.Errorf("root line %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  parse dur=") {
+		t.Errorf("child line %q (want two-space indent)", lines[1])
+	}
+	if strings.Contains(out, "alloc=") {
+		t.Errorf("alloc fields present without MemStats: %q", out)
+	}
+}
+
+func TestMemStatsDeltas(t *testing.T) {
+	tr := New(Config{MemStats: true})
+	s := tr.StartSpan("alloc-phase")
+	sink = make([]byte, 1<<20)
+	s.End()
+	if s.allocBytes < 1<<20 {
+		t.Errorf("allocBytes = %d, want >= 1MiB", s.allocBytes)
+	}
+	if s.mallocs <= 0 {
+		t.Errorf("mallocs = %d, want > 0", s.mallocs)
+	}
+	var buf bytes.Buffer
+	WriteTree(&buf, tr)
+	if !strings.Contains(buf.String(), "alloc=") || !strings.Contains(buf.String(), "mallocs=") {
+		t.Errorf("MemStats fields missing: %q", buf.String())
+	}
+}
+
+var sink []byte
+
+func TestPprofLabels(t *testing.T) {
+	tr := New(Config{Labels: true})
+	root := tr.StartSpan("unit", Str("unit", "part.c"))
+	solve := root.Child("solve-ci")
+
+	labels := map[string]string{}
+	pprof.ForLabels(solve.LabelCtx(), func(k, v string) bool {
+		labels[k] = v
+		return true
+	})
+	if labels["phase"] != "solve-ci" {
+		t.Errorf("phase label = %q, want solve-ci", labels["phase"])
+	}
+	if labels["unit"] != "part.c" {
+		t.Errorf("unit label = %q (must inherit from the unit span)", labels["unit"])
+	}
+	solve.End()
+	// After End the parent's label set is active again.
+	labels = map[string]string{}
+	pprof.ForLabels(root.LabelCtx(), func(k, v string) bool {
+		labels[k] = v
+		return true
+	})
+	if labels["phase"] != "unit" {
+		t.Errorf("restored phase label = %q, want unit", labels["phase"])
+	}
+	root.End()
+}
+
+func TestChromeTrace(t *testing.T) {
+	tr := New(Config{now: fakeClock()})
+	root := tr.StartSpan("batch")
+	u := root.Child("unit", Str("unit", "a.c"), Int("worker", 3))
+	u.Child("solve").End()
+	u.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Tid  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("want 3 events, got %d", len(doc.TraceEvents))
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			t.Errorf("event %s: ph = %q", e.Name, e.Ph)
+		}
+	}
+	// The worker attribute selects the thread lane, inherited by children.
+	if doc.TraceEvents[1].Tid != 3 || doc.TraceEvents[2].Tid != 3 {
+		t.Errorf("worker lane not applied: tids %d, %d", doc.TraceEvents[1].Tid, doc.TraceEvents[2].Tid)
+	}
+	if doc.TraceEvents[0].Tid != 0 {
+		t.Errorf("batch lane = %d, want 0", doc.TraceEvents[0].Tid)
+	}
+}
+
+func TestWorkerContext(t *testing.T) {
+	if _, ok := Worker(context.Background()); ok {
+		t.Fatal("untagged context reports a worker")
+	}
+	ctx := WithWorker(context.Background(), 7)
+	if id, ok := Worker(ctx); !ok || id != 7 {
+		t.Fatalf("Worker = %d, %v", id, ok)
+	}
+	if id, ok := Worker(WithWorker(nil, 2)); !ok || id != 2 {
+		t.Fatalf("nil-parent WithWorker broken: %d, %v", id, ok)
+	}
+}
+
+func TestProfileCapture(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	stop, err := StartCPUProfile(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU under a labelled span so the profile has a
+	// chance to attribute samples.
+	tr := New(Config{Labels: true})
+	s := tr.StartSpan("burn", Str("unit", "test"))
+	x := 0
+	for i := 0; i < 1e6; i++ {
+		x += i * i
+	}
+	_ = x
+	s.End()
+	stop()
+	if fi, err := os.Stat(cpu); err != nil || fi.Size() == 0 {
+		t.Fatalf("cpu profile not written: %v", err)
+	}
+
+	heap := filepath.Join(dir, "heap.pprof")
+	if err := WriteHeapProfile(heap); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(heap); err != nil || fi.Size() == 0 {
+		t.Fatalf("heap profile not written: %v", err)
+	}
+	// Both files are gzip-framed protobufs.
+	for _, p := range []string{cpu, heap} {
+		data, err := os.ReadFile(p)
+		if err != nil || len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+			t.Errorf("%s: not a gzip profile", p)
+		}
+	}
+
+	if _, err := StartCPUProfile(filepath.Join(dir, "no/such/dir.pprof")); err == nil {
+		t.Error("StartCPUProfile into a missing directory must fail")
+	}
+	if err := WriteHeapProfile(filepath.Join(dir, "no/such/dir.pprof")); err == nil {
+		t.Error("WriteHeapProfile into a missing directory must fail")
+	}
+}

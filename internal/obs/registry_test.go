@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	r.Counter("c", Deterministic).Add(1)
+	r.Gauge("g", Volatile).Set(2)
+	r.Gauge("g", Volatile).Max(3)
+	r.Histogram("h", Volatile, PowersOfTwo(4)).Observe(5)
+	if got := r.Snapshot(); got != nil {
+		t.Fatalf("nil registry snapshot: %v", got)
+	}
+	if got := r.DeterministicSnapshot(); len(got) != 0 {
+		t.Fatalf("nil registry deterministic snapshot: %v", got)
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("units", Deterministic)
+	c.Add(3)
+	// Re-registration returns the same underlying metric.
+	r.Counter("units", Deterministic).Add(2)
+
+	g := r.Gauge("depth", Volatile)
+	g.Set(10)
+	g.Max(7) // lower: no effect
+	g.Max(12)
+
+	h := r.Histogram("pairs", Deterministic, []int64{1, 2, 4})
+	for _, v := range []int64{1, 1, 2, 3, 100} {
+		h.Observe(v)
+	}
+
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("want 3 metrics, got %d", len(snap))
+	}
+	// Sorted by name: depth, pairs, units.
+	if snap[0].Name != "depth" || snap[1].Name != "pairs" || snap[2].Name != "units" {
+		t.Fatalf("order: %v %v %v", snap[0].Name, snap[1].Name, snap[2].Name)
+	}
+	if snap[0].Value != 12 {
+		t.Errorf("gauge = %d, want 12", snap[0].Value)
+	}
+	if snap[2].Value != 5 {
+		t.Errorf("counter = %d, want 5", snap[2].Value)
+	}
+	p := snap[1]
+	if p.Count != 5 || p.Sum != 107 || p.Max != 100 {
+		t.Errorf("hist count/sum/max = %d/%d/%d", p.Count, p.Sum, p.Max)
+	}
+	// Buckets: <=1: 2, <=2: 1, <=4: 1, +inf: 1.
+	want := []int64{2, 1, 1, 1}
+	for i, n := range want {
+		if p.Buckets[i] != n {
+			t.Errorf("bucket %d = %d, want %d", i, p.Buckets[i], n)
+		}
+	}
+
+	det := r.DeterministicSnapshot()
+	if len(det) != 2 || det[0].Name != "pairs" || det[1].Name != "units" {
+		t.Fatalf("deterministic filter wrong: %v", det)
+	}
+}
+
+func TestReregistrationShapeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", Deterministic)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch must panic")
+		}
+	}()
+	r.Gauge("m", Deterministic)
+}
+
+func TestPowersOfTwo(t *testing.T) {
+	got := PowersOfTwo(5)
+	want := []int64{1, 2, 4, 8, 16}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PowersOfTwo(5) = %v", got)
+		}
+	}
+}
+
+func TestMetricsJSONRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.count", Deterministic).Add(4)
+	h := r.Histogram("b.hist", Deterministic, []int64{1, 2})
+	h.Observe(1)
+	h.Observe(5)
+	js := MetricsJSON(r.DeterministicSnapshot())
+	data, err := json.Marshal(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `[{"name":"a.count","kind":"counter","value":4},` +
+		`{"name":"b.hist","kind":"histogram","hist":{"count":2,"sum":6,"max":5,` +
+		`"buckets":[{"le":"1","n":1},{"le":"2","n":0},{"le":"+inf","n":1}]}}]`
+	if string(data) != want {
+		t.Errorf("metrics JSON:\n got %s\nwant %s", data, want)
+	}
+	// A zero counter still renders its value (pointer, not omitempty).
+	r2 := NewRegistry()
+	r2.Counter("z", Deterministic)
+	data, _ = json.Marshal(MetricsJSON(r2.Snapshot()))
+	if !bytes.Contains(data, []byte(`"value":0`)) {
+		t.Errorf("zero counter dropped: %s", data)
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from 8 workers; run under
+// -race (CI does) it is the lock-freedom proof for the batch engine's
+// shared metrics, and in any mode it checks that concurrent updates
+// lose nothing: all written values are commutative sums, so the final
+// state must be exact regardless of interleaving.
+func TestRegistryConcurrent(t *testing.T) {
+	const workers = 8
+	const perWorker = 10000
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			// Handles resolved inside the worker: registration itself must
+			// also be safe under concurrency.
+			c := r.Counter("hammer.count", Deterministic)
+			g := r.Gauge("hammer.peak", Volatile)
+			h := r.Histogram("hammer.hist", Deterministic, PowersOfTwo(10))
+			for i := 0; i < perWorker; i++ {
+				c.Add(1)
+				g.Max(int64(w*perWorker + i))
+				h.Observe(int64(i % 512))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	snap := map[string]MetricSnapshot{}
+	for _, s := range r.Snapshot() {
+		snap[s.Name] = s
+	}
+	if got := snap["hammer.count"].Value; got != workers*perWorker {
+		t.Errorf("counter lost updates: %d, want %d", got, workers*perWorker)
+	}
+	if got := snap["hammer.peak"].Value; got != (workers-1)*perWorker+perWorker-1 {
+		t.Errorf("gauge max = %d", got)
+	}
+	h := snap["hammer.hist"]
+	if h.Count != workers*perWorker {
+		t.Errorf("hist count = %d, want %d", h.Count, workers*perWorker)
+	}
+	var bucketSum int64
+	for _, n := range h.Buckets {
+		bucketSum += n
+	}
+	if bucketSum != h.Count {
+		t.Errorf("bucket sum %d != count %d", bucketSum, h.Count)
+	}
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteTree renders the tracer's span trees as an indented text tree,
+// one line per span:
+//
+//	unit unit=part.c
+//	  parse dur=1.2ms alloc=34567 mallocs=123
+//	  solve-ci dur=3.4ms alloc=45678 mallocs=456 steps=1234 ...
+//
+// The volatile fields use fixed `key=value` tokens (dur=, alloc=,
+// mallocs=) so golden tests can scrub them with one regular expression
+// while keeping the deterministic attributes intact.
+func WriteTree(w io.Writer, t *Tracer) {
+	for _, s := range t.Roots() {
+		writeSpan(w, s, 0)
+	}
+}
+
+func writeSpan(w io.Writer, s *Span, depth int) {
+	for i := 0; i < depth; i++ {
+		io.WriteString(w, "  ")
+	}
+	io.WriteString(w, s.Name)
+	if s.ended {
+		fmt.Fprintf(w, " dur=%s", s.dur)
+		if s.tracer.cfg.MemStats {
+			fmt.Fprintf(w, " alloc=%d mallocs=%d", s.allocBytes, s.mallocs)
+		}
+	}
+	for _, a := range s.attrs {
+		fmt.Fprintf(w, " %s=%s", a.Key, a.Val)
+	}
+	io.WriteString(w, "\n")
+	for _, c := range s.children {
+		writeSpan(w, c, depth+1)
+	}
+}
+
+// MetricJSON is the machine-readable shape of one metric. Counters and
+// gauges carry Value; histograms carry Hist.
+type MetricJSON struct {
+	Name  string    `json:"name"`
+	Kind  string    `json:"kind"`
+	Value *int64    `json:"value,omitempty"`
+	Hist  *HistJSON `json:"hist,omitempty"`
+}
+
+// HistJSON is a rendered histogram.
+type HistJSON struct {
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Max     int64        `json:"max"`
+	Buckets []BucketJSON `json:"buckets"`
+}
+
+// BucketJSON is one histogram bucket; Le is the inclusive upper bound,
+// "+inf" for the overflow bucket.
+type BucketJSON struct {
+	Le string `json:"le"`
+	N  int64  `json:"n"`
+}
+
+// MetricsJSON converts snapshots (already in sorted, deterministic
+// order) to the JSON shape. Callers embedding the result in byte-stable
+// output must pass DeterministicSnapshot(), not Snapshot().
+func MetricsJSON(ms []MetricSnapshot) []MetricJSON {
+	out := make([]MetricJSON, 0, len(ms))
+	for _, s := range ms {
+		j := MetricJSON{Name: s.Name, Kind: s.Kind.String()}
+		switch s.Kind {
+		case KindHistogram:
+			h := &HistJSON{Count: s.Count, Sum: s.Sum, Max: s.Max}
+			for i, n := range s.Buckets {
+				le := "+inf"
+				if i < len(s.Bounds) {
+					le = strconv.FormatInt(s.Bounds[i], 10)
+				}
+				h.Buckets = append(h.Buckets, BucketJSON{Le: le, N: n})
+			}
+			j.Hist = h
+		default:
+			v := s.Value
+			j.Value = &v
+		}
+		out = append(out, j)
+	}
+	return out
+}

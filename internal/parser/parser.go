@@ -48,8 +48,16 @@ type Parser struct {
 func ParseFile(name, src string) (*ast.File, []*Error) {
 	lx := lexer.New(name, src)
 	toks := lx.All()
+	return ParseTokens(name, toks, lx.Errors())
+}
+
+// ParseTokens parses an already-lexed token stream. It is ParseFile
+// minus the lexing pass, split out so callers that meter the pipeline
+// (the traced driver) can attribute lexing and parsing separately;
+// lexErrs carries the lexer's diagnostics into the parser's error list.
+func ParseTokens(name string, toks []token.Token, lexErrs []*lexer.Error) (*ast.File, []*Error) {
 	p := &Parser{toks: toks, typedefs: make(map[string]bool), enumConsts: make(map[string]int64), fileName: name}
-	for _, le := range lx.Errors() {
+	for _, le := range lexErrs {
 		p.errs = append(p.errs, &Error{Pos: le.Pos, Msg: le.Msg})
 	}
 	file := &ast.File{Name: name}

@@ -1,0 +1,54 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"aliaslab/internal/obs"
+)
+
+// Metrics renders a metric-registry snapshot as a fixed-width table,
+// one row per metric in the snapshot's (name-sorted) order. Counters
+// and gauges fill the value column; histograms fill count/sum/max plus
+// a compact bucket rendering. Used by the CLIs' -metrics output; the
+// machine-readable form is obs.MetricsJSON.
+func Metrics(w io.Writer, ms []obs.MetricSnapshot) {
+	headers := []string{"metric", "kind", "stability", "value", "count", "sum", "max", "buckets"}
+	var rows [][]string
+	for _, m := range ms {
+		row := []string{m.Name, m.Kind.String(), m.Stability.String()}
+		if m.Kind == obs.KindHistogram {
+			row = append(row, "", Itoa(int(m.Count)), Itoa(int(m.Sum)), Itoa(int(m.Max)), bucketCells(m))
+		} else {
+			row = append(row, Itoa(int(m.Value)), "", "", "", "")
+		}
+		rows = append(rows, row)
+	}
+	Table(w, "Metrics", headers, rows)
+}
+
+// bucketCells renders a histogram's non-empty buckets as "<=bound:n"
+// pairs (the overflow bucket as ">bound:n"), compact enough for one
+// table cell.
+func bucketCells(m obs.MetricSnapshot) string {
+	out := ""
+	for i, n := range m.Buckets {
+		if n == 0 {
+			continue
+		}
+		if out != "" {
+			out += " "
+		}
+		if i < len(m.Bounds) {
+			out += fmt.Sprintf("<=%d:%d", m.Bounds[i], n)
+		} else if len(m.Bounds) > 0 {
+			out += fmt.Sprintf(">%d:%d", m.Bounds[len(m.Bounds)-1], n)
+		} else {
+			out += fmt.Sprintf("all:%d", n)
+		}
+	}
+	if out == "" {
+		out = "-"
+	}
+	return out
+}

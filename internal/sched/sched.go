@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 
 	"aliaslab/internal/limits"
+	"aliaslab/internal/obs"
 )
 
 // Pool is a bounded worker pool. The zero value runs with GOMAXPROCS
@@ -37,6 +38,34 @@ type Pool struct {
 	// Jobs is the maximum number of items in flight; <= 0 means
 	// runtime.GOMAXPROCS(0).
 	Jobs int
+
+	// Obs, when non-nil, makes the pool observable: item outcomes are
+	// counted in the registry (sched.items.*, written lock-free from
+	// the workers). A nil registry leaves the pool on its unobserved
+	// hot path. Independent of Obs, each item's context is tagged with
+	// its worker lane (obs.Worker) so per-item spans — including ones
+	// recorded by a tracer with no registry attached — can record which
+	// lane ran them; the tag is one context value per worker per Map.
+	Obs *obs.Registry
+}
+
+// poolCounters are the pool's registry handles, resolved once per Map
+// call so workers only pay atomic adds.
+type poolCounters struct {
+	run, skipped, panics *obs.Counter
+}
+
+func (p Pool) counters() poolCounters {
+	if p.Obs == nil {
+		return poolCounters{}
+	}
+	return poolCounters{
+		// Completed items are deterministic (a healthy batch runs all n);
+		// skips and panics depend on cancellation timing.
+		run:     p.Obs.Counter("sched.items.run", obs.Deterministic),
+		skipped: p.Obs.Counter("sched.items.skipped", obs.Volatile),
+		panics:  p.Obs.Counter("sched.items.panic", obs.Volatile),
+	}
 }
 
 // jobs returns the effective worker count for n items.
@@ -92,12 +121,14 @@ func (p Pool) Map(ctx context.Context, n int, fn func(ctx context.Context, i int
 	}
 	errs := make([]error, n)
 	workers := p.jobs(n)
+	pc := p.counters()
 	if workers == 1 {
 		// Sequential fast path: same code shape as the workers below,
 		// without goroutine or scheduling overhead. -jobs=1 is the
 		// reference execution the parallel run must match byte for byte.
+		wctx := obs.WithWorker(ctx, 0)
 		for i := 0; i < n; i++ {
-			errs[i] = p.runItem(ctx, i, fn)
+			errs[i] = p.runItem(wctx, i, fn, pc)
 		}
 		return errs
 	}
@@ -106,27 +137,35 @@ func (p Pool) Map(ctx context.Context, n int, fn func(ctx context.Context, i int
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			wctx := obs.WithWorker(ctx, w)
 			for {
 				i := int(cursor.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				errs[i] = p.runItem(ctx, i, fn)
+				errs[i] = p.runItem(wctx, i, fn, pc)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return errs
 }
 
 // runItem executes one work item behind the skip check and panic guard.
-func (p Pool) runItem(ctx context.Context, i int, fn func(ctx context.Context, i int) error) error {
+func (p Pool) runItem(ctx context.Context, i int, fn func(ctx context.Context, i int) error, pc poolCounters) error {
 	if err := ctx.Err(); err != nil {
+		pc.skipped.Add(1)
 		return &SkipError{Cause: context.Cause(ctx)}
 	}
-	return limits.Guard(fmt.Sprintf("sched item %d", i), func() error {
+	err := limits.Guard(fmt.Sprintf("sched item %d", i), func() error {
 		return fn(ctx, i)
 	})
+	if _, isPanic := limits.AsPanic(err); isPanic {
+		pc.panics.Add(1)
+	} else {
+		pc.run.Add(1)
+	}
+	return err
 }

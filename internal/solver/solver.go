@@ -93,6 +93,19 @@ type Stats struct {
 	Enqueued int
 	// PeakDepth is the maximum number of queued-but-unprocessed items.
 	PeakDepth int
+	// DepthSum accumulates the outstanding worklist depth after each
+	// pop; DepthSum/Steps is the mean queue depth of the run, the
+	// summary statistic behind the observability layer's worklist-depth
+	// profile. Like PeakDepth it depends on the visit order.
+	DepthSum int
+}
+
+// MeanDepth is the average outstanding worklist depth over the run.
+func (s *Stats) MeanDepth() float64 {
+	if s.Steps == 0 {
+		return 0
+	}
+	return float64(s.DepthSum) / float64(s.Steps)
 }
 
 // Worklist is the pluggable queue discipline of an Engine.
@@ -195,6 +208,7 @@ func (e *Engine[T]) Run(transfer func(T)) Outcome {
 		}
 		item, _ := e.wl.Pop()
 		e.stats.Steps++
+		e.stats.DepthSum += e.wl.Len()
 		transfer(item)
 	}
 	e.gate.Flush(e.stats.Steps, e.stats.PairInserts)
