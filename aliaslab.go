@@ -23,6 +23,9 @@ import (
 	"sort"
 	"time"
 
+	"aliaslab/internal/backend"
+	"aliaslab/internal/backend/andersen"
+	"aliaslab/internal/backend/steensgaard"
 	"aliaslab/internal/baseline"
 	"aliaslab/internal/checkers"
 	"aliaslab/internal/core"
@@ -178,18 +181,28 @@ type EngineStats struct {
 	SubsumeDrops int
 	Enqueued     int
 	PeakDepth    int
+
+	// Constraint-backend counters; zero for the CI/CS analyses.
+	Constraints   int
+	EdgesAdded    int
+	SCCsCollapsed int
+	Unions        int
 }
 
 func engineStats(st solver.Stats) EngineStats {
 	return EngineStats{
-		Worklist:     st.Strategy.String(),
-		Steps:        st.Steps,
-		Meets:        st.Meets,
-		PairInserts:  st.PairInserts,
-		SubsumeHits:  st.SubsumeHits,
-		SubsumeDrops: st.SubsumeDrops,
-		Enqueued:     st.Enqueued,
-		PeakDepth:    st.PeakDepth,
+		Worklist:      st.Strategy.String(),
+		Steps:         st.Steps,
+		Meets:         st.Meets,
+		PairInserts:   st.PairInserts,
+		SubsumeHits:   st.SubsumeHits,
+		SubsumeDrops:  st.SubsumeDrops,
+		Enqueued:      st.Enqueued,
+		PeakDepth:     st.PeakDepth,
+		Constraints:   st.Constraints,
+		EdgesAdded:    st.EdgesAdded,
+		SCCsCollapsed: st.SCCsCollapsed,
+		Unions:        st.Unions,
 	}
 }
 
@@ -245,6 +258,66 @@ func (p *Program) AnalyzeWithEngine(eng Engine) (*Result, error) {
 		TransferFns: ci.Metrics.FlowIns, MeetOps: ci.Metrics.FlowOuts,
 		Engine: engineStats(ci.Engine),
 	}, nil
+}
+
+// Backends lists the selectable points-to backends in precision order,
+// most precise first: "cs", "ci", "andersen", "steensgaard". Every
+// adjacent pair is a sound pointwise inclusion (cs ⊆ ci ⊆ andersen ⊆
+// steensgaard, asserted by the oracle), so picking a backend trades
+// precision for cost, never soundness.
+func Backends() []string {
+	ks := backend.Kinds()
+	out := make([]string, len(ks))
+	for i, k := range ks {
+		out[i] = k.String()
+	}
+	return out
+}
+
+// AnalyzeWithBackend runs the named points-to backend: "ci" (or "") for
+// the paper's context-insensitive analysis, "cs" for the maximally
+// context-sensitive one (unbounded; use AnalyzeContextSensitive to cap
+// its steps), "andersen" for the inclusion-constraint solver, and
+// "steensgaard" for the unification solver. The flow-insensitive
+// backends produce full CI-shaped results, so ModRef and CallGraph work
+// on them. Steensgaard has no worklist to schedule — a non-empty
+// Engine.Worklist is rejected rather than silently ignored.
+func (p *Program) AnalyzeWithBackend(name string, eng Engine) (*Result, error) {
+	kind, err := backend.ParseKind(name)
+	if err != nil {
+		return nil, fmt.Errorf("aliaslab: %w", err)
+	}
+	switch kind {
+	case backend.CI:
+		return p.AnalyzeWithEngine(eng)
+	case backend.CS:
+		return p.AnalyzeContextSensitiveWithEngine(0, eng)
+	case backend.Andersen:
+		strategy, err := eng.strategy()
+		if err != nil {
+			return nil, err
+		}
+		sp := p.span("solve-andersen")
+		res := andersen.AnalyzeEngine(p.unit.Graph, limits.Budget{}, strategy)
+		core.AttachEngine(sp, res.Engine)
+		return &Result{
+			prog: p, ci: res, sets: res.Sets, label: "andersen (inclusion-based)",
+			TransferFns: res.Metrics.FlowIns, MeetOps: res.Metrics.FlowOuts,
+			Engine: engineStats(res.Engine),
+		}, nil
+	default: // backend.Steensgaard
+		if eng.Worklist != "" {
+			return nil, fmt.Errorf("aliaslab: the steensgaard backend has no worklist to schedule; -worklist %q does not apply (unification solves copies up front)", eng.Worklist)
+		}
+		sp := p.span("solve-steensgaard")
+		res := steensgaard.Analyze(p.unit.Graph)
+		core.AttachEngine(sp, res.Engine)
+		return &Result{
+			prog: p, ci: res, sets: res.Sets, label: "steensgaard (unification-based)",
+			TransferFns: res.Metrics.FlowIns, MeetOps: res.Metrics.FlowOuts,
+			Engine: engineStats(res.Engine),
+		}, nil
+	}
 }
 
 // AnalyzeContextSensitive runs the maximally context-sensitive analysis

@@ -9,9 +9,13 @@
 package aliaslab_test
 
 import (
+	"fmt"
 	"io"
+	"strings"
 	"testing"
 
+	"aliaslab/internal/backend/andersen"
+	"aliaslab/internal/backend/steensgaard"
 	"aliaslab/internal/baseline"
 	"aliaslab/internal/checkers"
 	"aliaslab/internal/core"
@@ -244,6 +248,78 @@ func BenchmarkSolveCS(b *testing.B) {
 			}
 		})
 	}
+}
+
+// copyStressSrc generates a program with n address-taken globals whose
+// pointers flow into one variable through a chain of n conditional
+// merges. Andersen's directed propagation inserts O(n²) pairs along the
+// gamma chain; Steensgaard unifies the whole chain into one cell and
+// inserts O(n). The corpus' small programs never reach the sizes where
+// this separation dominates, so the solve benchmarks add this unit to
+// measure the frontier's cost axis at scale.
+func copyStressSrc(n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "int g%d;\n", i)
+	}
+	sb.WriteString("int main(void) {\n\tint *q;\n\tint t;\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "\tint *p%d;\n", i)
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "\tp%d = &g%d;\n", i, i)
+	}
+	sb.WriteString("\tt = 1;\n\tq = p0;\n")
+	for i := 1; i < n; i++ {
+		fmt.Fprintf(&sb, "\tif (t) {\n\t\tq = p%d;\n\t}\n", i)
+	}
+	sb.WriteString("\treturn *q;\n}\n")
+	return sb.String()
+}
+
+// loadSolveUnits builds the constraint-backend workload: the whole
+// corpus plus the copy-dense stress unit.
+func loadSolveUnits(b *testing.B) []*driver.Unit {
+	b.Helper()
+	units := loadAll(b, vdg.Options{})
+	u, err := driver.LoadString("copystress.c", copyStressSrc(600), vdg.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return append(units, u)
+}
+
+// BenchmarkSolveAndersen and BenchmarkSolveSteensgaard time the
+// constraint backends' solve loops (VDG construction held outside the
+// timer) over the corpus plus the copy-dense unit. bench-compare tracks
+// their ratio: unification must stay several times faster than directed
+// inclusion on copy-dense input, or the frontier's cost story is gone.
+func BenchmarkSolveAndersen(b *testing.B) {
+	units := loadSolveUnits(b)
+	b.ResetTimer()
+	var pairs int
+	for i := 0; i < b.N; i++ {
+		pairs = 0
+		for _, u := range units {
+			res := andersen.Analyze(u.Graph)
+			pairs += res.Engine.PairInserts
+		}
+	}
+	b.ReportMetric(float64(pairs), "pair-inserts")
+}
+
+func BenchmarkSolveSteensgaard(b *testing.B) {
+	units := loadSolveUnits(b)
+	b.ResetTimer()
+	var pairs int
+	for i := 0; i < b.N; i++ {
+		pairs = 0
+		for _, u := range units {
+			res := steensgaard.Analyze(u.Graph)
+			pairs += res.Engine.PairInserts
+		}
+	}
+	b.ReportMetric(float64(pairs), "pair-inserts")
 }
 
 // BenchmarkBaseline times the Weihl-style program-wide analysis and

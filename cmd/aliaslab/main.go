@@ -8,12 +8,15 @@
 //	aliaslab -corpus part            # analyze an embedded benchmark
 //	aliaslab -vet file.c             # run the pointer-bug checkers
 //
-// Flags select the analysis (-analysis ci|cs|baseline), what to print
-// (-print pointsto|indirect|modref|callgraph|sizes), ablations, and the
+// Flags select the analysis (-analysis ci|cs|baseline, or -backend
+// ci|cs|andersen|steensgaard to pick a point on the four-way
+// precision/cost frontier), what to print (-print
+// pointsto|indirect|modref|callgraph|sizes|json), ablations, and the
 // checker mode (-vet, filtered with -checkers and rendered per
 // -format). The solver's worklist discipline is swappable (-worklist
-// fifo|lifo|priority — every strategy reaches the same fixpoint) and
-// -stats prints the engine's work counters on stderr.
+// fifo|lifo|priority — every strategy reaches the same fixpoint;
+// steensgaard has no worklist and rejects the flag) and -stats prints
+// the engine's work counters on stderr.
 //
 // With several files, each is an independent translation unit: units
 // analyze concurrently on a bounded worker pool (-jobs, default
@@ -32,6 +35,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -39,6 +43,9 @@ import (
 	"sort"
 	"strings"
 
+	"aliaslab/internal/backend"
+	"aliaslab/internal/backend/andersen"
+	"aliaslab/internal/backend/steensgaard"
 	"aliaslab/internal/baseline"
 	"aliaslab/internal/checkers"
 	"aliaslab/internal/core"
@@ -82,7 +89,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("aliaslab", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	analysis := fs.String("analysis", "ci", "analysis to run: ci, cs, or baseline")
-	print_ := fs.String("print", "indirect", "what to print: pointsto, indirect, modref, callgraph, sizes, dot")
+	backendFlag := fs.String("backend", "", "points-to backend: ci (default), cs, andersen, or steensgaard")
+	print_ := fs.String("print", "indirect", "what to print: pointsto, indirect, modref, callgraph, sizes, json, dot")
 	fn := fs.String("fn", "main", "function to render with -print dot")
 	corpusName := fs.String("corpus", "", "analyze an embedded corpus program instead of a file")
 	jobs := fs.Int("jobs", 0, "files analyzed concurrently in multi-file mode (0 = GOMAXPROCS)")
@@ -110,6 +118,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 	strategy, err := solver.ParseStrategy(*worklist)
 	if err != nil {
 		fmt.Fprintln(stderr, "aliaslab:", err)
+		return 2
+	}
+
+	// -backend is the frontier-wide selector; it resolves onto the same
+	// analysis switch -analysis drives. The two flags may not disagree.
+	if *backendFlag != "" {
+		kind, err := backend.ParseKind(*backendFlag)
+		if err != nil {
+			fmt.Fprintln(stderr, "aliaslab:", err)
+			fmt.Fprintln(stderr, "usage: aliaslab [flags] file.c ...  (or -corpus <name>)")
+			return 2
+		}
+		analysisSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "analysis" {
+				analysisSet = true
+			}
+		})
+		if analysisSet && *analysis != kind.String() {
+			fmt.Fprintf(stderr, "aliaslab: -analysis %s conflicts with -backend %s; pass only one\n", *analysis, kind)
+			return 2
+		}
+		*analysis = kind.String()
+	}
+	if *analysis == "steensgaard" && *worklist != "" {
+		fmt.Fprintf(stderr, "aliaslab: the steensgaard backend has no worklist to schedule; -worklist %s does not apply (unification solves copies up front)\n", *worklist)
 		return 2
 	}
 
@@ -330,6 +364,26 @@ func analyzeUnit(u *driver.Unit, cfg config, stdout, stderr io.Writer) int {
 			unsound = true
 			fmt.Fprintln(stderr, "aliaslab: warning: partial context-insensitive fixpoint; the result under-approximates and is NOT a sound may-alias answer")
 		}
+	case "andersen", "steensgaard":
+		sp := cfg.span.Child("solve-" + cfg.analysis)
+		var res *core.Result
+		if cfg.analysis == "andersen" {
+			res = andersen.AnalyzeEngine(u.Graph, cfg.budget, cfg.strategy)
+			label = "andersen (inclusion-based)"
+		} else {
+			res = steensgaard.AnalyzeBudgeted(u.Graph, cfg.budget)
+			label = "steensgaard (unification-based)"
+		}
+		core.AttachEngine(sp, res.Engine)
+		sp.End()
+		ci, sets = res, res.Sets
+		if cfg.stats {
+			printEngineStats(stderr, cfg.analysis, res.Engine)
+		}
+		if res.Stopped != nil {
+			unsound = true
+			fmt.Fprintf(stderr, "aliaslab: warning: %s solve stopped early (%v); the partial result under-approximates and is NOT a sound may-alias answer\n", cfg.analysis, res.Stopped)
+		}
 	case "baseline":
 		sp := cfg.span.Child("solve-ci")
 		ci = core.AnalyzeInsensitiveEngine(u.Graph, limits.Budget{}, cfg.strategy)
@@ -357,6 +411,11 @@ func analyzeUnit(u *driver.Unit, cfg config, stdout, stderr io.Writer) int {
 		printPointsTo(stdout, u, sets, label)
 	case "indirect":
 		printIndirect(stdout, u, sets, label)
+	case "json":
+		if err := printJSON(stdout, u, sets, label); err != nil {
+			fmt.Fprintln(stderr, "aliaslab:", err)
+			return 1
+		}
 	case "modref":
 		printModRef(stdout, u, ci)
 	case "callgraph":
@@ -397,13 +456,33 @@ func runVet(u *driver.Unit, cfg config, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "aliaslab:", err)
 		return 2
 	}
-	sp := cfg.span.Child("solve-ci")
-	res := core.AnalyzeInsensitiveEngine(u.Graph, cfg.budget, cfg.strategy)
-	core.AttachEngine(sp, res.Engine)
-	if cfg.stats {
-		printEngineStats(stderr, "ci", res.Engine)
+	// The checkers interpret any CI-shaped points-to solution, so the
+	// flow-insensitive backends plug straight in (coarser referent sets
+	// mean more may-findings, never fewer). The context-sensitive and
+	// baseline results lack the call-graph shape vet needs.
+	var res *core.Result
+	statsName := cfg.analysis
+	switch cfg.analysis {
+	case "ci":
+		sp := cfg.span.Child("solve-ci")
+		res = core.AnalyzeInsensitiveEngine(u.Graph, cfg.budget, cfg.strategy)
+		core.AttachEngine(sp, res.Engine)
+	case "andersen":
+		sp := cfg.span.Child("solve-andersen")
+		res = andersen.AnalyzeEngine(u.Graph, cfg.budget, cfg.strategy)
+		core.AttachEngine(sp, res.Engine)
+	case "steensgaard":
+		sp := cfg.span.Child("solve-steensgaard")
+		res = steensgaard.AnalyzeBudgeted(u.Graph, cfg.budget)
+		core.AttachEngine(sp, res.Engine)
+	default:
+		fmt.Fprintf(stderr, "aliaslab: -vet runs on the ci, andersen, or steensgaard backend, not %s\n", cfg.analysis)
+		return 2
 	}
-	sp = cfg.span.Child("checkers")
+	if cfg.stats {
+		printEngineStats(stderr, statsName, res.Engine)
+	}
+	sp := cfg.span.Child("checkers")
 	diags := checkers.Run(checkers.NewContext(u.Graph, res), sel)
 	sp.SetAttr(obs.Int("diags", len(diags)))
 	sp.End()
@@ -440,8 +519,15 @@ func runVet(u *driver.Unit, cfg config, stdout, stderr io.Writer) int {
 // printEngineStats renders one analysis run's solver counters on
 // stderr (it is diagnostics, not part of the result rendering).
 func printEngineStats(w io.Writer, analysis string, st solver.Stats) {
-	fmt.Fprintf(w, "aliaslab: %s engine [%s]: steps %d, meets %d, pair inserts %d, subsume hits %d, subsume drops %d, enqueued %d, peak depth %d\n",
+	fmt.Fprintf(w, "aliaslab: %s engine [%s]: steps %d, meets %d, pair inserts %d, subsume hits %d, subsume drops %d, enqueued %d, peak depth %d",
 		analysis, st.Strategy, st.Steps, st.Meets, st.PairInserts, st.SubsumeHits, st.SubsumeDrops, st.Enqueued, st.PeakDepth)
+	if st.Constraints > 0 {
+		// Constraint-backend runs carry their own counters; CI/CS lines
+		// stay byte-identical to the pre-backend output.
+		fmt.Fprintf(w, ", constraints %d, edges %d, sccs collapsed %d, unions %d",
+			st.Constraints, st.EdgesAdded, st.SCCsCollapsed, st.Unions)
+	}
+	fmt.Fprintln(w)
 }
 
 // printPointsTo dumps the final store at main's return: the pairs a
@@ -496,6 +582,61 @@ func printIndirect(w io.Writer, u *driver.Unit, sets map[*vdg.Output]*core.PairS
 	fmt.Fprintf(w, "reads: %d ops avg %.2f max %d; writes: %d ops avg %.2f max %d\n",
 		ops.Reads.Total, ops.Reads.Avg(), ops.Reads.Max,
 		ops.Writes.Total, ops.Writes.Avg(), ops.Writes.Max)
+}
+
+// printJSON renders one unit's solution as deterministic JSON: the
+// label, the pair census, the Figure 4 indirect-operation summary, and
+// the sorted store at main's return. One shape for every backend, so
+// frontier points diff structurally.
+func printJSON(w io.Writer, u *driver.Unit, sets map[*vdg.Output]*core.PairSet, label string) error {
+	census := stats.Census(u.Graph, sets)
+	ops := stats.CountIndirect(u.Graph, sets)
+	type opsJSON struct {
+		Ops int     `json:"ops"`
+		Avg float64 `json:"avgReferents"`
+		Max int     `json:"maxReferents"`
+	}
+	type pairJSON struct {
+		Path string `json:"path"`
+		Ref  string `json:"referent"`
+	}
+	out := struct {
+		Unit   string `json:"unit"`
+		Label  string `json:"label"`
+		Census struct {
+			Total     int `json:"total"`
+			Pointer   int `json:"pointer"`
+			Function  int `json:"function"`
+			Aggregate int `json:"aggregate"`
+			Store     int `json:"store"`
+		} `json:"pairs"`
+		Reads       opsJSON    `json:"reads"`
+		Writes      opsJSON    `json:"writes"`
+		StoreAtExit []pairJSON `json:"storeAtExit"`
+	}{Unit: u.Name, Label: label}
+	out.Census.Total = census.Total
+	out.Census.Pointer = census.Pointer
+	out.Census.Function = census.Function
+	out.Census.Aggregate = census.Aggregate
+	out.Census.Store = census.Store
+	out.Reads = opsJSON{Ops: ops.Reads.Total, Avg: ops.Reads.Avg(), Max: ops.Reads.Max}
+	out.Writes = opsJSON{Ops: ops.Writes.Total, Avg: ops.Writes.Avg(), Max: ops.Writes.Max}
+	if u.Graph.Entry != nil && u.Graph.Entry.ReturnStore() != nil {
+		if s := sets[u.Graph.Entry.ReturnStore()]; s != nil {
+			for _, p := range s.Sorted() {
+				out.StoreAtExit = append(out.StoreAtExit, pairJSON{Path: p.Path.String(), Ref: p.Ref.String()})
+			}
+			sort.Slice(out.StoreAtExit, func(i, j int) bool {
+				if out.StoreAtExit[i].Path != out.StoreAtExit[j].Path {
+					return out.StoreAtExit[i].Path < out.StoreAtExit[j].Path
+				}
+				return out.StoreAtExit[i].Ref < out.StoreAtExit[j].Ref
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // printModRef renders the transitive mod/ref sets per function.

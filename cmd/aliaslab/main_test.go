@@ -183,6 +183,62 @@ func TestUsageError(t *testing.T) {
 	}
 }
 
+// TestBackendGolden pins the text and JSON output of every backend on
+// one corpus program: the four-way precision frontier is directly
+// visible as the goldens' referent sets widen from cs to steensgaard.
+// Regenerate with: go test ./cmd/aliaslab -run BackendGolden -update
+func TestBackendGolden(t *testing.T) {
+	for _, kind := range []string{"cs", "ci", "andersen", "steensgaard"} {
+		for _, mode := range []string{"indirect", "json"} {
+			t.Run(kind+"/"+mode, func(t *testing.T) {
+				out, stderr, code := runCLI(t, "-corpus", "part", "-backend", kind, "-print", mode)
+				if code != 0 {
+					t.Fatalf("exit %d, stderr: %s", code, stderr)
+				}
+				golden := filepath.Join("testdata", "backend_"+kind+"_"+mode+"_part.golden")
+				if *update {
+					if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(golden)
+				if err != nil {
+					t.Fatalf("missing golden (run with -update): %v", err)
+				}
+				if out != string(want) {
+					t.Errorf("-backend %s -print %s output differs from %s:\n--- got\n%s--- want\n%s",
+						kind, mode, golden, out, want)
+				}
+			})
+		}
+	}
+}
+
+// TestBackendErrors: the backend flag fails loudly — unknown names get
+// the usage message, conflicting selectors are rejected, and options
+// that cannot apply to a backend are an error rather than silently
+// ignored.
+func TestBackendErrors(t *testing.T) {
+	if _, stderr, code := runCLI(t, "-corpus", "part", "-backend", "anderson"); code != 2 ||
+		!strings.Contains(stderr, `unknown backend "anderson"`) ||
+		!strings.Contains(stderr, "usage: aliaslab") {
+		t.Errorf("unknown backend: exit %d, stderr %q", code, stderr)
+	}
+	if _, stderr, code := runCLI(t, "-corpus", "part", "-backend", "cs", "-analysis", "ci"); code != 2 ||
+		!strings.Contains(stderr, "conflicts") {
+		t.Errorf("backend/analysis conflict: exit %d, stderr %q", code, stderr)
+	}
+	if _, stderr, code := runCLI(t, "-corpus", "part", "-backend", "steensgaard", "-worklist", "lifo"); code != 2 ||
+		!strings.Contains(stderr, "no worklist to schedule") {
+		t.Errorf("steensgaard -worklist: exit %d, stderr %q", code, stderr)
+	}
+	if _, stderr, code := runCLI(t, "-corpus", "part", "-backend", "cs", "-vet"); code != 2 ||
+		!strings.Contains(stderr, "-vet runs on the ci, andersen, or steensgaard backend") {
+		t.Errorf("cs vet: exit %d, stderr %q", code, stderr)
+	}
+}
+
 // writeTempN writes n distinguishable single-finding programs and
 // returns their paths.
 func writeTempN(t *testing.T, n int) []string {

@@ -10,6 +10,8 @@
 //	experiments -jobs 8      # analyze corpus units on 8 workers
 //	experiments -timing      # per-unit wall times + parallel speedup
 //	experiments -worklist lifo   # solver worklist: fifo (default), lifo, priority
+//	experiments -backend frontier    # four-way precision/cost frontier table
+//	experiments -backend andersen    # also solve each unit with one constraint backend
 //	experiments -stats       # append solver engine counters (or embed in -json)
 //	experiments -metrics     # collect batch metrics (table, or embed in -json)
 //	experiments -trace       # phase span tree on stderr
@@ -35,6 +37,7 @@ import (
 	"runtime"
 	"time"
 
+	"aliaslab/internal/backend"
 	"aliaslab/internal/corpus"
 	"aliaslab/internal/experiments"
 	"aliaslab/internal/obs"
@@ -52,6 +55,7 @@ func run() int {
 	jobs := flag.Int("jobs", 0, "corpus units analyzed concurrently (0 = GOMAXPROCS, 1 = sequential)")
 	timing := flag.Bool("timing", false, "append per-unit wall times and the aggregate parallel speedup")
 	worklist := flag.String("worklist", "", "solver worklist strategy: fifo (default), lifo, or priority")
+	backendFlag := flag.String("backend", "", "run a constraint backend per unit (andersen, steensgaard) or render the four-way frontier table (frontier)")
 	statsOut := flag.Bool("stats", false, "append the solver engine counters (embedded in the summary with -json)")
 	metricsOut := flag.Bool("metrics", false, "collect batch metrics: table on stdout, or the deterministic subset embedded in the -json summary")
 	traceOn := flag.Bool("trace", false, "record phase spans and print the span tree to stderr")
@@ -66,6 +70,19 @@ func run() int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		return 2
+	}
+	frontier := *backendFlag == "frontier"
+	var backendKind backend.Kind
+	if !frontier {
+		backendKind, err = backend.ParseKind(*backendFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err, "(or frontier)")
+			return 2
+		}
+		if backendKind == backend.CS {
+			// -backend cs is the existing CS batch, not an extra solve.
+			backendKind = backend.CI
+		}
 	}
 
 	tracing := *traceOn || *traceOut != ""
@@ -91,10 +108,31 @@ func run() int {
 	opts := vdg.Options{NoSSA: *noSSA, SingleHeapBase: *singleHeap}
 	needCS := *costs || *jsonOut || *fig == 0 || *fig == 6 || *fig == 7
 
+	if frontier {
+		rows, skipped, err := experiments.RunFrontier(corpus.Names(), experiments.BatchOptions{
+			Opts: opts, Jobs: *jobs, Strategy: strategy, Trace: tr, Metrics: reg,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		for _, name := range skipped {
+			fmt.Fprintf(os.Stderr, "experiments: %s skipped: no converged CS reference\n", name)
+		}
+		experiments.Frontier(os.Stdout, rows)
+		if tracing {
+			obs.WriteTree(os.Stderr, tr)
+		}
+		if len(skipped) > 0 {
+			return 1
+		}
+		return 0
+	}
+
 	t0 := time.Now()
 	rs, err := experiments.RunBatch(corpus.Names(), experiments.BatchOptions{
 		WithCS: needCS, Opts: opts, Jobs: *jobs, Strategy: strategy,
-		Trace: tr, Metrics: reg,
+		Trace: tr, Metrics: reg, Backend: backendKind,
 	})
 	wall := time.Since(t0)
 	if err != nil {

@@ -1,0 +1,204 @@
+package backend_test
+
+import (
+	"reflect"
+	"testing"
+
+	"aliaslab/internal/backend"
+	"aliaslab/internal/core"
+	"aliaslab/internal/driver"
+	"aliaslab/internal/paths"
+	"aliaslab/internal/vdg"
+)
+
+// TestExtractStatementForms maps each mini-C statement form to the
+// exact constraint set extracted from its VDG, in the stable
+// first-appearance cell naming of Constraints.Strings (S is the shared
+// store cell). Two idioms of the sparse IR show up immediately: a
+// scalar copy `p = q` emits nothing (the VDG renames p to q's value —
+// copies only exist where control flow merges), and `return *p` is a
+// load whose location is the address constant itself.
+func TestExtractStatementForms(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		src  string
+		opts vdg.Options
+		want []string
+	}{
+		{
+			name: "address-of: p = &a",
+			src:  "int a;\nint main(void) { int *p; p = &a; return *p; }",
+			want: []string{
+				"c0 ⊇ {a}",
+				"c1 ⊇ load(c0, S)",
+			},
+		},
+		{
+			name: "copy: p = q is absorbed by the sparse construction",
+			src:  "int a;\nint main(void) { int *p; int *q; q = &a; p = q; return *p; }",
+			want: []string{
+				"c0 ⊇ {a}",
+				"c1 ⊇ load(c0, S)",
+			},
+		},
+		{
+			name: "copy: control-flow merge emits gamma copies",
+			src:  "int a, b;\nint main(void) { int *p; int t; t = 1; if (t) { p = &a; } else { p = &b; } return *p; }",
+			want: []string{
+				"c0 ⊇ {a}",
+				"c1 ⊇ {b}",
+				"c2 ⊇ c0",
+				"c2 ⊇ c1",
+				"c3 ⊇ load(c2, S)",
+			},
+		},
+		{
+			name: "load: p = *q",
+			src:  "int a;\nint main(void) { int *p; int **q; int *r; r = &a; q = &r; p = *q; return *p; }",
+			want: []string{
+				"c0 ⊇ {main.r}", // r is addressed, so it lives in the store
+				"c1 ⊇ {a}",
+				"c2 ⊇ load(c0, S)", // p = *q reads r's cell…
+				"c3 ⊇ load(c2, S)", // …and return *p dereferences the result
+				"S ⊇ store(c0, c1)",
+			},
+		},
+		{
+			name: "store: *p = q",
+			src:  "int a;\nint main(void) { int *q; int **p; int *r; q = &a; p = &r; *p = q; return *r; }",
+			want: []string{
+				"c0 ⊇ {main.r}",
+				"c1 ⊇ {a}",
+				"c2 ⊇ load(c0, S)",
+				"c3 ⊇ load(c2, S)",
+				"S ⊇ store(c0, c1)",
+			},
+		},
+		{
+			name: "field access: p = &s.x",
+			src:  "struct S { int x; };\nint main(void) { struct S s; int *p; p = &s.x; return *p; }",
+			want: []string{
+				"c0 ⊇ {main.s}",
+				"c1 ⊇ field(.x, c0)",
+				"c2 ⊇ load(c1, S)",
+			},
+		},
+		{
+			name: "index access: p = &b[1]",
+			src:  "int main(void) { int b[4]; int *p; p = &b[1]; return *p; }",
+			want: []string{
+				"c0 ⊇ {main.b}",
+				"c1 ⊇ index(c0)",
+				"c2 ⊇ load(c1, S)",
+			},
+		},
+		{
+			name: "function-pointer call: f = id; f(3)",
+			src:  "int id(int x) { return x; }\nint main(void) { int (*f)(int); f = id; return f(3); }",
+			want: []string{
+				"c0 ⊇ {id}",
+				"call(c0)",
+			},
+		},
+		{
+			name: "pointer arithmetic: transparent primop copies",
+			src:  "int a;\nint main(void) { int *p; int *q; p = &a; q = p + 1; return *q; }",
+			want: []string{
+				"c0 ⊇ {a}",
+				"c1 ⊇ c0", // the + primop is transparent: both operands copy in
+				"c1 ⊇ c2",
+				"c3 ⊇ load(c1, S)",
+			},
+		},
+		{
+			name: "realloc: fresh seed plus pass-through copy",
+			src:  "int main(void) { int *p; int *q; p = malloc(4); q = realloc(p, 8); return *q; }",
+			want: []string{
+				"c0 ⊇ {malloc@1:44#1}",
+				"c1 ⊇ {realloc@1:60#2}",
+				"c1 ⊇ c0",
+				"c2 ⊇ load(c1, S)",
+			},
+		},
+		{
+			name: "null guard: checked copy under diagnostics",
+			src:  "int a;\nint main(void) { int *p; p = &a; if (p) { return *p; } return 0; }",
+			opts: vdg.Options{Diagnostics: true},
+			want: []string{
+				"c0 ⊇ {a}",
+				"c1 ⊇? c0", // the guard filter: marker referents do not cross
+				"c2 ⊇ c3",  // gamma over the two return values
+				"c2 ⊇ c4",
+				"c3 ⊇ load(c1, S)",
+			},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			u, err := driver.LoadString("t.c", tc.src, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cons := backend.Extract(u.Graph)
+			got := cons.Strings()
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("constraints mismatch\n got: %q\nwant: %q", got, tc.want)
+			}
+			if cons.Count() != len(got) {
+				t.Errorf("Count() = %d, want %d", cons.Count(), len(got))
+			}
+		})
+	}
+}
+
+// TestXformApply covers the path-transforming constraints directly,
+// including the extract form (aggregate-value projection), whose
+// offset-path guard has no single-statement surface form in the corpus
+// subset.
+func TestXformApply(t *testing.T) {
+	u, err := driver.LoadString("t.c", "int a;\nint main(void) { int *p; p = &a; return *p; }", vdg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	univ := u.Graph.Universe
+	cons := backend.Extract(u.Graph)
+	if len(cons.Seeds) == 0 {
+		t.Fatal("no seeds extracted")
+	}
+	root := cons.Seeds[0].Pair.Ref // the root path of `a`
+	eps := univ.Empty()
+	offX := univ.Field(eps, "x")
+
+	pair := func(path, ref *paths.Path) core.Pair { return core.Pair{Path: path, Ref: ref} }
+	for _, tc := range []struct {
+		name   string
+		x      backend.Xform
+		in     core.Pair
+		want   core.Pair
+		wantOK bool
+	}{
+		{"field extends ε-offset referents", backend.Xform{Kind: backend.XField, Field: "x"},
+			pair(eps, root), pair(eps, univ.Field(root, "x")), true},
+		{"field ignores offset pairs", backend.Xform{Kind: backend.XField, Field: "x"},
+			pair(offX, root), core.Pair{}, false},
+		{"index extends ε-offset referents", backend.Xform{Kind: backend.XIndex},
+			pair(eps, root), pair(eps, univ.Index(root)), true},
+		{"extract re-roots a matching offset", backend.Xform{Kind: backend.XExtract, Field: "x"},
+			pair(offX, root), pair(eps, root), true},
+		{"extract skips a non-matching offset", backend.Xform{Kind: backend.XExtract, Field: "y"},
+			pair(offX, root), core.Pair{}, false},
+		{"extract skips ε pairs", backend.Xform{Kind: backend.XExtract, Field: "x"},
+			pair(eps, root), core.Pair{}, false},
+		{"union extract overlaps any union member", backend.Xform{Kind: backend.XExtract, Field: "y", Union: true},
+			pair(univ.UnionField(eps, "x"), root), pair(eps, root), true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := tc.x.Apply(univ, tc.in)
+			if ok != tc.wantOK {
+				t.Fatalf("Apply ok = %v, want %v", ok, tc.wantOK)
+			}
+			if ok && got != tc.want {
+				t.Errorf("Apply = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}

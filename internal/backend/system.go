@@ -1,0 +1,275 @@
+package backend
+
+import (
+	"aliaslab/internal/core"
+	"aliaslab/internal/limits"
+	"aliaslab/internal/paths"
+	"aliaslab/internal/solver"
+	"aliaslab/internal/vdg"
+)
+
+// Arrival is one (cell, pair) worklist item: Pair was just added to the
+// set of Cell's representative and must now be pushed through every
+// constraint attached to that cell.
+type Arrival struct {
+	Cell CellID
+	Pair core.Pair
+}
+
+// System is the solving state both flow-insensitive backends share: the
+// per-cell pair sets, the union-find over cells, the complex-constraint
+// attachments, and the worklist engine. The backends differ only in how
+// they treat Copy constraints — Andersen turns them into directed
+// inclusion edges (and collapses cycles of them), Steensgaard unifies
+// their endpoints up front — so copy handling stays in the subpackages
+// and everything else (seeds, transforms, loads, stores, dynamic call
+// discovery) lives here, once.
+type System struct {
+	Cons *Constraints
+	UF   *UnionFind
+	Eng  *solver.Engine[Arrival]
+	St   *solver.Stats
+
+	// Sets holds one pair set per cell, indexed by representative;
+	// absorbed cells' slots are nil after a merge.
+	Sets []*core.PairSet
+
+	// Complex-constraint attachments, indexed by the cell playing the
+	// constraint's source role; moved to the kept representative on
+	// merge. Values are indices into the Cons slices.
+	XformsFrom    [][]int32
+	LoadsFrom     [][]int32
+	StoresLocFrom [][]int32
+	StoresValFrom [][]int32
+	CallsFrom     [][]int32
+
+	// Callees/Callers is the call graph discovered from function
+	// referents during the solve, in the same shape as core.Result.
+	Callees map[*vdg.Node][]*vdg.FuncGraph
+	Callers map[*vdg.FuncGraph][]*vdg.Node
+
+	// OnMerge, when set, runs after the union-find merge of absorbed
+	// into kept and before set re-propagation; the Andersen backend
+	// moves its copy-edge adjacency here.
+	OnMerge func(kept, absorbed CellID)
+	// OnCallee runs once per newly discovered (call, callee) edge; the
+	// backend materializes actual→formal and return→result flow.
+	OnCallee func(n *vdg.Node, callee *vdg.FuncGraph)
+}
+
+// NewSystem extracts nothing itself — it wraps an already-extracted
+// constraint system with fresh solving state under the given budget and
+// worklist strategy.
+func NewSystem(cons *Constraints, budget limits.Budget, strategy solver.Strategy) *System {
+	n := cons.NumCells
+	s := &System{
+		Cons:          cons,
+		UF:            NewUnionFind(n),
+		Sets:          make([]*core.PairSet, n),
+		XformsFrom:    make([][]int32, n),
+		LoadsFrom:     make([][]int32, n),
+		StoresLocFrom: make([][]int32, n),
+		StoresValFrom: make([][]int32, n),
+		CallsFrom:     make([][]int32, n),
+		Callees:       make(map[*vdg.Node][]*vdg.FuncGraph),
+		Callers:       make(map[*vdg.FuncGraph][]*vdg.Node),
+	}
+	for i := range s.Sets {
+		s.Sets[i] = &core.PairSet{}
+	}
+	for i, x := range cons.Xforms {
+		s.XformsFrom[x.Src] = append(s.XformsFrom[x.Src], int32(i))
+	}
+	for i, l := range cons.Loads {
+		s.LoadsFrom[l.Loc] = append(s.LoadsFrom[l.Loc], int32(i))
+	}
+	for i, st := range cons.Stores {
+		s.StoresLocFrom[st.Loc] = append(s.StoresLocFrom[st.Loc], int32(i))
+		s.StoresValFrom[st.Val] = append(s.StoresValFrom[st.Val], int32(i))
+	}
+	for i, cl := range cons.Calls {
+		s.CallsFrom[cl.Fn] = append(s.CallsFrom[cl.Fn], int32(i))
+	}
+	cfg := solver.Config[Arrival]{Strategy: strategy, Budget: budget}
+	if strategy == solver.Priority {
+		// Cell IDs follow output creation order, the same topological
+		// approximation the CI analysis schedules by.
+		cfg.Prio = func(a Arrival) int { return int(a.Cell) }
+	}
+	s.Eng = solver.New(cfg)
+	s.St = s.Eng.Stats()
+	s.St.Constraints = cons.Count()
+	return s
+}
+
+// Find returns the current representative of c.
+func (s *System) Find(c CellID) CellID { return s.UF.Find(c) }
+
+// Set returns the pair set of c's representative.
+func (s *System) Set(c CellID) *core.PairSet { return s.Sets[s.UF.Find(c)] }
+
+// AddPair adds p to c's representative set, queuing an arrival when it
+// is new. This is the flow-out of the constraint solvers.
+func (s *System) AddPair(c CellID, p core.Pair) {
+	r := s.UF.Find(c)
+	s.St.Meets++
+	if !s.Sets[r].Add(p) {
+		return
+	}
+	s.St.PairInserts++
+	s.Eng.Push(Arrival{Cell: r, Pair: p})
+}
+
+// Seed installs the unconditional lower bounds (address-of and
+// allocation constants).
+func (s *System) Seed() {
+	for _, sd := range s.Cons.Seeds {
+		s.AddPair(sd.Cell, sd.Pair)
+	}
+}
+
+// Merge unifies the classes of a and b: attachments and pairs of the
+// absorbed side move to the kept representative, and every pair of the
+// merged set is re-enqueued (the merged cell's attachment set grew, so
+// pairs processed before the merge must see the new constraints).
+// Reports the kept representative and whether a merge happened.
+func (s *System) Merge(a, b CellID) (CellID, bool) {
+	kept, absorbed := s.UF.Union(a, b)
+	if kept == absorbed {
+		return kept, false
+	}
+	s.XformsFrom[kept] = append(s.XformsFrom[kept], s.XformsFrom[absorbed]...)
+	s.LoadsFrom[kept] = append(s.LoadsFrom[kept], s.LoadsFrom[absorbed]...)
+	s.StoresLocFrom[kept] = append(s.StoresLocFrom[kept], s.StoresLocFrom[absorbed]...)
+	s.StoresValFrom[kept] = append(s.StoresValFrom[kept], s.StoresValFrom[absorbed]...)
+	s.CallsFrom[kept] = append(s.CallsFrom[kept], s.CallsFrom[absorbed]...)
+	s.XformsFrom[absorbed] = nil
+	s.LoadsFrom[absorbed] = nil
+	s.StoresLocFrom[absorbed] = nil
+	s.StoresValFrom[absorbed] = nil
+	s.CallsFrom[absorbed] = nil
+	if s.OnMerge != nil {
+		s.OnMerge(kept, absorbed)
+	}
+	old := s.Sets[absorbed]
+	s.Sets[absorbed] = nil
+	for _, p := range old.List() {
+		s.St.Meets++
+		if s.Sets[kept].Add(p) {
+			s.St.PairInserts++
+		}
+	}
+	for _, p := range s.Sets[kept].List() {
+		s.Eng.Push(Arrival{Cell: kept, Pair: p})
+	}
+	return kept, true
+}
+
+// Complex pushes one arrival (pair p, now in the set of representative
+// r) through every non-copy constraint attached to r. The formulas are
+// the CI transfer functions of internal/core minus kills and flow: the
+// same Dom/Subtract dereference, the same Append write, the same
+// ε-offset and depth-0 guards on dynamic call discovery.
+func (s *System) Complex(r CellID, p core.Pair) {
+	u := s.Cons.Graph.Universe
+	for _, xi := range s.XformsFrom[r] {
+		x := s.Cons.Xforms[xi]
+		if q, ok := x.Apply(u, p); ok {
+			s.AddPair(x.Dst, q)
+		}
+	}
+	storeRep := s.UF.Find(StoreCell)
+	if p.Path.IsEmptyOffset() {
+		rl := p.Ref
+		// A new location referent dereferences every store pair it may
+		// observe (lookup) …
+		for _, li := range s.LoadsFrom[r] {
+			l := s.Cons.Loads[li]
+			for _, ps := range s.Sets[storeRep].List() {
+				if paths.Dom(rl, ps.Path) {
+					s.AddPair(l.Dst, core.Pair{Path: u.Subtract(ps.Path, rl), Ref: ps.Ref})
+				}
+			}
+		}
+		// … and writes every value pair at its new target (update).
+		for _, si := range s.StoresLocFrom[r] {
+			st := s.Cons.Stores[si]
+			for _, pv := range s.Sets[s.UF.Find(st.Val)].List() {
+				s.AddPair(StoreCell, core.Pair{Path: u.Append(rl, pv.Path), Ref: pv.Ref})
+			}
+		}
+		// A new function referent resolves an indirect call.
+		if len(s.CallsFrom[r]) > 0 && rl.Depth() == 0 {
+			if base := rl.Base(); base != nil {
+				if callee := s.Cons.Graph.FuncByBase[base]; callee != nil {
+					for _, ci := range s.CallsFrom[r] {
+						s.addCallEdge(s.Cons.Calls[ci].Node, callee)
+					}
+				}
+			}
+		}
+	}
+	// A new value pair is written through every known target of its
+	// update's location.
+	for _, si := range s.StoresValFrom[r] {
+		st := s.Cons.Stores[si]
+		for _, pl := range s.Sets[s.UF.Find(st.Loc)].List() {
+			if !pl.Path.IsEmptyOffset() {
+				continue
+			}
+			s.AddPair(StoreCell, core.Pair{Path: u.Append(pl.Ref, p.Path), Ref: p.Ref})
+		}
+	}
+	// A new store pair is observed by every lookup whose location may
+	// reach it. Loads attach conceptually to the single store cell, so
+	// this scans them all — the price of the collapsed store.
+	if r == storeRep {
+		for _, l := range s.Cons.Loads {
+			dst := l.Dst
+			for _, pl := range s.Sets[s.UF.Find(l.Loc)].List() {
+				if !pl.Path.IsEmptyOffset() {
+					continue
+				}
+				if paths.Dom(pl.Ref, p.Path) {
+					s.AddPair(dst, core.Pair{Path: u.Subtract(p.Path, pl.Ref), Ref: p.Ref})
+				}
+			}
+		}
+	}
+}
+
+// addCallEdge records call → callee once and hands the flow
+// materialization to the backend.
+func (s *System) addCallEdge(n *vdg.Node, callee *vdg.FuncGraph) {
+	for _, c := range s.Callees[n] {
+		if c == callee {
+			return
+		}
+	}
+	s.Callees[n] = append(s.Callees[n], callee)
+	s.Callers[callee] = append(s.Callers[callee], n)
+	s.OnCallee(n, callee)
+}
+
+// Result materializes the solved state in the shape the CI analysis
+// produces, so checkers, reports, and the oracle consume any backend's
+// solution unchanged. Outputs of one merged cell share one *PairSet,
+// exactly as the Weihl baseline shares its global store set.
+func (s *System) Result(out solver.Outcome) *core.Result {
+	res := &core.Result{
+		Graph:   s.Cons.Graph,
+		Sets:    make(map[*vdg.Output]*core.PairSet),
+		Callees: s.Callees,
+		Callers: s.Callers,
+		Stopped: out.Stopped,
+	}
+	s.Cons.Graph.Outputs(func(o *vdg.Output) {
+		r := s.UF.Find(s.Cons.CellOf[o])
+		if set := s.Sets[r]; set != nil && set.Len() > 0 {
+			res.Sets[o] = set
+		}
+	})
+	res.Engine = *s.St
+	res.Metrics = core.Metrics{FlowIns: s.St.Steps, FlowOuts: s.St.Meets, Pairs: s.St.PairInserts}
+	return res
+}

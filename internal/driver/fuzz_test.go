@@ -3,17 +3,21 @@ package driver_test
 import (
 	"testing"
 
+	"aliaslab/internal/backend/andersen"
+	"aliaslab/internal/backend/steensgaard"
 	"aliaslab/internal/core"
 	"aliaslab/internal/driver"
 	"aliaslab/internal/limits"
+	"aliaslab/internal/solver"
 	"aliaslab/internal/vdg"
 )
 
 // FuzzLoadAndSolve drives arbitrary source through the whole pipeline —
-// parse, typecheck, VDG build, budgeted context-insensitive solve. The
-// budget keeps pathological inputs from hanging the fuzzer; the panic
-// guards in the driver must convert any internal error into a returned
-// error, so reaching a panic here is a real bug.
+// parse, typecheck, VDG build, budgeted solves with every backend
+// (context-insensitive plus the Andersen and Steensgaard constraint
+// solvers). The budget keeps pathological inputs from hanging the
+// fuzzer; the panic guards in the driver must convert any internal
+// error into a returned error, so reaching a panic here is a real bug.
 func FuzzLoadAndSolve(f *testing.F) {
 	seeds := []string{
 		"int main(void) { return 0; }",
@@ -26,6 +30,13 @@ int x; int y;
 int main(void) { int *u; int *v; u = &x; v = &y; swap(&u, &v); return *u; }`,
 		"int f(void); int (*fp)(void) = f; int f(void) { return fp(); } int main(void) { return f(); }",
 		"int main(void) { int *p; p = (int *) malloc(4); *p = 1; free(p); return 0; }",
+		// Copy cycle through a loop: exercises the Andersen solver's
+		// SCC collapsing and Steensgaard's chained unions.
+		`int a; int b;
+int main(void) { int *p; int *q; int i;
+p = &a; q = &b;
+for (i = 0; i < 4; i = i + 1) { int *t; t = p; p = q; q = t; }
+return *p + *q; }`,
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -46,6 +57,30 @@ int main(void) { int *u; int *v; u = &x; v = &y; swap(&u, &v); return *u; }`,
 		if res.Stopped == nil && res.Metrics.FlowIns >= budget.MaxSteps {
 			t.Fatalf("solver did %d flow-ins past the %d-step budget without reporting a stop",
 				res.Metrics.FlowIns, budget.MaxSteps)
+		}
+		and := andersen.AnalyzeEngine(u.Graph, budget, solver.FIFO)
+		st := steensgaard.AnalyzeBudgeted(u.Graph, budget)
+		if and == nil || st == nil {
+			t.Fatal("budgeted constraint-backend solve returned nil result")
+		}
+		if res.Stopped == nil && and.Stopped == nil && st.Stopped == nil {
+			// All three converged: spot-check the frontier's soundness
+			// chain on arbitrary input — every CI pair must survive into
+			// the coarser flow-insensitive solutions.
+			for o, set := range res.Sets {
+				for _, p := range set.List() {
+					if s := and.Sets[o]; s == nil || !s.Has(p) {
+						t.Fatalf("CI pair %v missing from the andersen solution", p)
+					}
+				}
+			}
+			for o, set := range and.Sets {
+				for _, p := range set.List() {
+					if s := st.Sets[o]; s == nil || !s.Has(p) {
+						t.Fatalf("andersen pair %v missing from the steensgaard solution", p)
+					}
+				}
+			}
 		}
 	})
 }

@@ -9,6 +9,9 @@ import (
 	"io"
 	"time"
 
+	"aliaslab/internal/backend"
+	"aliaslab/internal/backend/andersen"
+	"aliaslab/internal/backend/steensgaard"
 	"aliaslab/internal/core"
 	"aliaslab/internal/corpus"
 	"aliaslab/internal/driver"
@@ -38,6 +41,14 @@ type ProgramResult struct {
 
 	CISets map[*vdg.Output]*core.PairSet
 	CSSets map[*vdg.Output]*core.PairSet
+
+	// BE is the constraint-backend result (Andersen or Steensgaard),
+	// present only when BatchOptions.Backend requested one; BEKind
+	// records which. The backend solves the same VDG the CI analysis
+	// used, so its sets are directly comparable.
+	BE     *core.Result
+	BEKind backend.Kind
+	BETime time.Duration
 
 	// WallTime is the unit's total load+analyze wall time, used by the
 	// batch report to compare aggregate work against batch wall clock
@@ -90,6 +101,13 @@ type BatchOptions struct {
 	// Strategy selects the solver engine's worklist discipline for every
 	// analysis in the batch (zero value: FIFO, the golden reference).
 	Strategy solver.Strategy
+
+	// Backend additionally runs a constraint backend (Andersen or
+	// Steensgaard) on every unit, recording its result in
+	// ProgramResult.BE. The zero value (CI) runs nothing extra — the
+	// context-insensitive analysis always runs, it is the reference the
+	// figures render.
+	Backend backend.Kind
 
 	// Trace, when non-nil, records the batch as a span tree: one root
 	// batch span, one detached span per unit (attached in input order
@@ -146,6 +164,24 @@ func runUnit(ctx context.Context, name string, bo BatchOptions) (*ProgramResult,
 		if r.CI.Stopped != nil {
 			r.Stopped = r.CI.Stopped
 			return fmt.Errorf("%s: context-insensitive analysis stopped early: %w", name, r.CI.Stopped)
+		}
+
+		switch bo.Backend {
+		case backend.Andersen, backend.Steensgaard:
+			ssp := sp.Child("solve-" + bo.Backend.String())
+			t0 := time.Now()
+			if bo.Backend == backend.Andersen {
+				r.BE = andersen.AnalyzeEngine(u.Graph, bo.Budget, bo.Strategy)
+			} else {
+				r.BE = steensgaard.AnalyzeBudgeted(u.Graph, bo.Budget)
+			}
+			r.BETime = time.Since(t0)
+			r.BEKind = bo.Backend
+			core.AttachEngine(ssp, r.BE.Engine)
+			if r.BE.Stopped != nil {
+				r.Stopped = r.BE.Stopped
+				return fmt.Errorf("%s: %s analysis stopped early: %w", name, bo.Backend, r.BE.Stopped)
+			}
 		}
 
 		if bo.WithCS {
@@ -437,6 +473,9 @@ func EngineStats(w io.Writer, rs []*ProgramResult) {
 		}
 		if r.CS != nil {
 			rows = append(rows, row(r.Name, "CS", r.CS.Engine))
+		}
+		if r.BE != nil {
+			rows = append(rows, row(r.Name, r.BEKind.String(), r.BE.Engine))
 		}
 	}
 	report.Table(w, "Solver engine counters", headers, rows)

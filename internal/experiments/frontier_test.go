@@ -1,0 +1,85 @@
+package experiments_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aliaslab/internal/backend"
+	"aliaslab/internal/corpus"
+	"aliaslab/internal/experiments"
+)
+
+// TestFrontierLattice: the pooled frontier rows order by precision —
+// pair totals grow monotonically from cs to steensgaard — and the CS
+// reference agrees with itself at every indirect operation.
+func TestFrontierLattice(t *testing.T) {
+	rows, skipped, err := experiments.RunFrontier(corpus.Names()[:3], experiments.BatchOptions{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("units skipped: %v", skipped)
+	}
+	kinds := backend.Kinds()
+	for i := 1; i < len(kinds); i++ {
+		lo, hi := rows[kinds[i-1]], rows[kinds[i]]
+		if lo.Pairs.Total > hi.Pairs.Total {
+			t.Errorf("%s pooled %d pairs > %s's %d: frontier not ordered by precision",
+				kinds[i-1], lo.Pairs.Total, kinds[i], hi.Pairs.Total)
+		}
+		if hi.AgreeOps > hi.TotalOps {
+			t.Errorf("%s: agreement %d exceeds op count %d", kinds[i], hi.AgreeOps, hi.TotalOps)
+		}
+	}
+	cs := rows[backend.CS]
+	if cs.AgreeOps != cs.TotalOps || cs.TotalOps == 0 {
+		t.Errorf("cs reference agreement %d/%d, want full", cs.AgreeOps, cs.TotalOps)
+	}
+	if rows[backend.Andersen].Engine.Constraints == 0 || rows[backend.Steensgaard].Engine.Unions == 0 {
+		t.Error("constraint-backend counters missing from frontier rows")
+	}
+	var buf bytes.Buffer
+	experiments.Frontier(&buf, rows)
+	for _, k := range kinds {
+		if !strings.Contains(buf.String(), k.String()) {
+			t.Errorf("frontier table missing %s row:\n%s", k, buf.String())
+		}
+	}
+}
+
+// TestBatchBackendOption: BatchOptions.Backend threads a constraint
+// backend through the batch, and its JSON block is strictly opt-in —
+// default runs render byte-identical output.
+func TestBatchBackendOption(t *testing.T) {
+	names := corpus.Names()[:2]
+	plain, err := experiments.RunBatch(names, experiments.BatchOptions{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := experiments.RunBatch(names, experiments.BatchOptions{Jobs: 1, Backend: backend.Andersen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range with {
+		if r.BE == nil || r.BEKind != backend.Andersen {
+			t.Fatalf("%s: batch did not run the andersen backend", r.Name)
+		}
+		if plain[i].BE != nil {
+			t.Fatalf("%s: default batch ran a backend", plain[i].Name)
+		}
+	}
+	var plainJSON, withJSON bytes.Buffer
+	if err := experiments.WriteJSON(&plainJSON, plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := experiments.WriteJSON(&withJSON, with); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plainJSON.String(), `"backend"`) {
+		t.Error("default JSON carries a backend block")
+	}
+	if !strings.Contains(withJSON.String(), `"backendKind": "andersen"`) {
+		t.Errorf("backend batch JSON missing the backend block:\n%s", withJSON.String())
+	}
+}

@@ -32,6 +32,12 @@ type UnitJSON struct {
 	CI *AnalysisJSON `json:"ci,omitempty"`
 	CS *AnalysisJSON `json:"cs,omitempty"`
 
+	// Backend carries the constraint-backend solution when the batch ran
+	// one (BatchOptions.Backend); BackendKind names it. Absent on
+	// default runs, so their bytes are unchanged.
+	BackendKind string        `json:"backendKind,omitempty"`
+	Backend     *AnalysisJSON `json:"backend,omitempty"`
+
 	// IndirectDiffs counts indirect operations whose referent sets
 	// differ between CI and CS — the paper's headline quantity (zero on
 	// every benchmark). Present only when both analyses ran.
@@ -64,18 +70,29 @@ type EngineJSON struct {
 	SubsumeDrops int    `json:"subsumeDrops"`
 	Enqueued     int    `json:"enqueued"`
 	PeakDepth    int    `json:"peakDepth"`
+
+	// Constraint-backend counters. They are zero on CI/CS runs, and
+	// omitempty keeps those runs' opt-in JSON bytes unchanged.
+	Constraints   int `json:"constraints,omitempty"`
+	EdgesAdded    int `json:"edgesAdded,omitempty"`
+	SCCsCollapsed int `json:"sccsCollapsed,omitempty"`
+	Unions        int `json:"unions,omitempty"`
 }
 
 func engineJSON(st solver.Stats) *EngineJSON {
 	return &EngineJSON{
-		Worklist:     st.Strategy.String(),
-		Steps:        st.Steps,
-		Meets:        st.Meets,
-		PairInserts:  st.PairInserts,
-		SubsumeHits:  st.SubsumeHits,
-		SubsumeDrops: st.SubsumeDrops,
-		Enqueued:     st.Enqueued,
-		PeakDepth:    st.PeakDepth,
+		Worklist:      st.Strategy.String(),
+		Steps:         st.Steps,
+		Meets:         st.Meets,
+		PairInserts:   st.PairInserts,
+		SubsumeHits:   st.SubsumeHits,
+		SubsumeDrops:  st.SubsumeDrops,
+		Enqueued:      st.Enqueued,
+		PeakDepth:     st.PeakDepth,
+		Constraints:   st.Constraints,
+		EdgesAdded:    st.EdgesAdded,
+		SCCsCollapsed: st.SCCsCollapsed,
+		Unions:        st.Unions,
 	}
 }
 
@@ -147,6 +164,20 @@ func UnitsJSONWith(rs []*ProgramResult, jo JSONOptions) []UnitJSON {
 			}
 			if jo.EngineStats {
 				u.CI.Engine = engineJSON(r.CI.Engine)
+			}
+			if r.BE != nil {
+				io := stats.CountIndirect(r.Unit.Graph, r.BE.Sets)
+				u.BackendKind = r.BEKind.String()
+				u.Backend = &AnalysisJSON{
+					Census:   censusJSON(stats.Census(r.Unit.Graph, r.BE.Sets)),
+					FlowIns:  r.BE.Metrics.FlowIns,
+					FlowOuts: r.BE.Metrics.FlowOuts,
+					Reads:    opsJSON(io.Reads),
+					Writes:   opsJSON(io.Writes),
+				}
+				if jo.EngineStats {
+					u.Backend.Engine = engineJSON(r.BE.Engine)
+				}
 			}
 			if r.CS != nil && r.CSSets != nil {
 				io := stats.CountIndirect(r.Unit.Graph, r.CSSets)

@@ -16,6 +16,16 @@ type Fixture struct {
 	// test suite asserts this in BOTH directions: agreeing fixtures
 	// must show a zero delta, disagreeing ones a non-zero delta.
 	IndirectAgreement bool
+
+	// The strict-separation flags declare that this fixture PROPERLY
+	// separates adjacent rungs of the precision frontier
+	// CS ⊆ CI ⊆ Andersen ⊆ Steensgaard: the coarser solution carries
+	// strictly more pairs. The test suite asserts each declared strict
+	// inequality, keeping every precision loss on the frontier
+	// demonstrable rather than vacuous.
+	StrictCIOverCS                bool // CS ⊊ CI (unrealizable call paths)
+	StrictAndersenOverCI          bool // CI ⊊ Andersen (no strong updates)
+	StrictSteensgaardOverAndersen bool // Andersen ⊊ Steensgaard (unified copies)
 }
 
 // Fixtures are checker-shaped programs (one per pointer-bug pattern the
@@ -182,6 +192,7 @@ int main(void) {
 		// control proving IndirectDiff can fire.
 		Name:              "polymorphic-id",
 		IndirectAgreement: false,
+		StrictCIOverCS:    true,
 		Src: `
 int a, b;
 int *id(int *p) {
@@ -215,6 +226,50 @@ int main(void) {
 	fill(&m, &a);
 	fill(&n, &b);
 	return *(m.ptr) + *(n.ptr);
+}
+`,
+	},
+	{
+		// One program, three adjacent separations, one per precision
+		// loss on the frontier. CS ⊊ CI: the polymorphic id merges its
+		// two call sites under CI only. CI ⊊ Andersen: pw points only
+		// at w, so CI strong-updates w to {c} where the kill-free
+		// Andersen keeps {a, c}. Andersen ⊊ Steensgaard: the z merge
+		// makes Steensgaard unify m's and n's cells, bleeding b into
+		// the reads of *m that directed inclusion keeps apart.
+		Name:                          "backend-separation",
+		IndirectAgreement:             false,
+		StrictCIOverCS:                true,
+		StrictAndersenOverCI:          true,
+		StrictSteensgaardOverAndersen: true,
+		Src: `
+int a, b, c;
+int *id(int *p) {
+	return p;
+}
+int main(void) {
+	int *x;
+	int *y;
+	int *m;
+	int *n;
+	int *z;
+	int *w;
+	int **pw;
+	int t;
+	x = id(&a);
+	y = id(&b);
+	m = &a;
+	n = &b;
+	t = 1;
+	if (t) {
+		z = m;
+	} else {
+		z = n;
+	}
+	w = &a;
+	pw = &w;
+	*pw = &c;
+	return *x + *y + *z + *m + *w;
 }
 `,
 	},

@@ -12,6 +12,11 @@
 //   - cs-subset-ci (theorem): the stripped context-sensitive solution
 //     is a subset of the context-insensitive one on every output.
 //     [Ruf95 §4.1: CI over-approximates CS.]
+//   - backend-lattice (theorem): CI ⊆ Andersen ⊆ Steensgaard per
+//     output. The constraint backends drop CI's kills and directed
+//     copies in turn, so each solves a weaker system whose least
+//     fixpoint can only grow; with cs-subset-ci this chains into the
+//     four-way frontier CS ⊆ CI ⊆ Andersen ⊆ Steensgaard.
 //   - widened-lattice (theorem): exact CS ⊆ widened CS ⊆ CI, per
 //     output. Assumption-set widening only weakens qualified pairs, so
 //     the widened fixpoint sits between the exact one and CI.
@@ -29,6 +34,8 @@ package oracle
 import (
 	"fmt"
 
+	"aliaslab/internal/backend/andersen"
+	"aliaslab/internal/backend/steensgaard"
 	"aliaslab/internal/core"
 	"aliaslab/internal/driver"
 	"aliaslab/internal/limits"
@@ -104,6 +111,17 @@ func Check(name string, u *driver.Unit, opts Options) []Violation {
 
 	// cs-subset-ci: every stripped CS pair exists in the CI solution.
 	vs = append(vs, SubsetPerOutput(name, "cs-subset-ci", u.Graph, csSets, ci.Sets)...)
+
+	// backend-lattice: the flow-insensitive constraint backends bound CI
+	// from above, completing CS ⊆ CI ⊆ Andersen ⊆ Steensgaard.
+	and := andersen.Analyze(u.Graph)
+	st := steensgaard.Analyze(u.Graph)
+	if and.Stopped != nil || st.Stopped != nil {
+		add("backend-lattice", "unbudgeted constraint backend stopped early (%v/%v)", and.Stopped, st.Stopped)
+	} else {
+		vs = append(vs, SubsetPerOutput(name, "ci-subset-andersen", u.Graph, ci.Sets, and.Sets)...)
+		vs = append(vs, SubsetPerOutput(name, "andersen-subset-steensgaard", u.Graph, and.Sets, st.Sets)...)
+	}
 
 	// widened-lattice: exact ⊆ widened ⊆ CI at every tested bound.
 	// Tighter bounds discard more assumptions, so each widened run is

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"testing"
 
+	"aliaslab/internal/backend/andersen"
+	"aliaslab/internal/backend/steensgaard"
 	"aliaslab/internal/core"
 	"aliaslab/internal/corpus"
 	"aliaslab/internal/driver"
@@ -130,6 +132,63 @@ func TestOracleDetectsDisagreement(t *testing.T) {
 	}
 	if !sawDisagreeing {
 		t.Fatal("no disagreeing fixtures: the negative control is gone")
+	}
+}
+
+// TestStrictSeparation asserts the declared PROPER inclusions of the
+// precision frontier on the fixtures that separate adjacent backends.
+// The oracle's subset invariants prove each coarser solution contains
+// the finer one; this test proves the containments are not equalities —
+// every precision loss on the frontier (call-path merging, dropped
+// kills, unified copies) is demonstrated by a concrete program. Pair
+// totals are comparable because Check has already established the
+// per-output inclusion.
+func TestStrictSeparation(t *testing.T) {
+	sawAll := [3]bool{}
+	for _, f := range oracle.Fixtures {
+		if !f.StrictCIOverCS && !f.StrictAndersenOverCI && !f.StrictSteensgaardOverAndersen {
+			continue
+		}
+		t.Run(f.Name, func(t *testing.T) {
+			u, err := driver.LoadString(f.Name+".c", f.Src, vdg.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ci := core.AnalyzeInsensitive(u.Graph)
+			cs := core.AnalyzeSensitive(u.Graph, core.SensitiveOptions{CI: ci, MaxSteps: 1_000_000})
+			if cs.Aborted {
+				t.Fatal("context-sensitive analysis did not converge")
+			}
+			and := andersen.Analyze(u.Graph)
+			st := steensgaard.Analyze(u.Graph)
+			csTotal := stats.Census(u.Graph, cs.Strip()).Total
+			ciTotal := stats.Census(u.Graph, ci.Sets).Total
+			andTotal := stats.Census(u.Graph, and.Sets).Total
+			stTotal := stats.Census(u.Graph, st.Sets).Total
+			if f.StrictCIOverCS {
+				sawAll[0] = true
+				if ciTotal <= csTotal {
+					t.Errorf("CI total %d not strictly above CS total %d", ciTotal, csTotal)
+				}
+			}
+			if f.StrictAndersenOverCI {
+				sawAll[1] = true
+				if andTotal <= ciTotal {
+					t.Errorf("andersen total %d not strictly above CI total %d", andTotal, ciTotal)
+				}
+			}
+			if f.StrictSteensgaardOverAndersen {
+				sawAll[2] = true
+				if stTotal <= andTotal {
+					t.Errorf("steensgaard total %d not strictly above andersen total %d", stTotal, andTotal)
+				}
+			}
+		})
+	}
+	for i, name := range []string{"cs/ci", "ci/andersen", "andersen/steensgaard"} {
+		if !sawAll[i] {
+			t.Errorf("no fixture declares strict %s separation: that rung of the frontier is unverified", name)
+		}
 	}
 }
 

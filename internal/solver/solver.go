@@ -98,6 +98,23 @@ type Stats struct {
 	// summary statistic behind the observability layer's worklist-depth
 	// profile. Like PeakDepth it depends on the visit order.
 	DepthSum int
+
+	// The remaining counters belong to the constraint-based backends
+	// (internal/backend); they stay zero on CI/CS runs.
+
+	// Constraints counts the subset constraints extracted from the VDG
+	// before solving (addr, copy, transform, load, store, call).
+	Constraints int
+	// EdgesAdded counts inclusion edges added to the constraint graph,
+	// static copies and dynamically discovered call-flow edges alike
+	// (Andersen only).
+	EdgesAdded int
+	// SCCsCollapsed counts multi-node copy-edge cycles merged by the
+	// online cycle-detection passes (Andersen only).
+	SCCsCollapsed int
+	// Unions counts union-find merges of constraint variables performed
+	// by the unification backend (Steensgaard only).
+	Unions int
 }
 
 // MeanDepth is the average outstanding worklist depth over the run.
