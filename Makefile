@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check lint bench bench-compare golden fuzz-smoke oracle race-canary cover
+.PHONY: all build test race vet fmt-check lint bench bench-compare golden fuzz-smoke oracle race-canary cover server-smoke chaos
 
 all: build test vet fmt-check
 
@@ -110,3 +110,17 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzParse -fuzztime=20s ./internal/parser
 	$(GO) test -fuzz=FuzzLoadAndSolve -fuzztime=20s ./internal/driver
 	$(GO) test -fuzz=FuzzVet -fuzztime=20s .
+	$(GO) test -fuzz=FuzzServeAnalyze -fuzztime=20s ./internal/server
+
+# End-to-end smoke of the aliaslabd daemon over a real socket: start,
+# curl every endpoint (including a duplicate request for the cache-hit
+# path), SIGTERM, assert a clean drain.
+server-smoke:
+	sh scripts/server-smoke.sh
+
+# The injected-fault chaos suite under the race detector: panics,
+# synthetic budget violations, and slow stages across the request
+# pipeline must never crash the server, leak a goroutine, or corrupt a
+# cached result.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos' ./internal/server

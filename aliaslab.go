@@ -306,8 +306,8 @@ func (p *Program) AnalyzeWithBackend(name string, eng Engine) (*Result, error) {
 			Engine: engineStats(res.Engine),
 		}, nil
 	default: // backend.Steensgaard
-		if eng.Worklist != "" {
-			return nil, fmt.Errorf("aliaslab: the steensgaard backend has no worklist to schedule; -worklist %q does not apply (unification solves copies up front)", eng.Worklist)
+		if err := backend.ValidateWorklist(kind, eng.Worklist); err != nil {
+			return nil, fmt.Errorf("aliaslab: %w", err)
 		}
 		sp := p.span("solve-steensgaard")
 		res := steensgaard.Analyze(p.unit.Graph)

@@ -142,9 +142,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		*analysis = kind.String()
 	}
-	if *analysis == "steensgaard" && *worklist != "" {
-		fmt.Fprintf(stderr, "aliaslab: the steensgaard backend has no worklist to schedule; -worklist %s does not apply (unification solves copies up front)\n", *worklist)
-		return 2
+	// Backend/worklist compatibility is validated in one typed place
+	// (internal/backend) shared with the facade and the server, so every
+	// entry point rejects the combination identically.
+	if kind, err := backend.ParseKind(*analysis); err == nil {
+		if err := backend.ValidateWorklist(kind, *worklist); err != nil {
+			fmt.Fprintln(stderr, "aliaslab:", err)
+			return 2
+		}
 	}
 
 	if *vet && *checkersFlag == "help" {

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"aliaslab/internal/backend"
 	"aliaslab/internal/corpus"
 	"aliaslab/internal/experiments"
 	"aliaslab/internal/limits"
@@ -207,5 +208,18 @@ func TestCappedUnitIsMarked(t *testing.T) {
 	}
 	if !strings.Contains(r.Err.Error(), "stopped early") {
 		t.Fatalf("capped unit error does not surface the stop: %v", r.Err)
+	}
+}
+
+// A misconfigured batch is rejected up front with a typed error
+// instead of silently running something other than what was asked.
+func TestBatchOptionsValidate(t *testing.T) {
+	_, err := experiments.RunBatch(corpus.Names()[:1], experiments.BatchOptions{Backend: backend.CS, Jobs: 1})
+	var ke *backend.KindError
+	if !errors.As(err, &ke) {
+		t.Fatalf("Backend: CS must be a typed *backend.KindError, got %v", err)
+	}
+	if _, err := experiments.RunBatch(corpus.Names()[:1], experiments.BatchOptions{Backend: backend.Steensgaard, Jobs: 1}); err != nil {
+		t.Fatalf("steensgaard batch (CI reference on the worklist engine) must validate: %v", err)
 	}
 }

@@ -124,6 +124,26 @@ type BatchOptions struct {
 	Metrics *obs.Registry
 }
 
+// Validate checks the option combination before any unit runs, so a
+// misconfigured batch is rejected loudly up front instead of silently
+// doing something other than what was asked. The errors are typed
+// (internal/backend) so embedders — the CLIs, the analysis server —
+// can map them to their own surfaces (exit 2, HTTP 400).
+//
+// Note that Strategy is always valid alongside a Steensgaard Backend
+// here: the batch's CI reference analysis runs on the worklist engine
+// regardless of which extra backend is requested.
+func (bo BatchOptions) Validate() error {
+	switch bo.Backend {
+	case backend.CI, backend.Andersen, backend.Steensgaard:
+		return nil
+	case backend.CS:
+		return &backend.KindError{Kind: bo.Backend, Why: "the context-sensitive analysis is BatchOptions.WithCS, not a constraint backend"}
+	default:
+		return &backend.KindError{Kind: bo.Backend, Why: "unknown backend"}
+	}
+}
+
 // Run loads and analyzes one corpus program. withCS additionally runs
 // the context-sensitive analysis (with the §4.2 optimizations). The
 // whole unit runs behind a panic guard: any failure is recorded in
@@ -221,6 +241,9 @@ func runUnit(ctx context.Context, name string, bo BatchOptions) (*ProgramResult,
 // violation as the skip cause). The returned error is non-nil only when
 // every unit failed.
 func RunBatch(names []string, bo BatchOptions) ([]*ProgramResult, error) {
+	if err := bo.Validate(); err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
 	ctx := bo.Budget.Ctx
 	if ctx == nil {
 		ctx = context.Background()

@@ -1,0 +1,282 @@
+// Package faults is the deterministic fault-injection layer of the
+// analysis service. Robustness claims that are never exercised are
+// hope, not engineering: the server promises that a poisoned request
+// returns 500 without killing the process, that a slow request trips
+// its deadline into a labeled degradation instead of hanging the pool,
+// and that a budget blown mid-flight surfaces as 503 — so the chaos
+// suite injects exactly those failures into named pipeline stages and
+// asserts the promised envelope comes back every time.
+//
+// The layer is strictly additive and off by default: a nil *Injector
+// is valid, every probe on it is a no-op costing one nil check, and no
+// production code path constructs an Injector unless the operator asks
+// for one (the aliaslabd -faults flag or the ALIASLAB_FAULTS
+// environment variable).
+//
+// Injection is deterministic, not probabilistic. Each rule arms a
+// pipeline stage with a cadence: "fire on the Nth hit of this stage,
+// then every Nth after" (with an optional phase offset). Hit counting
+// is a per-rule atomic, so under a concurrent storm the *set* of fired
+// faults per K hits is exact even though which request draws the short
+// straw depends on arrival order. A seed, when given, rotates the
+// phase of every rule so distinct chaos runs sample distinct
+// interleavings while each run stays reproducible from its spec.
+//
+// Spec grammar (comma-separated rules):
+//
+//	rule  := kind ":" stage [ ":" param ]*
+//	kind  := "panic" | "slow" | "budget"
+//	param := "every=" N | "after=" N | "delay=" duration
+//
+// Examples:
+//
+//	panic:solve:every=5            panic on solve hits 5, 10, 15, ...
+//	slow:load:every=3:delay=50ms   sleep 50ms on load hits 3, 6, 9, ...
+//	budget:solve:every=4:after=2   synthetic budget violation on hits 2, 6, 10, ...
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"aliaslab/internal/limits"
+)
+
+// Kind is the failure mode a rule injects.
+type Kind int
+
+const (
+	// Panic fires a runtime panic at the probe, exercising the
+	// per-request isolation guard.
+	Panic Kind = iota
+	// Slow sleeps at the probe, exercising deadline budgets and the
+	// admission path under a slow backend.
+	Slow
+	// Budget returns a synthetic *limits.Violation from the probe,
+	// exercising the budget-exhausted-mid-flight path without having to
+	// find a source that really blows the caps.
+	Budget
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Panic:
+		return "panic"
+	case Slow:
+		return "slow"
+	case Budget:
+		return "budget"
+	}
+	return fmt.Sprintf("faults.Kind(%d)", int(k))
+}
+
+// InjectedPanic is the value a Panic rule panics with, so recovery
+// sites (and tests) can tell an injected crash from a real one.
+type InjectedPanic struct {
+	Stage string
+}
+
+func (p InjectedPanic) String() string {
+	return fmt.Sprintf("injected fault: panic at stage %q", p.Stage)
+}
+
+// Rule arms one stage with one failure mode on a deterministic cadence.
+type Rule struct {
+	Kind  Kind
+	Stage string
+
+	// Every is the cadence: the rule fires on hit numbers After, After+
+	// Every, After+2*Every, ... (1-based). Every <= 0 disarms the rule.
+	Every int
+
+	// After is the 1-based hit number of the first firing; 0 means
+	// Every (i.e. the rule skips the first Every-1 hits).
+	After int
+
+	// Delay is the sleep duration for Slow rules (default 10ms).
+	Delay time.Duration
+
+	hits atomic.Int64
+}
+
+// fire reports whether this hit of the rule's stage injects.
+func (r *Rule) fire() bool {
+	if r.Every <= 0 {
+		return false
+	}
+	n := r.hits.Add(1)
+	first := int64(r.After)
+	if first <= 0 {
+		first = int64(r.Every)
+	}
+	return n >= first && (n-first)%int64(r.Every) == 0
+}
+
+// Injector holds the armed rules of one chaos run. The zero value and
+// nil are both inert.
+type Injector struct {
+	rules []*Rule
+
+	// Injected counts fired faults, for metrics and test assertions.
+	injected atomic.Int64
+
+	// sleep is swappable for tests; time.Sleep otherwise.
+	sleep func(time.Duration)
+}
+
+// New builds an injector from explicit rules. Rules with Every <= 0
+// are kept but never fire.
+func New(rules ...*Rule) *Injector {
+	if len(rules) == 0 {
+		return nil
+	}
+	return &Injector{rules: rules, sleep: time.Sleep}
+}
+
+// Parse builds an injector from a spec string (see the package
+// comment for the grammar). An empty spec returns a nil, inert
+// injector. seed rotates every rule's phase deterministically:
+// rule i's After becomes ((After-1 + seed + i) mod Every) + 1.
+func Parse(spec string, seed int64) (*Injector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var rules []*Rule
+	for _, raw := range strings.Split(spec, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		r, err := parseRule(raw)
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, nil
+	}
+	if seed != 0 {
+		for i, r := range rules {
+			if r.Every > 0 {
+				after := r.After
+				if after <= 0 {
+					after = r.Every
+				}
+				r.After = int((int64(after-1)+seed+int64(i))%int64(r.Every)+int64(r.Every))%r.Every + 1
+			}
+		}
+	}
+	return New(rules...), nil
+}
+
+func parseRule(raw string) (*Rule, error) {
+	parts := strings.Split(raw, ":")
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("faults: rule %q: want kind:stage[:param]*", raw)
+	}
+	r := &Rule{Every: 1}
+	switch parts[0] {
+	case "panic":
+		r.Kind = Panic
+	case "slow":
+		r.Kind = Slow
+		r.Delay = 10 * time.Millisecond
+	case "budget":
+		r.Kind = Budget
+	default:
+		return nil, fmt.Errorf("faults: rule %q: unknown kind %q (want panic, slow, or budget)", raw, parts[0])
+	}
+	r.Stage = parts[1]
+	if r.Stage == "" {
+		return nil, fmt.Errorf("faults: rule %q: empty stage", raw)
+	}
+	for _, p := range parts[2:] {
+		k, v, ok := strings.Cut(p, "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: rule %q: malformed param %q", raw, p)
+		}
+		switch k {
+		case "every", "after":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("faults: rule %q: bad %s=%q", raw, k, v)
+			}
+			if k == "every" {
+				r.Every = n
+			} else {
+				r.After = n
+			}
+		case "delay":
+			d, err := time.ParseDuration(v)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("faults: rule %q: bad delay=%q", raw, v)
+			}
+			r.Delay = d
+		default:
+			return nil, fmt.Errorf("faults: rule %q: unknown param %q", raw, k)
+		}
+	}
+	return r, nil
+}
+
+// Hit probes a pipeline stage. On a no-fire hit (or a nil injector) it
+// returns nil having done nothing. When a rule fires:
+//
+//   - Panic rules panic with an InjectedPanic — the caller's isolation
+//     guard is expected to catch it.
+//   - Slow rules sleep the rule's delay, then return nil: the request
+//     continues, later and presumably past its deadline.
+//   - Budget rules return a *limits.Violation (Reason Steps), which the
+//     caller must treat exactly like a real mid-flight exhaustion.
+func (in *Injector) Hit(stage string) error {
+	if in == nil {
+		return nil
+	}
+	for _, r := range in.rules {
+		if r.Stage != stage || !r.fire() {
+			continue
+		}
+		in.injected.Add(1)
+		switch r.Kind {
+		case Panic:
+			panic(InjectedPanic{Stage: stage})
+		case Slow:
+			in.sleep(r.Delay)
+		case Budget:
+			return &limits.Violation{Reason: limits.Steps, Limit: 0}
+		}
+	}
+	return nil
+}
+
+// Injected returns how many faults have fired so far. Nil-safe.
+func (in *Injector) Injected() int {
+	if in == nil {
+		return 0
+	}
+	return int(in.injected.Load())
+}
+
+// Stages lists the distinct stages the injector arms, sorted — the
+// chaos suite uses it to assert coverage breadth. Nil-safe.
+func (in *Injector) Stages() []string {
+	if in == nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	for _, r := range in.rules {
+		seen[r.Stage] = true
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

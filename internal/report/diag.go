@@ -43,7 +43,7 @@ type relatedJSON struct {
 // WriteDiagsJSON renders diagnostics as an indented JSON array (an
 // empty slice renders as []).
 func WriteDiagsJSON(w io.Writer, diags []checkers.Diag) error {
-	return writeDiagsJSON(w, diags, "")
+	return WriteDiagsEnvelope(w, diags, nil)
 }
 
 // WriteDiagsJSONDegraded renders a degraded vet run: the output becomes
@@ -51,10 +51,31 @@ func WriteDiagsJSON(w io.Writer, diags []checkers.Diag) error {
 // consumers cannot mistake a truncated analysis for a clean one. The
 // plain-array shape of WriteDiagsJSON is unchanged for healthy runs.
 func WriteDiagsJSONDegraded(w io.Writer, diags []checkers.Diag, reason string) error {
-	return writeDiagsJSON(w, diags, reason)
+	if reason == "" {
+		return WriteDiagsEnvelope(w, diags, nil)
+	}
+	env := DegradedEnvelope(reason, "")
+	return WriteDiagsEnvelope(w, diags, &env)
 }
 
-func writeDiagsJSON(w io.Writer, diags []checkers.Diag, degradedReason string) error {
+// WriteDiagsEnvelope renders diagnostics wrapped in a degradation
+// Envelope — the one schema shared by the CLI's -vet JSON and the
+// analysis server's degraded vet responses. A nil envelope renders the
+// plain healthy-run array.
+func WriteDiagsEnvelope(w io.Writer, diags []checkers.Diag, env *Envelope) error {
+	out := buildDiagsJSON(diags)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if env != nil {
+		return enc.Encode(struct {
+			Envelope
+			Diagnostics []diagJSON `json:"diagnostics"`
+		}{*env, out})
+	}
+	return enc.Encode(out)
+}
+
+func buildDiagsJSON(diags []checkers.Diag) []diagJSON {
 	out := make([]diagJSON, 0, len(diags))
 	for _, d := range diags {
 		j := diagJSON{
@@ -75,14 +96,5 @@ func writeDiagsJSON(w io.Writer, diags []checkers.Diag, degradedReason string) e
 		}
 		out = append(out, j)
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if degradedReason != "" {
-		return enc.Encode(struct {
-			Degraded    bool       `json:"degraded"`
-			Reason      string     `json:"reason"`
-			Diagnostics []diagJSON `json:"diagnostics"`
-		}{true, degradedReason, out})
-	}
-	return enc.Encode(out)
+	return out
 }

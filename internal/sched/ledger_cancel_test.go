@@ -1,0 +1,114 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"aliaslab/internal/limits"
+)
+
+// A shared-budget batch where one worker's violation cancels the rest
+// mid-flight, run under -race: the ledger's pooled totals must equal
+// the exact sum of the work each item charged (no double-charge, no
+// lost charge across the Step/Flush seam), and the items the
+// cancellation prevented from starting must come back as *SkipError
+// slots carrying the violation as their cause — reported, not dropped.
+func TestLedgerConcurrentCancellation(t *testing.T) {
+	const (
+		items       = 32
+		stepsPer    = 50
+		maxSteps    = 500 // trips mid-batch: 32*50 = 1600 total on offer
+		jobs        = 4
+		pairsPerTen = 1
+	)
+	ledger := &limits.Ledger{}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	budget := limits.Budget{Ctx: ctx, MaxSteps: maxSteps, Ledger: ledger}
+
+	var mu sync.Mutex
+	var firstViolation *limits.Violation
+	charged := make([]struct{ steps, pairs int }, items)
+
+	errs := Pool{Jobs: jobs}.Map(ctx, items, func(ctx context.Context, i int) error {
+		gate := budget.Gate()
+		steps, pairs := 0, 0
+		for n := 0; n < stepsPer; n++ {
+			steps++
+			if steps%10 == 0 {
+				pairs += pairsPerTen
+			}
+			if v := gate.Step(steps, pairs); v != nil {
+				// The violation observer may not be the worker that did
+				// most of the work — that is the shared-ledger contract.
+				// Cancel the batch so unstarted items are skipped.
+				mu.Lock()
+				if firstViolation == nil {
+					firstViolation = v
+				}
+				mu.Unlock()
+				cancel(v)
+				charged[i] = struct{ steps, pairs int }{steps, pairs}
+				return v
+			}
+		}
+		gate.Flush(steps, pairs)
+		charged[i] = struct{ steps, pairs int }{steps, pairs}
+		return nil
+	})
+
+	if firstViolation == nil {
+		t.Fatal("budget never tripped; the test exercised nothing")
+	}
+	if firstViolation.Reason != limits.Steps {
+		t.Fatalf("violation reason %v, want Steps", firstViolation.Reason)
+	}
+
+	// Every slot is accounted for: nil (clean), a SkipError (never
+	// started; it unwraps to the violation that cancelled the batch, so
+	// it must be classified before the bare-violation case), or a
+	// violation (in flight when the budget tripped). Nothing is dropped.
+	var clean, violated, skipped int
+	wantSteps, wantPairs := 0, 0
+	for i, err := range errs {
+		wantSteps += charged[i].steps
+		wantPairs += charged[i].pairs
+		se, isSkip := Skipped(err)
+		var v *limits.Violation
+		switch {
+		case err == nil:
+			clean++
+		case isSkip:
+			skipped++
+			if !errors.As(se.Cause, &v) {
+				t.Fatalf("item %d: skip cause %v is not the budget violation", i, se.Cause)
+			}
+			if charged[i].steps != 0 {
+				t.Fatalf("item %d: skipped but charged %d steps", i, charged[i].steps)
+			}
+		case errors.As(err, &v):
+			violated++
+		default:
+			t.Fatalf("item %d: unexpected error %v", i, err)
+		}
+	}
+	if clean+violated+skipped != items {
+		t.Fatalf("accounting hole: %d clean + %d violated + %d skipped != %d", clean, violated, skipped, items)
+	}
+	if skipped == 0 {
+		t.Fatalf("cancellation skipped nothing (clean=%d violated=%d); budget too loose for the pool shape", clean, violated)
+	}
+
+	// No double-charge: the pooled totals are exactly the sum of what
+	// the items report having charged, whether they drained cleanly
+	// (Step deltas + final Flush) or stopped at the violation (Step
+	// deltas only).
+	if ledger.Steps() != wantSteps {
+		t.Fatalf("ledger steps %d != sum of per-item charges %d", ledger.Steps(), wantSteps)
+	}
+	if ledger.Pairs() != wantPairs {
+		t.Fatalf("ledger pairs %d != sum of per-item charges %d", ledger.Pairs(), wantPairs)
+	}
+}

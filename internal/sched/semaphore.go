@@ -1,0 +1,57 @@
+package sched
+
+import "sync/atomic"
+
+// Semaphore is the admission gate of the long-running analysis server:
+// a fixed pool of request slots sitting in front of the worker
+// machinery. Where Pool bounds how many *items of one batch* run at
+// once, Semaphore bounds how many *independent requests* may hold an
+// analysis in flight across the whole process — the server's
+// load-shedding line. Acquisition never blocks: a request either gets
+// a slot now or is rejected now (the caller maps that to 429), because
+// queueing admission inside the process just converts overload into
+// latency the client cannot see or bound.
+type Semaphore struct {
+	slots    chan struct{}
+	rejected atomic.Int64
+}
+
+// NewSemaphore builds a gate with n slots; n <= 0 is clamped to 1.
+func NewSemaphore(n int) *Semaphore {
+	if n <= 0 {
+		n = 1
+	}
+	return &Semaphore{slots: make(chan struct{}, n)}
+}
+
+// TryAcquire claims a slot without blocking. The caller must Release
+// the slot exactly once when it returns true.
+func (s *Semaphore) TryAcquire() bool {
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	default:
+		s.rejected.Add(1)
+		return false
+	}
+}
+
+// Release returns a slot claimed by TryAcquire. Releasing more than
+// was acquired is a programming error and panics loudly rather than
+// silently widening the gate.
+func (s *Semaphore) Release() {
+	select {
+	case <-s.slots:
+	default:
+		panic("sched: Semaphore.Release without a matching TryAcquire")
+	}
+}
+
+// InFlight reports how many slots are currently held.
+func (s *Semaphore) InFlight() int { return len(s.slots) }
+
+// Cap reports the slot count the gate was built with.
+func (s *Semaphore) Cap() int { return cap(s.slots) }
+
+// Rejected reports how many TryAcquire calls were turned away.
+func (s *Semaphore) Rejected() int { return int(s.rejected.Load()) }

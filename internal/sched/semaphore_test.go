@@ -1,0 +1,86 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSemaphoreAdmission(t *testing.T) {
+	s := NewSemaphore(2)
+	if s.Cap() != 2 {
+		t.Fatalf("Cap() = %d", s.Cap())
+	}
+	if !s.TryAcquire() || !s.TryAcquire() {
+		t.Fatal("first two acquisitions must succeed")
+	}
+	if s.TryAcquire() {
+		t.Fatal("third acquisition must be rejected")
+	}
+	if s.InFlight() != 2 || s.Rejected() != 1 {
+		t.Fatalf("InFlight=%d Rejected=%d", s.InFlight(), s.Rejected())
+	}
+	s.Release()
+	if !s.TryAcquire() {
+		t.Fatal("released slot must be reusable")
+	}
+	s.Release()
+	s.Release()
+	if s.InFlight() != 0 {
+		t.Fatalf("InFlight=%d after full release", s.InFlight())
+	}
+}
+
+func TestSemaphoreClampAndOverRelease(t *testing.T) {
+	s := NewSemaphore(0)
+	if s.Cap() != 1 {
+		t.Fatalf("Cap() = %d, want clamp to 1", s.Cap())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release must panic")
+		}
+	}()
+	s.Release()
+}
+
+// Under concurrent contention the gate never admits more than its
+// capacity at once (run with -race).
+func TestSemaphoreConcurrentCap(t *testing.T) {
+	const capN, workers, rounds = 3, 16, 200
+	s := NewSemaphore(capN)
+	var peak, cur, admitted int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if !s.TryAcquire() {
+					continue
+				}
+				mu.Lock()
+				cur++
+				admitted++
+				if cur > peak {
+					peak = cur
+				}
+				mu.Unlock()
+				mu.Lock()
+				cur--
+				mu.Unlock()
+				s.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if peak > capN {
+		t.Fatalf("peak concurrency %d exceeds capacity %d", peak, capN)
+	}
+	if int(admitted)+s.Rejected() != workers*rounds {
+		t.Fatalf("admitted %d + rejected %d != %d attempts", admitted, s.Rejected(), workers*rounds)
+	}
+	if s.InFlight() != 0 {
+		t.Fatalf("InFlight=%d after drain", s.InFlight())
+	}
+}

@@ -1,0 +1,40 @@
+package server_test
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"testing"
+
+	"aliaslab/internal/server"
+)
+
+// benchServe drives the analyze handler directly (no network) with one
+// request body per iteration.
+func benchServe(b *testing.B, s *server.Server, body []byte) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/analyze", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// BenchmarkServerAnalyze measures a full request: parse, admission,
+// solve, render. Cache disabled, so every iteration pays the analysis.
+func BenchmarkServerAnalyze(b *testing.B) {
+	s := server.New(server.Config{CacheEntries: -1})
+	benchServe(b, s, []byte(`{"corpus":"part"}`))
+}
+
+// BenchmarkServerAnalyzeCached measures the hit path: hash, LRU
+// lookup, write. The gap to BenchmarkServerAnalyze is what the cache
+// buys on repeated submissions.
+func BenchmarkServerAnalyzeCached(b *testing.B) {
+	s := server.New(server.Config{})
+	benchServe(b, s, []byte(`{"corpus":"part"}`))
+}

@@ -1,0 +1,246 @@
+package server_test
+
+// The chaos suite: deterministic fault injection (internal/faults)
+// drives the failure paths the server promises to survive — panics
+// isolated to their request, budgets blown mid-flight surfacing as
+// labeled 503s, slow stages tripping deadlines into degradation — and
+// asserts the process never crashes, never leaks goroutines, and keeps
+// serving correct statuses throughout. Run with -race: the storm is
+// also the server's concurrency test.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aliaslab/internal/faults"
+	"aliaslab/internal/server"
+)
+
+// TestChaosPanicIsolation: a panic injected into the solve stage turns
+// into that request's 500 and nothing else — the neighbors succeed and
+// the process keeps serving.
+func TestChaosPanicIsolation(t *testing.T) {
+	inj, err := faults.Parse("panic:solve:every=2", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cache disabled so every request walks the full pipeline.
+	_, ts := newTestServer(t, server.Config{CacheEntries: -1, Faults: inj})
+
+	// every=2 fires on solve hits 2, 4, ...: statuses must alternate.
+	names := []string{"part", "span", "allroots", "anagram"}
+	want := []int{200, 500, 200, 500}
+	for i, name := range names {
+		resp, body := post(t, ts.URL+"/v1/analyze", map[string]string{"corpus": name}, nil)
+		if resp.StatusCode != want[i] {
+			t.Fatalf("request %d (%s): status %d, want %d: %s", i, name, resp.StatusCode, want[i], body)
+		}
+		if want[i] == 500 && !strings.Contains(string(body), "injected fault") {
+			t.Errorf("500 body does not identify the injected panic: %s", body)
+		}
+	}
+	if resp, _ := http.Get(ts.URL + "/healthz"); resp.StatusCode != 200 {
+		t.Error("server unhealthy after recovered panics")
+	}
+	if inj.Injected() != 2 {
+		t.Errorf("injected %d faults, want 2", inj.Injected())
+	}
+}
+
+// TestChaosBudgetInjection: a synthetic mid-flight budget violation is
+// served exactly like a real one — 503, Retry-After, unsound envelope.
+func TestChaosBudgetInjection(t *testing.T) {
+	inj, err := faults.Parse("budget:load:every=1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, server.Config{CacheEntries: -1, Faults: inj})
+	resp, body := post(t, ts.URL+"/v1/analyze", map[string]string{"corpus": "part"}, nil)
+	if resp.StatusCode != 503 || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("status %d, Retry-After %q: %s", resp.StatusCode, resp.Header.Get("Retry-After"), body)
+	}
+	var eb struct {
+		Degradation *struct {
+			Degraded bool  `json:"degraded"`
+			Sound    *bool `json:"sound"`
+		} `json:"degradation"`
+	}
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Degradation == nil || !eb.Degradation.Degraded || eb.Degradation.Sound == nil || *eb.Degradation.Sound {
+		t.Errorf("injected budget violation envelope: %s", body)
+	}
+}
+
+// TestChaosSlowTripsDeadline: a slow stage plus a short request
+// deadline must degrade (the CI partial fixpoint is unsound → 503 with
+// the deadline as the reason), not hang the pool.
+func TestChaosSlowTripsDeadline(t *testing.T) {
+	inj, err := faults.Parse("slow:solve:every=1:delay=150ms", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, server.Config{CacheEntries: -1, Faults: inj})
+	start := time.Now()
+	resp, body := post(t, ts.URL+"/v1/analyze", map[string]string{"corpus": "part"},
+		map[string]string{"X-Aliaslab-Timeout-Ms": "50"})
+	if resp.StatusCode != 503 {
+		t.Fatalf("status %d, want 503: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "deadline") {
+		t.Errorf("503 reason does not name the deadline: %s", body)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("slow request took %v; deadline did not cut it short", elapsed)
+	}
+}
+
+// TestChaosStorm is the main event: faults armed in three pipeline
+// stages (load, solve, render) with three failure modes (panic,
+// budget, slow), a concurrent request storm mixing valid and invalid
+// traffic over a small admission window. The server must answer every
+// request with one of the contract's statuses, stay healthy, and leak
+// no goroutines.
+func TestChaosStorm(t *testing.T) {
+	inj, err := faults.Parse(
+		"panic:load:every=13:after=4,budget:solve:every=7:after=3,slow:render:every=3:delay=1ms,panic:solve:every=17:after=9",
+		1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inj.Stages(); len(got) < 3 {
+		t.Fatalf("chaos spec covers %d stages (%v), want >= 3", len(got), got)
+	}
+
+	before := runtime.NumGoroutine()
+	s := server.New(server.Config{MaxConcurrent: 4, CacheEntries: 8, Faults: inj})
+	hs := httptest.NewServer(s)
+	ts := hs.URL
+
+	corpusNames := []string{"part", "span", "allroots", "anagram", "compress", "loader"}
+	const workers = 8
+	const perWorker = 12
+	statuses := make(map[int]int)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				var resp *http.Response
+				switch i % 4 {
+				case 0:
+					resp, _ = post(t, ts+"/v1/analyze", map[string]string{"corpus": corpusNames[(w+i)%len(corpusNames)]}, nil)
+				case 1:
+					resp, _ = post(t, ts+"/v1/vet", map[string]string{"source": buggySrc}, nil)
+				case 2: // invalid: both source and corpus
+					resp, _ = post(t, ts+"/v1/analyze", map[string]string{"source": cleanSrc, "corpus": "part"}, nil)
+				case 3: // unique source per worker to vary cache keys
+					src := fmt.Sprintf("int g%d;\nint main(void) { int *p; p = &g%d; return *p; }\n", w, w)
+					resp, _ = post(t, ts+"/v1/analyze", map[string]string{"source": src}, nil)
+				}
+				mu.Lock()
+				statuses[resp.StatusCode]++
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	allowed := map[int]bool{200: true, 206: true, 400: true, 429: true, 500: true, 503: true}
+	total := 0
+	for code, n := range statuses {
+		total += n
+		if !allowed[code] {
+			t.Errorf("contract violation: %d requests answered %d", n, code)
+		}
+	}
+	if total != workers*perWorker {
+		t.Errorf("answered %d of %d requests", total, workers*perWorker)
+	}
+	if statuses[200] == 0 || statuses[400] == 0 {
+		t.Errorf("storm too uniform to prove anything: %v", statuses)
+	}
+	if inj.Injected() == 0 {
+		t.Error("storm fired no faults")
+	}
+	if resp, _ := http.Get(ts + "/healthz"); resp.StatusCode != 200 {
+		t.Error("server unhealthy after the storm")
+	}
+	if s.InFlight() != 0 {
+		t.Errorf("%d admission slots still held after the storm", s.InFlight())
+	}
+	t.Logf("storm statuses: %v, faults injected: %d", statuses, inj.Injected())
+
+	// Goroutine hygiene: after the storm settles and the listener
+	// closes, the count returns to the baseline.
+	http.DefaultClient.CloseIdleConnections()
+	hs.Close()
+	waitForGoroutines(t, before)
+}
+
+// TestChaosCachedBytesMatchCleanServer: a result cached under fault
+// injection is byte-identical to the same request answered by a
+// fault-free server — chaos may fail requests, it may never corrupt
+// the ones that succeed.
+func TestChaosCachedBytesMatchCleanServer(t *testing.T) {
+	inj, err := faults.Parse("panic:solve:every=2,slow:render:every=2:delay=1ms", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, chaotic := newTestServer(t, server.Config{Faults: inj})
+	_, clean := newTestServer(t, server.Config{})
+
+	req := map[string]string{"corpus": "span", "backend": "andersen"}
+	var chaosBody []byte
+	for i := 0; i < 6; i++ {
+		resp, body := post(t, chaotic.URL+"/v1/analyze", req, nil)
+		if resp.StatusCode == 200 {
+			chaosBody = body
+			if resp.Header.Get("X-Aliaslab-Cache") == "hit" {
+				break
+			}
+		}
+	}
+	if chaosBody == nil {
+		t.Fatal("no successful response from the chaotic server in 6 tries")
+	}
+	resp, cleanBody := post(t, clean.URL+"/v1/analyze", req, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("clean server: %d", resp.StatusCode)
+	}
+	if !bytes.Equal(chaosBody, cleanBody) {
+		t.Errorf("chaotic 200 differs from clean 200:\n%s\nvs\n%s", chaosBody, cleanBody)
+	}
+}
+
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	// httptest and net/http keep a few service goroutines alive briefly;
+	// allow slack but catch a per-request leak (96 requests would dwarf
+	// it).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline+10 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak: %d now vs %d baseline\n%s",
+				n, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,64 @@
+package server_test
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"aliaslab/internal/server"
+)
+
+// FuzzServeAnalyze throws arbitrary bodies and budget headers at the
+// analyze handler. The contract under fuzzing is total: every input —
+// malformed JSON, hostile sources, absurd headers — gets a well-formed
+// HTTP status from the server's vocabulary, and the handler never
+// panics out (a panic inside the pipeline must surface as that
+// request's 500, which the isolation guard converts; a panic escaping
+// ServeHTTP would fail the fuzz run).
+func FuzzServeAnalyze(f *testing.F) {
+	f.Add([]byte(`{"corpus":"part"}`), "", "")
+	f.Add([]byte(`{"source":"int main(void) { return 0; }"}`), "1000", "50")
+	f.Add([]byte(`{"source":"int *p; int main(void) { *p = 1; return 0; }","backend":"andersen"}`), "", "")
+	f.Add([]byte(`{"corpus":"part","backend":"steensgaard","worklist":"lifo"}`), "", "")
+	f.Add([]byte(`{"source":"","corpus":""}`), "-5", "banana")
+	f.Add([]byte(`{nope`), "", "")
+	f.Add([]byte(`{"source":"int main(void) { int *p; p = malloc(4); free(p); free(p); return 0; }"}`), "", "")
+	f.Add([]byte{0xff, 0xfe, 0x00}, "99999999999999999999", "1")
+
+	// One server for the whole run: the handler must be safe for
+	// arbitrary interleavings anyway, and tight budgets keep hostile
+	// sources from stalling the fuzzer.
+	s := server.New(server.Config{
+		MaxSourceBytes: 64 << 10,
+		MaxSteps:       100_000,
+		MaxPairs:       100_000,
+		MaxTimeout:     2 * time.Second,
+		DefaultTimeout: time.Second,
+		CacheEntries:   32,
+	})
+
+	f.Fuzz(func(t *testing.T, body []byte, steps, timeoutMs string) {
+		req := httptest.NewRequest("POST", "/v1/analyze", bytes.NewReader(body))
+		if steps != "" {
+			req.Header.Set("X-Aliaslab-Max-Steps", steps)
+		}
+		if timeoutMs != "" {
+			req.Header.Set("X-Aliaslab-Timeout-Ms", timeoutMs)
+		}
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+
+		switch rec.Code {
+		case 200, 206, 400, 413, 429, 500, 503:
+		default:
+			t.Fatalf("status %d outside the server's vocabulary (body %q)", rec.Code, body)
+		}
+		if rec.Body.Len() == 0 {
+			t.Fatalf("status %d with empty body", rec.Code)
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("Content-Type %q", ct)
+		}
+	})
+}
