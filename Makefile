@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check lint bench bench-compare golden fuzz-smoke oracle race-canary cover server-smoke chaos
+.PHONY: all build test race vet fmt-check lint bench bench-compare golden fuzz-smoke oracle race-canary cover server-smoke chaos population-smoke
 
 all: build test vet fmt-check
 
@@ -74,14 +74,15 @@ golden:
 	$(GO) test ./cmd/aliaslab -run 'ModRef|TraceGolden' -update
 	UPDATE_GOLDEN=1 $(GO) test ./internal/experiments -run MetricsGolden
 
-# Statement-coverage floor for the observability layer and the report
-# renderers — the packages behind every number the CLIs print. CI runs
-# the same check.
+# Statement-coverage floor for the observability layer, the report
+# renderers, and the corpus generator — the packages behind every
+# number the CLIs print and every generated test program. CI runs the
+# same check.
 COVER_FLOOR ?= 70.0
 
 cover:
 	@set -e; \
-	for pkg in ./internal/obs ./internal/report; do \
+	for pkg in ./internal/obs ./internal/report ./internal/corpusgen; do \
 		$(GO) test -coverprofile=/tmp/cover.out $$pkg >/dev/null; \
 		pct="$$($(GO) tool cover -func=/tmp/cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}')"; \
 		echo "$$pkg coverage: $$pct% (floor $(COVER_FLOOR)%)"; \
@@ -117,6 +118,23 @@ fuzz-smoke:
 # path), SIGTERM, assert a clean drain.
 server-smoke:
 	sh scripts/server-smoke.sh
+
+# Population smoke: generate a seeded population, run the full oracle
+# lattice on every unit (with the batch-determinism probe) under the
+# race detector, and pipe the same population through the agreement
+# study. Zero failures and zero shrunk reproducers expected. CI runs
+# the same check.
+POP_N ?= 200
+POP_SEED ?= 42
+
+population-smoke:
+	@set -e; \
+	$(GO) build -race -o /tmp/corpusgen-race ./cmd/corpusgen; \
+	/tmp/corpusgen-race -n $(POP_N) -seed $(POP_SEED) -check -out /tmp/corpusgen-repro -jobs 4; \
+	if [ -d /tmp/corpusgen-repro ]; then echo "population-smoke: reproducers written"; exit 1; fi; \
+	$(GO) build -o /tmp/corpusgen ./cmd/corpusgen; \
+	$(GO) build -o /tmp/experiments ./cmd/experiments; \
+	/tmp/corpusgen -n $(POP_N) -seed $(POP_SEED) | /tmp/experiments -population
 
 # The injected-fault chaos suite under the race detector: panics,
 # synthetic budget violations, and slow stages across the request

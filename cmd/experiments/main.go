@@ -20,6 +20,7 @@
 //	experiments -memprofile f  # pprof heap profile at exit
 //	experiments -nossa       # ablation: keep scalars in the store
 //	experiments -singleheap  # ablation: one heap base for all sites
+//	corpusgen -n 2000 -seed 42 | experiments -population   # agreement distribution over a generated population
 //
 // The corpus units analyze on a bounded worker pool (-jobs, default
 // GOMAXPROCS); results merge back in the corpus' canonical order, so
@@ -39,6 +40,7 @@ import (
 
 	"aliaslab/internal/backend"
 	"aliaslab/internal/corpus"
+	"aliaslab/internal/corpusgen"
 	"aliaslab/internal/experiments"
 	"aliaslab/internal/obs"
 	"aliaslab/internal/report"
@@ -64,6 +66,7 @@ func run() int {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	noSSA := flag.Bool("nossa", false, "ablation: keep non-addressed scalars in the store")
 	singleHeap := flag.Bool("singleheap", false, "ablation: name all heap storage with one base")
+	population := flag.Bool("population", false, "read a corpusgen stream on stdin and render the population agreement study (JSON with -json)")
 	flag.Parse()
 
 	strategy, err := solver.ParseStrategy(*worklist)
@@ -106,6 +109,38 @@ func run() int {
 	}
 
 	opts := vdg.Options{NoSSA: *noSSA, SingleHeapBase: *singleHeap}
+
+	if *population {
+		// The population study replaces the corpus: the units come from a
+		// corpusgen stream on stdin (`corpusgen -n 2000 -seed 42 |
+		// experiments -population`), and the rendering is the agreement
+		// distribution rather than the paper's per-benchmark figures.
+		progs, err := corpusgen.ReadStream(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 2
+		}
+		res, err := experiments.RunPopulation(progs, experiments.PopulationOptions{
+			Jobs: *jobs, Opts: opts, Strategy: strategy,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		if *jsonOut {
+			if err := experiments.WritePopulationJSON(os.Stdout, res); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return 1
+			}
+		} else {
+			experiments.WritePopulation(os.Stdout, res)
+		}
+		if len(res.Failed) > 0 {
+			return 1
+		}
+		return 0
+	}
+
 	needCS := *costs || *jsonOut || *fig == 0 || *fig == 6 || *fig == 7
 
 	if frontier {

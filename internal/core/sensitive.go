@@ -335,7 +335,19 @@ func (a *sensitive) ciUnmodifiable(n *vdg.Node, p *paths.Path) bool {
 	if a.ciLocRefs == nil {
 		return false
 	}
-	for _, r := range a.ciLocRefs[n] {
+	refs := a.ciLocRefs[n]
+	if len(refs) == 0 {
+		// A CI-dead update: no referent ever reaches its location input,
+		// so the CI analysis (and the exact CS analysis) block every
+		// store pair at it — the [CWZ90] dual-worklist behaviour.
+		// Passing pairs through here would push the optimized CS
+		// solution outside CI's, breaking both the CS ⊆ CI lattice and
+		// the §4.2 precision-neutrality claim. Found by corpusgen
+		// differential testing on updates through never-assigned
+		// pointers.
+		return false
+	}
+	for _, r := range refs {
 		if paths.Dom(r, p) {
 			return false
 		}

@@ -1,0 +1,213 @@
+package corpusgen
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"aliaslab/internal/vdg"
+)
+
+// TestDeterminismSameSeed: the same (seed, n) yields byte-identical
+// programs no matter how many goroutines generate them or in what
+// order — the contract `corpusgen -jobs N` rests on.
+func TestDeterminismSameSeed(t *testing.T) {
+	const seed, n = 42, 64
+	reference := Sweep(seed, n)
+
+	for _, workers := range []int{1, 4, 13} {
+		got := make([]Program, n)
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					got[i] = Generate(seed, i, SweepKnobs(seed, i))
+				}
+			}()
+		}
+		// Feed indices in reverse so generation order differs from the
+		// reference loop as well.
+		for i := n - 1; i >= 0; i-- {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+
+		for i := range reference {
+			if got[i].Source != reference[i].Source {
+				t.Fatalf("workers=%d: unit %d differs from single-threaded reference", workers, i)
+			}
+			if got[i].Knobs != reference[i].Knobs {
+				t.Fatalf("workers=%d: unit %d knobs differ", workers, i)
+			}
+		}
+	}
+}
+
+// TestDeterminismRepeatedCall: Generate is pure — calling it twice with
+// identical arguments yields identical bytes (no hidden global state).
+func TestDeterminismRepeatedCall(t *testing.T) {
+	k := SweepKnobs(7, 3)
+	a := Generate(7, 3, k)
+	b := Generate(7, 3, k)
+	if a.Source != b.Source {
+		t.Fatal("Generate is not pure: repeated call differs")
+	}
+}
+
+// TestDistinctSeeds: different seeds yield (overwhelmingly) distinct
+// populations. We require the stronger, still-deterministic property
+// that the first units differ.
+func TestDistinctSeeds(t *testing.T) {
+	a := Sweep(1, 8)
+	b := Sweep(2, 8)
+	same := 0
+	for i := range a {
+		if a[i].Source == b[i].Source {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("seeds 1 and 2 generated identical populations")
+	}
+	if a[0].Source == b[0].Source {
+		t.Fatal("seeds 1 and 2 generated an identical first unit")
+	}
+}
+
+// TestValidityPopulation: every generated program passes parse, sema,
+// and VDG construction — validity by construction, at population scale.
+func TestValidityPopulation(t *testing.T) {
+	n := 1000
+	if testing.Short() {
+		n = 100
+	}
+	for i := 0; i < n; i++ {
+		p := Generate(42, i, SweepKnobs(42, i))
+		if _, err := p.Load(vdg.Options{}); err != nil {
+			t.Fatalf("unit %s invalid: %v\n--- source ---\n%s", p.Name, err, p.Source)
+		}
+	}
+}
+
+// TestClamp: arbitrary knob values are forced into supported ranges.
+func TestClamp(t *testing.T) {
+	k := Knobs{Funcs: 99, Depth: 50, FanIn: -3, PtrDepth: 9, Structs: 0,
+		SharePct: 200, FnPtrPct: -1, HeapPct: 101, Stmts: 1000}.clamp()
+	want := Knobs{Funcs: 16, Depth: 16, FanIn: 1, PtrDepth: 4, Structs: 1,
+		SharePct: 100, FnPtrPct: 0, HeapPct: 100, Stmts: 40}
+	if k != want {
+		t.Fatalf("clamp: got %+v, want %+v", k, want)
+	}
+	// A clamped program still generates and loads.
+	p := Generate(1, 0, Knobs{Funcs: -5, PtrDepth: 100})
+	if _, err := p.Load(vdg.Options{}); err != nil {
+		t.Fatalf("clamped program invalid: %v", err)
+	}
+}
+
+// TestSweepCoverage: the knob sweep reaches every bucket of every axis
+// on a moderately sized population, so per-knob breakdowns in the
+// population study have support everywhere.
+func TestSweepCoverage(t *testing.T) {
+	const n = 512
+	seen := map[string]map[int]bool{}
+	mark := func(axis string, v int) {
+		if seen[axis] == nil {
+			seen[axis] = map[int]bool{}
+		}
+		seen[axis][v] = true
+	}
+	for i := 0; i < n; i++ {
+		k := SweepKnobs(42, i)
+		mark("ptr", k.PtrDepth)
+		mark("share", k.SharePct)
+		mark("fnptr", k.FnPtrPct)
+		mark("heap", k.HeapPct)
+		rec := 0
+		if k.Recursion {
+			rec = 1
+		}
+		mark("rec", rec)
+	}
+	for axis, want := range map[string][]int{
+		"ptr":   {1, 2, 3, 4},
+		"share": {0, 25, 50, 75, 100},
+		"fnptr": {0, 25, 50, 75, 100},
+		"heap":  {0, 25, 50, 75, 100},
+		"rec":   {0, 1},
+	} {
+		for _, v := range want {
+			if !seen[axis][v] {
+				t.Errorf("sweep never produced %s=%d in %d units", axis, v, n)
+			}
+		}
+	}
+}
+
+// TestCheckUnitPasses: the full oracle lattice holds on a slice of the
+// population — the -check mode's core, exercised in-process.
+func TestCheckUnitPasses(t *testing.T) {
+	n := 40
+	if testing.Short() {
+		n = 8
+	}
+	for i := 0; i < n; i++ {
+		p := Generate(42, i, SweepKnobs(42, i))
+		res := CheckUnit(p)
+		if !res.OK() {
+			t.Fatalf("unit %s: loadErr=%v violations=%v", p.Name, res.LoadErr, res.Violations)
+		}
+	}
+}
+
+// TestHeaderRoundTrip: every sweep knob set survives header rendering
+// and reparsing exactly — the property that makes the stream format's
+// per-knob breakdown trustworthy.
+func TestHeaderRoundTrip(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		k := SweepKnobs(9, i)
+		hdr := fmt.Sprintf("%s %s", name(9, i), k.header())
+		p, err := parseUnitHeader(hdr)
+		if err != nil {
+			t.Fatalf("unit %d: reparse of %q: %v", i, hdr, err)
+		}
+		if p.Knobs != k {
+			t.Fatalf("unit %d: knobs did not round-trip: got %+v want %+v", i, p.Knobs, k)
+		}
+		if p.Seed != 9 || p.Index != i {
+			t.Fatalf("unit %d: identity did not round-trip: got s%d i%d", i, p.Seed, p.Index)
+		}
+	}
+}
+
+// TestNoDelimiterCollision: generated sources never contain a line that
+// collides with the stream's unit delimiter.
+func TestNoDelimiterCollision(t *testing.T) {
+	for _, p := range Sweep(42, 100) {
+		for _, line := range strings.Split(p.Source, "\n") {
+			if strings.HasPrefix(line, unitMarker) || strings.HasPrefix(line, "# corpusgen") {
+				t.Fatalf("unit %s source contains a stream delimiter line: %q", p.Name, line)
+			}
+		}
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Generate(42, i%1000, SweepKnobs(42, i%1000))
+	}
+}
+
+func BenchmarkGenerateAndLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := Generate(42, i%1000, SweepKnobs(42, i%1000))
+		if _, err := p.Load(vdg.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,583 @@
+package corpusgen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// gen builds one program. The builder writes straight mini-C text; it
+// never emits a name before declaring it and never reads a variable
+// before the preamble initialized it, so the output passes parse and
+// sema by construction — the validity tests drive whole populations
+// through the front end to hold the generator to that.
+type gen struct {
+	r *rng
+	k Knobs
+
+	buf    strings.Builder
+	indent int
+
+	// helpers[i] is the name of helper i; layerOf[i] its call-graph
+	// layer. Layer k helpers call layer k+1 helpers; main calls layer 0.
+	helpers []string
+	layerOf []int
+	layers  [][]int // layer -> helper indices
+
+	// fps are the global function-pointer variables (over the common
+	// int(int) helper signature); empty when FnPtrPct is 0.
+	fps []string
+
+	intGlobals []string
+}
+
+const nStaticNodes = 2 // static pool size per ADT
+
+// ---------------------------------------------------------------------------
+// Emission helpers
+
+func (g *gen) pf(format string, args ...any) {
+	g.buf.WriteString(strings.Repeat("\t", g.indent))
+	fmt.Fprintf(&g.buf, format, args...)
+	g.buf.WriteByte('\n')
+}
+
+func (g *gen) open(format string, args ...any)    { g.pf(format, args...); g.indent++ }
+func (g *gen) close()                             { g.indent--; g.pf("}") }
+func (g *gen) openBlock(head string, args ...any) { g.open(head+" {", args...) }
+
+// ---------------------------------------------------------------------------
+// Program skeleton
+
+// header renders the knob set in the same key=value vocabulary the
+// stream format uses, so a generated file is self-describing.
+func (k Knobs) header() string {
+	rec := "off"
+	if k.Recursion {
+		rec = "on"
+	}
+	return fmt.Sprintf("funcs=%d depth=%d fanin=%d ptr=%d structs=%d share=%d fnptr=%d heap=%d rec=%s stmts=%d",
+		k.Funcs, k.Depth, k.FanIn, k.PtrDepth, k.Structs, k.SharePct, k.FnPtrPct, k.HeapPct, rec, k.Stmts)
+}
+
+func (g *gen) program(seed int64, index int) string {
+	k := g.k
+	g.pf("/*")
+	g.pf(" * %s: generated mini-C workload (corpusgen).", name(seed, index))
+	g.pf(" * knobs: %s", k.header())
+	g.pf(" */")
+	g.pf("")
+
+	// Struct ADTs. Every struct carries an int payload, a next link, and
+	// a pointer payload so field paths of both scalar and pointer type
+	// exist.
+	for s := 0; s < k.Structs; s++ {
+		g.openBlock("struct node%d", s)
+		g.pf("int val;")
+		g.pf("int *data;")
+		g.pf("struct node%d *next;", s)
+		g.indent--
+		g.pf("};")
+		g.pf("")
+	}
+
+	// Globals: scalars, one list head per ADT, the static node pools,
+	// and the function-pointer variables.
+	g.intGlobals = []string{"g0", "g1", "g2"}
+	for _, n := range g.intGlobals {
+		g.pf("int %s;", n)
+	}
+	for s := 0; s < k.Structs; s++ {
+		g.pf("struct node%d *glist%d;", s, s)
+		for i := 0; i < nStaticNodes; i++ {
+			g.pf("struct node%d nstat%d_%d;", s, s, i)
+		}
+	}
+	switch {
+	case k.FnPtrPct >= 50:
+		g.fps = []string{"fp0", "fp1"}
+	case k.FnPtrPct > 0:
+		g.fps = []string{"fp0"}
+	}
+	for _, fp := range g.fps {
+		g.pf("int (*%s)(int);", fp)
+	}
+	g.pf("")
+
+	// ADT routines: a heap allocator and a static allocator (call sites
+	// pick per HeapPct), the shared push, and a walker that is
+	// self-recursive or iterative per the recursion knob.
+	for s := 0; s < k.Structs; s++ {
+		g.adtRoutines(s)
+	}
+
+	// Shared pointer utilities: the polymorphic call sites where
+	// context sensitivity has something to distinguish.
+	if k.PtrDepth >= 2 {
+		g.openBlock("void swap_pp(int **a, int **b)")
+		g.pf("int *t;")
+		g.pf("t = *a;")
+		g.pf("*a = *b;")
+		g.pf("*b = t;")
+		g.close()
+		g.pf("")
+		g.openBlock("void set_pp(int **t, int *v)")
+		g.pf("*t = v;")
+		g.close()
+		g.pf("")
+	}
+	g.openBlock("int *sel_p(int *a, int *b, int c)")
+	g.openBlock("if (c > 0)")
+	g.pf("return a;")
+	g.close()
+	g.pf("return b;")
+	g.close()
+	g.pf("")
+
+	// Helper layers.
+	g.helpers = make([]string, k.Funcs)
+	g.layerOf = make([]int, k.Funcs)
+	g.layers = make([][]int, k.Depth)
+	for i := range g.helpers {
+		g.helpers[i] = fmt.Sprintf("h%d", i)
+		layer := i * k.Depth / k.Funcs
+		g.layerOf[i] = layer
+		g.layers[layer] = append(g.layers[layer], i)
+	}
+	// Leaf-first so direct calls always name an already-defined helper
+	// (forward references work, but bottom-up reads like hand-written C).
+	for layer := k.Depth - 1; layer >= 0; layer-- {
+		for _, i := range g.layers[layer] {
+			g.helper(i)
+		}
+	}
+
+	g.mainFunc()
+	return g.buf.String()
+}
+
+func (g *gen) adtRoutines(s int) {
+	g.openBlock("struct node%d *new_node%d(int v)", s, s)
+	g.pf("struct node%d *n;", s)
+	g.pf("n = malloc(sizeof(struct node%d));", s)
+	g.pf("n->val = v;")
+	g.pf("n->data = 0;")
+	g.pf("n->next = 0;")
+	g.pf("return n;")
+	g.close()
+	g.pf("")
+
+	g.openBlock("struct node%d *stat_node%d(int v)", s, s)
+	g.pf("struct node%d *n;", s)
+	g.pf("n = &nstat%d_%d;", s, g.r.intn(nStaticNodes))
+	g.pf("n->val = v;")
+	g.pf("return n;")
+	g.close()
+	g.pf("")
+
+	g.openBlock("void push%d(struct node%d **l, struct node%d *n)", s, s, s)
+	g.pf("n->next = *l;")
+	g.pf("*l = n;")
+	g.close()
+	g.pf("")
+
+	if g.k.Recursion {
+		g.openBlock("int sum%d(struct node%d *n)", s, s)
+		g.openBlock("if (n == 0)")
+		g.pf("return 0;")
+		g.close()
+		g.pf("return n->val + sum%d(n->next);", s)
+		g.close()
+	} else {
+		g.openBlock("int sum%d(struct node%d *n)", s, s)
+		g.pf("int t;")
+		g.pf("t = 0;")
+		g.openBlock("while (n != 0)")
+		g.pf("t = t + n->val;")
+		g.pf("n = n->next;")
+		g.close()
+		g.pf("return t;")
+		g.close()
+	}
+	g.pf("")
+}
+
+// ---------------------------------------------------------------------------
+// Function bodies
+
+// listVar is one in-scope list variable bound to an ADT.
+type listVar struct {
+	name string
+	s    int // struct index
+}
+
+// body tracks what a function body may legally mention: every entry is
+// declared and initialized by the preamble before statement generation
+// starts.
+type body struct {
+	g      *gen
+	param  string // incoming int parameter ("" in main)
+	helper int    // helper index, -1 for main
+	intLVs []string
+	ptrs   []string // ptrs[i] has pointer depth i+1 (p1, p2, ...)
+	lists  []listVar
+	fpSet  map[string]bool // function pointers assigned so far in this body
+	depth  int             // statement nesting depth
+}
+
+// chooseADT applies the sharing knob: ADT 0 is the shared one.
+func (g *gen) chooseADT() int {
+	if g.r.pct(g.k.SharePct) {
+		return 0
+	}
+	return g.r.intn(g.k.Structs)
+}
+
+func (g *gen) helper(i int) {
+	g.openBlock("int %s(int a)", g.helpers[i])
+	b := g.preamble("a", i)
+	n := g.k.Stmts/2 + 1
+	for j := 0; j < n; j++ {
+		b.stmt()
+	}
+	g.pf("return %s;", b.intExpr(1))
+	g.close()
+	g.pf("")
+}
+
+func (g *gen) mainFunc() {
+	g.openBlock("int main(void)")
+	b := g.preamble("", -1)
+	// Guarantee the unit has at least one indirect read: the population
+	// headline is a ratio over indirect operations, so a unit with none
+	// would fall out of the distribution.
+	g.pf("g0 = *%s;", b.ptrs[0])
+	for j := 0; j < g.k.Stmts; j++ {
+		b.stmt()
+	}
+	g.pf("return x & 63;")
+	g.close()
+}
+
+// preamble declares and initializes the body's roster: three int
+// locals, a pointer chain p1..pD plus the alternate q1, and 1–2 list
+// variables. Everything later statements draw on is live after it.
+func (g *gen) preamble(param string, helper int) *body {
+	b := &body{g: g, param: param, helper: helper, fpSet: make(map[string]bool)}
+	b.intLVs = []string{"x", "y", "z"}
+	g.pf("int x;")
+	g.pf("int y;")
+	g.pf("int z;")
+	for d := 1; d <= g.k.PtrDepth; d++ {
+		g.pf("int %s%s;", strings.Repeat("*", d), fmt.Sprintf("p%d", d))
+		b.ptrs = append(b.ptrs, fmt.Sprintf("p%d", d))
+	}
+	g.pf("int *q1;")
+	nLists := g.r.rangeInt(1, 2)
+	for i := 0; i < nLists; i++ {
+		lv := listVar{name: fmt.Sprintf("l%d", i), s: g.chooseADT()}
+		g.pf("struct node%d *%s;", lv.s, lv.name)
+		b.lists = append(b.lists, lv)
+	}
+	if param != "" {
+		g.pf("x = %s + %d;", param, g.r.intn(9))
+	} else {
+		g.pf("x = %d;", g.r.rangeInt(1, 99))
+	}
+	g.pf("y = %d;", g.r.rangeInt(1, 99))
+	g.pf("z = %s + %d;", pick(g.r, g.intGlobals), g.r.intn(9))
+	g.pf("p1 = &%s;", pick(g.r, []string{"x", "y", "z"}))
+	for d := 2; d <= g.k.PtrDepth; d++ {
+		g.pf("p%d = &p%d;", d, d-1)
+	}
+	g.pf("q1 = &%s;", pick(g.r, []string{"x", "y"}))
+	for _, lv := range b.lists {
+		if g.r.pct(40) {
+			g.pf("%s = glist%d;", lv.name, lv.s)
+		} else {
+			g.pf("%s = 0;", lv.name)
+		}
+	}
+	return b
+}
+
+// intLV picks an assignable int: a local or a global.
+func (b *body) intLV() string {
+	if b.g.r.pct(25) {
+		return pick(b.g.r, b.g.intGlobals)
+	}
+	return pick(b.g.r, b.intLVs)
+}
+
+// intTerm is an atomic int rvalue.
+func (b *body) intTerm() string {
+	r := b.g.r
+	switch r.intn(4) {
+	case 0:
+		return fmt.Sprint(r.rangeInt(0, 99))
+	case 1:
+		return pick(r, b.g.intGlobals)
+	case 2:
+		if b.param != "" {
+			return b.param
+		}
+		return pick(r, b.intLVs)
+	default:
+		return pick(r, b.intLVs)
+	}
+}
+
+// intExpr builds an int expression of bounded size, mixing arithmetic
+// over terms with indirect reads through the pointer roster.
+func (b *body) intExpr(depth int) string {
+	r := b.g.r
+	if depth <= 0 || r.pct(40) {
+		return b.intTerm()
+	}
+	switch r.intn(5) {
+	case 0:
+		return b.deref()
+	case 1:
+		return fmt.Sprintf("%s %s %s", b.intTerm(), pick(r, []string{"+", "-", "*"}), b.intExpr(depth-1))
+	case 2:
+		if len(b.lists) > 0 {
+			lv := pick(r, b.lists)
+			return fmt.Sprintf("sum%d(%s)", lv.s, lv.name)
+		}
+		return b.intTerm()
+	default:
+		return fmt.Sprintf("%s + %s", b.intTerm(), b.intTerm())
+	}
+}
+
+// deref reads through k levels of the pointer chain: *p1, **p2, ...
+func (b *body) deref() string {
+	d := b.g.r.rangeInt(1, len(b.ptrs))
+	if d == 1 && b.g.r.pct(30) {
+		return "*q1"
+	}
+	return strings.Repeat("*", d) + b.ptrs[d-1]
+}
+
+// cond is a comparison usable in if/while headers.
+func (b *body) cond() string {
+	r := b.g.r
+	return fmt.Sprintf("%s %s %s", b.intTerm(), pick(r, []string{"<", ">", "<=", ">=", "==", "!="}), b.intTerm())
+}
+
+// callee picks the helper a call site targets. Helpers call the next
+// layer down; main calls layer 0. The FanIn window slides with the
+// caller's position so edges converge onto shared callees at the rate
+// the knob asks for.
+func (b *body) callee() (string, bool) {
+	g := b.g
+	var layer []int
+	pos := 0
+	if b.helper < 0 {
+		layer = g.layers[0]
+		pos = g.r.intn(len(layer))
+	} else {
+		l := g.layerOf[b.helper]
+		if l+1 >= len(g.layers) || len(g.layers[l+1]) == 0 {
+			if g.k.Recursion && g.r.pct(50) {
+				return g.helpers[b.helper], true // leaf self-recursion
+			}
+			return "", false
+		}
+		layer = g.layers[l+1]
+		for i, h := range g.layers[l] {
+			if h == b.helper {
+				pos = i
+				break
+			}
+		}
+	}
+	w := g.k.FanIn
+	if w > len(layer) {
+		w = len(layer)
+	}
+	return g.helpers[layer[(pos+g.r.intn(w))%len(layer)]], true
+}
+
+// stmt emits one generated statement. Every branch's preconditions are
+// satisfied by the roster, so any weighted pick is valid.
+func (b *body) stmt() {
+	g := b.g
+	r := g.r
+	// Nested blocks stay shallow and simple.
+	max := 12
+	if b.depth >= 2 {
+		max = 6
+	}
+	switch r.intn(max) {
+	case 0, 1: // plain arithmetic
+		g.pf("%s = %s;", b.intLV(), b.intExpr(2))
+	case 2: // re-point part of the chain
+		b.repoint()
+	case 3: // store through the chain
+		b.storeThrough()
+	case 4: // load through the chain
+		g.pf("%s = %s;", b.intLV(), b.deref())
+	case 5: // call a helper (directly or through a function pointer)
+		b.call()
+	case 6: // list push (heap or static allocator per the knob)
+		lv := b.listTarget()
+		alloc := fmt.Sprintf("new_node%d", lv.s)
+		if !r.pct(g.k.HeapPct) {
+			alloc = fmt.Sprintf("stat_node%d", lv.s)
+		}
+		g.pf("push%d(%s, %s(%s));", lv.s, b.listAddr(lv), alloc, b.intExpr(1))
+	case 7: // list walk / field traffic
+		b.listOp()
+	case 8: // shared pointer utilities: the polymorphic call sites
+		b.ptrUtil()
+	case 9: // conditional
+		g.openBlock("if (%s)", b.cond())
+		b.nested(r.rangeInt(1, 2))
+		g.close()
+		if r.pct(40) {
+			g.openBlock("else")
+			b.nested(1)
+			g.close()
+		}
+	case 10: // bounded loop
+		lv := pick(r, b.intLVs)
+		g.openBlock("while (%s > 0)", lv)
+		g.pf("%s = %s - %d;", lv, lv, r.rangeInt(1, 9))
+		b.nested(1)
+		g.close()
+	default: // sum a list
+		if len(b.lists) > 0 {
+			lv := pick(r, b.lists)
+			g.pf("%s = sum%d(%s);", b.intLV(), lv.s, lv.name)
+		} else {
+			g.pf("%s = %s;", b.intLV(), b.intExpr(1))
+		}
+	}
+}
+
+func (b *body) nested(n int) {
+	b.depth++
+	for i := 0; i < n; i++ {
+		b.stmt()
+	}
+	b.depth--
+}
+
+// listTarget picks a list lvalue: a roster local or a global head of
+// the same ADT (the global heads are how separately generated bodies
+// end up sharing structure).
+func (b *body) listTarget() listVar {
+	if b.g.r.pct(35) {
+		s := b.g.chooseADT()
+		return listVar{name: fmt.Sprintf("glist%d", s), s: s}
+	}
+	return pick(b.g.r, b.lists)
+}
+
+func (b *body) listAddr(lv listVar) string { return "&" + lv.name }
+
+func (b *body) repoint() {
+	g := b.g
+	r := g.r
+	d := r.rangeInt(1, len(b.ptrs))
+	if d == 1 {
+		switch r.intn(3) {
+		case 0:
+			g.pf("p1 = &%s;", pick(r, b.intLVs))
+		case 1:
+			g.pf("q1 = &%s;", pick(r, b.intLVs))
+		default:
+			g.pf("p1 = q1;")
+		}
+		return
+	}
+	g.pf("p%d = &p%d;", d, d-1)
+}
+
+func (b *body) storeThrough() {
+	g := b.g
+	r := g.r
+	d := r.rangeInt(1, len(b.ptrs))
+	if d == 1 {
+		tgt := "*p1"
+		if r.pct(30) {
+			tgt = "*q1"
+		}
+		g.pf("%s = %s;", tgt, b.intExpr(1))
+		return
+	}
+	// Writing through s levels of a depth-d pointer stores a pointer of
+	// depth d-s: *p2 = p1, **p3 = q1, ...
+	s := r.rangeInt(1, d-1)
+	src := b.ptrs[d-s-1]
+	if d-s == 1 && r.pct(40) {
+		src = "q1"
+	}
+	g.pf("%s%s = %s;", strings.Repeat("*", s), b.ptrs[d-1], src)
+}
+
+func (b *body) call() {
+	g := b.g
+	r := g.r
+	callee, ok := b.callee()
+	if !ok {
+		g.pf("%s = %s;", b.intLV(), b.intExpr(1))
+		return
+	}
+	if len(g.fps) > 0 && r.pct(g.k.FnPtrPct) {
+		fp := pick(r, g.fps)
+		if !b.fpSet[fp] || r.pct(50) {
+			g.pf("%s = %s;", fp, callee)
+			b.fpSet[fp] = true
+		}
+		g.pf("%s = %s(%s);", b.intLV(), fp, b.intExpr(1))
+		return
+	}
+	g.pf("%s = %s(%s);", b.intLV(), callee, b.intExpr(1))
+}
+
+func (b *body) listOp() {
+	g := b.g
+	r := g.r
+	lv := pick(r, b.lists)
+	switch r.intn(4) {
+	case 0:
+		g.openBlock("if (%s != 0)", lv.name)
+		g.pf("%s->val = %s;", lv.name, b.intExpr(1))
+		g.close()
+	case 1:
+		g.openBlock("if (%s != 0)", lv.name)
+		g.pf("%s = %s->val;", b.intLV(), lv.name)
+		g.pf("%s = %s->next;", lv.name, lv.name)
+		g.close()
+	case 2:
+		g.openBlock("if (%s != 0)", lv.name)
+		g.pf("%s->data = &%s;", lv.name, pick(r, b.intLVs))
+		g.close()
+	default:
+		g.openBlock("if (%s != 0)", lv.name)
+		g.openBlock("if (%s->data != 0)", lv.name)
+		g.pf("%s = *%s->data;", b.intLV(), lv.name)
+		g.close()
+		g.close()
+	}
+}
+
+// ptrUtil calls the shared pointer helpers — swap_pp/set_pp/sel_p are
+// the program's polymorphic procedures, where a context-insensitive
+// analysis genuinely merges callers.
+func (b *body) ptrUtil() {
+	g := b.g
+	r := g.r
+	if len(b.ptrs) >= 2 {
+		switch r.intn(3) {
+		case 0:
+			g.pf("swap_pp(&p1, &q1);")
+			return
+		case 1:
+			g.pf("set_pp(&%s, &%s);", pick(r, []string{"p1", "q1"}), pick(r, b.intLVs))
+			return
+		}
+	}
+	g.pf("p1 = sel_p(&%s, q1, %s);", pick(r, b.intLVs), b.intTerm())
+}

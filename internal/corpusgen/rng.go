@@ -1,0 +1,63 @@
+package corpusgen
+
+// rng is a self-contained splitmix64 generator. The generator must be
+// byte-deterministic across runs, platforms, Go versions, and worker
+// counts, so it cannot touch math/rand (whose stream is only stable
+// per Go release for the global functions) or any time-derived seed:
+// every unit derives its own stream purely from (seed, index).
+type rng struct {
+	state uint64
+}
+
+// newRNG derives an independent stream for one generated unit. The
+// index is mixed in with a large odd constant so adjacent units get
+// unrelated streams rather than shifted copies of one another.
+func newRNG(seed int64, index int) *rng {
+	r := &rng{state: uint64(seed) ^ (uint64(index)+1)*0x9e3779b97f4a7c15}
+	// Warm the mixer so small seed/index pairs decorrelate.
+	r.next()
+	r.next()
+	return r
+}
+
+// next is the splitmix64 step (Steele et al., "Fast splittable
+// pseudorandom number generators").
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform value in [0, n). n must be positive.
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		panic("corpusgen: intn on non-positive bound")
+	}
+	return int(r.next() % uint64(n))
+}
+
+// rangeInt returns a uniform value in [lo, hi] inclusive.
+func (r *rng) rangeInt(lo, hi int) int {
+	if hi < lo {
+		return lo
+	}
+	return lo + r.intn(hi-lo+1)
+}
+
+// pct reports true with probability p/100.
+func (r *rng) pct(p int) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 100 {
+		return true
+	}
+	return r.intn(100) < p
+}
+
+// pick returns a uniform element of the non-empty slice.
+func pick[T any](r *rng, xs []T) T {
+	return xs[r.intn(len(xs))]
+}

@@ -1,0 +1,99 @@
+package corpusgen
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"aliaslab/internal/stats"
+	"aliaslab/internal/vdg"
+)
+
+// Shrink greedily reduces src to a smaller text that still satisfies
+// failing. It is a line-based delta debugger: blocks of lines are
+// deleted largest-first, and a deletion is kept only when the predicate
+// still holds on the remainder — so the predicate itself enforces
+// validity (a candidate that no longer parses simply fails the
+// predicate and the deletion is rolled back). The result is 1-minimal
+// at line granularity: removing any single remaining line breaks the
+// predicate.
+//
+// The predicate must be deterministic; Shrink calls it O(n log n)
+// times, so keep it to a front-end load plus the cheapest failing
+// check.
+func Shrink(src string, failing func(string) bool) string {
+	if !failing(src) {
+		return src
+	}
+	lines := strings.Split(src, "\n")
+	for {
+		removed := false
+		for chunk := len(lines) / 2; chunk >= 1; chunk /= 2 {
+			for start := 0; start+chunk <= len(lines); {
+				candidate := make([]string, 0, len(lines)-chunk)
+				candidate = append(candidate, lines[:start]...)
+				candidate = append(candidate, lines[start+chunk:]...)
+				if failing(strings.Join(candidate, "\n")) {
+					lines = candidate
+					removed = true
+					// Do not advance: the next chunk now sits at start.
+				} else {
+					start++
+				}
+			}
+		}
+		if !removed {
+			return strings.Join(lines, "\n")
+		}
+	}
+}
+
+// ShrinkValid reduces a generated program to the minimal text the
+// front end still accepts that preserves every indirect memory
+// operation of the original — the analysis-relevant surface survives
+// with its whole support chain while unrelated scaffolding (dead
+// arithmetic, unreferenced globals, calls that feed no pointer) is
+// deleted. Minimizing to this invariant instead of "any one indirect
+// op" keeps a population of minimized programs structurally diverse,
+// which is what makes them useful as committed fuzz seeds.
+func ShrinkValid(p Program) string {
+	count := func(src string) (reads, writes int, ok bool) {
+		u, err := Program{Name: p.Name, Source: src}.Load(vdg.Options{})
+		if err != nil {
+			return 0, 0, false
+		}
+		ops := stats.CountIndirect(u.Graph, nil)
+		return ops.Reads.Total, ops.Writes.Total, true
+	}
+	origReads, origWrites, ok := count(p.Source)
+	if !ok {
+		return p.Source
+	}
+	keeps := func(src string) bool {
+		r, w, ok := count(src)
+		return ok && r >= origReads && w >= origWrites
+	}
+	return Shrink(p.Source, keeps)
+}
+
+// WriteRepro writes a shrunk reproducer into dir twice: as name.c (for
+// humans and the aliaslab CLI) and as a Go fuzz corpus entry under
+// dir/FuzzLoadAndSolve/name, so the directory can be handed straight to
+// `go test -fuzz=FuzzLoadAndSolve -test.fuzzcachedir=<dir>` or copied
+// into testdata/fuzz. Returns the path of the .c file.
+func WriteRepro(dir, name, src string) (string, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "FuzzLoadAndSolve"), 0o755); err != nil {
+		return "", err
+	}
+	cPath := filepath.Join(dir, name+".c")
+	if err := os.WriteFile(cPath, []byte(src), 0o644); err != nil {
+		return "", err
+	}
+	entry := fmt.Sprintf("go test fuzz v1\nstring(%s)\n", strconv.Quote(src))
+	if err := os.WriteFile(filepath.Join(dir, "FuzzLoadAndSolve", name), []byte(entry), 0o644); err != nil {
+		return "", err
+	}
+	return cPath, nil
+}

@@ -1,0 +1,87 @@
+package corpusgen
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aliaslab/internal/vdg"
+)
+
+// TestShrinkSynthetic: the delta debugger reduces to a 1-minimal subset
+// under a synthetic predicate requiring two specific lines.
+func TestShrinkSynthetic(t *testing.T) {
+	lines := make([]string, 40)
+	for i := range lines {
+		lines[i] = "filler"
+	}
+	lines[7] = "NEEDLE-A"
+	lines[31] = "NEEDLE-B"
+	src := strings.Join(lines, "\n")
+
+	calls := 0
+	failing := func(s string) bool {
+		calls++
+		return strings.Contains(s, "NEEDLE-A") && strings.Contains(s, "NEEDLE-B")
+	}
+	got := Shrink(src, failing)
+	want := "NEEDLE-A\nNEEDLE-B"
+	if got != want {
+		t.Fatalf("Shrink: got %q, want %q (after %d predicate calls)", got, want, calls)
+	}
+}
+
+// TestShrinkNonFailing: a program that does not satisfy the predicate
+// is returned unchanged.
+func TestShrinkNonFailing(t *testing.T) {
+	src := "a\nb\nc"
+	if got := Shrink(src, func(string) bool { return false }); got != src {
+		t.Fatalf("Shrink changed a non-failing input: %q", got)
+	}
+}
+
+// TestShrinkValidityPredicate: when the predicate embeds a front-end
+// load, every kept intermediate is valid and the result still loads —
+// the shape the -check driver uses on real violations.
+func TestShrinkValidityPredicate(t *testing.T) {
+	p := Generate(42, 5, SweepKnobs(42, 5))
+	// Synthetic "failure": the program contains an indirect read through
+	// p1 in main. The predicate demands both validity and the marker, so
+	// the shrinker must keep enough scaffolding to stay parseable.
+	failing := func(src string) bool {
+		if !strings.Contains(src, "g0 = *p1;") {
+			return false
+		}
+		_, err := Program{Name: p.Name, Source: src}.Load(vdg.Options{})
+		return err == nil
+	}
+	got := Shrink(p.Source, failing)
+	if len(got) >= len(p.Source) {
+		t.Fatalf("Shrink did not reduce: %d -> %d bytes", len(p.Source), len(got))
+	}
+	if !failing(got) {
+		t.Fatal("Shrink result does not satisfy its own predicate")
+	}
+}
+
+// TestWriteRepro: the reproducer lands both as a .c file and as a Go
+// fuzz corpus entry in the canonical encoding.
+func TestWriteRepro(t *testing.T) {
+	dir := t.TempDir()
+	src := "int main() { return 0; }\n"
+	cPath, err := WriteRepro(dir, "mini", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := os.ReadFile(cPath); err != nil || string(got) != src {
+		t.Fatalf("read %s: %q, %v", cPath, got, err)
+	}
+	entry, err := os.ReadFile(filepath.Join(dir, "FuzzLoadAndSolve", "mini"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(entry), "go test fuzz v1\nstring(") {
+		t.Fatalf("fuzz entry not in corpus format: %q", entry)
+	}
+}

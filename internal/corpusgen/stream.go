@@ -1,0 +1,158 @@
+package corpusgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The stream format carries a generated population between processes —
+// `corpusgen -n 2000 -seed 42 | experiments -population` — as plain
+// text: a stream header, then one unit header plus source per program.
+// Unit headers carry the full knob set (integers only, so values
+// round-trip exactly), which is what lets the population report break
+// the agreement distribution down per knob without re-deriving the
+// sweep.
+//
+//	# corpusgen stream v1 seed=42 n=2
+//	==== gen-s42-i0000 funcs=4 depth=2 fanin=2 ptr=3 structs=1 share=50 fnptr=25 heap=75 rec=on stmts=9
+//	<mini-C source>
+//	==== gen-s42-i0001 ...
+//
+// Generated sources never contain a line starting with "==== " (the
+// generator emits no string literals and no expressions beginning with
+// '='), so the unit delimiter is unambiguous.
+
+const streamMagic = "# corpusgen stream v1"
+const unitMarker = "==== "
+
+// WriteStream renders a population in stream format. The bytes are a
+// pure function of the programs, so a population generated at any
+// worker width streams identically.
+func WriteStream(w io.Writer, seed int64, progs []Program) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s seed=%d n=%d\n", streamMagic, seed, len(progs))
+	for _, p := range progs {
+		fmt.Fprintf(bw, "%s%s %s\n", unitMarker, p.Name, p.Knobs.header())
+		bw.WriteString(p.Source)
+		if !strings.HasSuffix(p.Source, "\n") {
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadStream parses a population stream back into programs. The knob
+// header is authoritative (clamped exactly like Generate clamps), so a
+// hand-edited source still carries its structural labels.
+func ReadStream(r io.Reader) ([]Program, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("corpusgen: reading stream: %w", err)
+		}
+		return nil, fmt.Errorf("corpusgen: empty stream")
+	}
+	if !strings.HasPrefix(sc.Text(), streamMagic) {
+		return nil, fmt.Errorf("corpusgen: not a corpusgen stream (first line %q)", sc.Text())
+	}
+
+	var progs []Program
+	var cur *Program
+	var src strings.Builder
+	flush := func() {
+		if cur != nil {
+			cur.Source = src.String()
+			progs = append(progs, *cur)
+			src.Reset()
+		}
+	}
+	line := 1
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.HasPrefix(text, unitMarker) {
+			flush()
+			p, err := parseUnitHeader(strings.TrimPrefix(text, unitMarker))
+			if err != nil {
+				return nil, fmt.Errorf("corpusgen: stream line %d: %w", line, err)
+			}
+			cur = &p
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("corpusgen: stream line %d: source text before any unit header", line)
+		}
+		src.WriteString(text)
+		src.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("corpusgen: reading stream: %w", err)
+	}
+	flush()
+	if len(progs) == 0 {
+		return nil, fmt.Errorf("corpusgen: stream carries no units")
+	}
+	return progs, nil
+}
+
+// parseUnitHeader parses "gen-s42-i0007 funcs=4 ...".
+func parseUnitHeader(s string) (Program, error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return Program{}, fmt.Errorf("empty unit header")
+	}
+	p := Program{Name: fields[0]}
+	if _, err := fmt.Sscanf(fields[0], "gen-s%d-i%d", &p.Seed, &p.Index); err != nil {
+		return Program{}, fmt.Errorf("unit name %q: want gen-s<seed>-i<index>", fields[0])
+	}
+	k := Knobs{}
+	for _, f := range fields[1:] {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return Program{}, fmt.Errorf("unit %s: malformed knob %q", p.Name, f)
+		}
+		if key == "rec" {
+			switch val {
+			case "on":
+				k.Recursion = true
+			case "off":
+				k.Recursion = false
+			default:
+				return Program{}, fmt.Errorf("unit %s: bad rec=%q (want on or off)", p.Name, val)
+			}
+			continue
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return Program{}, fmt.Errorf("unit %s: bad %s=%q", p.Name, key, val)
+		}
+		switch key {
+		case "funcs":
+			k.Funcs = n
+		case "depth":
+			k.Depth = n
+		case "fanin":
+			k.FanIn = n
+		case "ptr":
+			k.PtrDepth = n
+		case "structs":
+			k.Structs = n
+		case "share":
+			k.SharePct = n
+		case "fnptr":
+			k.FnPtrPct = n
+		case "heap":
+			k.HeapPct = n
+		case "stmts":
+			k.Stmts = n
+		default:
+			return Program{}, fmt.Errorf("unit %s: unknown knob %q", p.Name, key)
+		}
+	}
+	p.Knobs = k.clamp()
+	return p, nil
+}

@@ -1,0 +1,92 @@
+package corpusgen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestStreamRoundTrip: Write then Read recovers every program exactly —
+// name, knobs, and source bytes.
+func TestStreamRoundTrip(t *testing.T) {
+	progs := Sweep(42, 20)
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, 42, progs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(progs) {
+		t.Fatalf("round trip: got %d units, want %d", len(got), len(progs))
+	}
+	for i := range progs {
+		if got[i] != progs[i] {
+			t.Fatalf("unit %d did not round-trip:\ngot  %+v\nwant %+v", i, got[i], progs[i])
+		}
+	}
+}
+
+// TestStreamDeterministic: the stream bytes are a pure function of
+// (seed, n).
+func TestStreamDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteStream(&a, 7, Sweep(7, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteStream(&b, 7, Sweep(7, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("stream bytes differ across two identical generations")
+	}
+}
+
+// TestStreamErrors: malformed streams fail with diagnostics instead of
+// yielding half-parsed populations.
+func TestStreamErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"empty", "", "empty stream"},
+		{"bad magic", "hello\n", "not a corpusgen stream"},
+		{"no units", "# corpusgen stream v1 seed=1 n=0\n", "no units"},
+		{"source before header", "# corpusgen stream v1 seed=1 n=1\nint x;\n", "before any unit header"},
+		{"bad unit name", "# corpusgen stream v1 seed=1 n=1\n==== bogus funcs=1\n", "want gen-s<seed>-i<index>"},
+		{"empty header", "# corpusgen stream v1 seed=1 n=1\n==== \n", "empty unit header"},
+		{"malformed knob", "# corpusgen stream v1 seed=1 n=1\n==== gen-s1-i0000 funcs\n", "malformed knob"},
+		{"bad rec", "# corpusgen stream v1 seed=1 n=1\n==== gen-s1-i0000 rec=maybe\n", "bad rec"},
+		{"non-integer knob", "# corpusgen stream v1 seed=1 n=1\n==== gen-s1-i0000 funcs=lots\n", `bad funcs="lots"`},
+		{"unknown knob", "# corpusgen stream v1 seed=1 n=1\n==== gen-s1-i0000 wings=2\n", "unknown knob"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadStream(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("ReadStream(%q) succeeded, want error containing %q", tc.in, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("ReadStream(%q) error %q, want substring %q", tc.in, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestStreamClampsHeader: out-of-range knob values in a (hand-edited)
+// header are clamped on read, matching what Generate would have done.
+func TestStreamClampsHeader(t *testing.T) {
+	in := "# corpusgen stream v1 seed=1 n=1\n==== gen-s1-i0003 funcs=99 ptr=9\nint main() { return 0; }\n"
+	progs, err := ReadStream(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if progs[0].Knobs.Funcs != 16 || progs[0].Knobs.PtrDepth != 4 {
+		t.Fatalf("knobs not clamped: %+v", progs[0].Knobs)
+	}
+	if progs[0].Seed != 1 || progs[0].Index != 3 {
+		t.Fatalf("identity not parsed: %+v", progs[0])
+	}
+}

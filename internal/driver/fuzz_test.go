@@ -1,6 +1,9 @@
 package driver_test
 
 import (
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"aliaslab/internal/backend/andersen"
@@ -40,6 +43,31 @@ return *p + *q; }`,
 	}
 	for _, s := range seeds {
 		f.Add(s)
+	}
+	// Generator-minimized programs: each preserves the full indirect-op
+	// surface of a corpusgen sweep unit under delta debugging, so the
+	// committed corpus spans the generator's structural knobs (ADT
+	// sharing, function pointers, deep indirection, recursion) in
+	// near-minimal form. Regenerate with
+	// `corpusgen -n 20 -seed 11 -dir internal/driver/testdata/fuzz-seeds -minimize`.
+	ents, err := os.ReadDir("testdata/fuzz-seeds")
+	if err != nil {
+		f.Fatalf("reading committed fuzz seeds: %v", err)
+	}
+	found := 0
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".c") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join("testdata/fuzz-seeds", e.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+		found++
+	}
+	if found == 0 {
+		f.Fatal("testdata/fuzz-seeds holds no .c seeds")
 	}
 	f.Fuzz(func(t *testing.T, src string) {
 		u, err := driver.LoadString("fuzz.c", src, vdg.Options{})

@@ -1,0 +1,227 @@
+struct node0 {
+	int val;
+	int *data;
+	struct node0 *next;
+};
+struct node1 {
+	int val;
+	int *data;
+	struct node1 *next;
+};
+struct node2 {
+	int val;
+	int *data;
+	struct node2 *next;
+};
+int g0;
+int g1;
+int g2;
+struct node0 *new_node0(int v) {
+	struct node0 *n;
+	n->val = v;
+	n->data = 0;
+	n->next = 0;
+}
+struct node0 *stat_node0(int v) {
+}
+void push0(struct node0 **l, struct node0 *n) {
+	n->next = *l;
+	*l = n;
+}
+int sum0(struct node0 *n) {
+	if (n == 0) {
+	}
+	return n->val + sum0(n->next);
+}
+struct node1 *new_node1(int v) {
+	struct node1 *n;
+	n->val = v;
+	n->data = 0;
+	n->next = 0;
+}
+void push1(struct node1 **l, struct node1 *n) {
+	n->next = *l;
+	*l = n;
+}
+int sum1(struct node1 *n) {
+	if (n == 0) {
+	}
+	return n->val + sum1(n->next);
+}
+struct node2 *new_node2(int v) {
+	struct node2 *n;
+	n->val = v;
+	n->data = 0;
+	n->next = 0;
+}
+struct node2 *stat_node2(int v) {
+}
+void push2(struct node2 **l, struct node2 *n) {
+	n->next = *l;
+	*l = n;
+}
+int sum2(struct node2 *n) {
+	if (n == 0) {
+	}
+	return n->val + sum2(n->next);
+}
+void swap_pp(int **a, int **b) {
+	int *t;
+	t = *a;
+	*a = *b;
+	*b = t;
+}
+void set_pp(int **t, int *v) {
+	*t = v;
+}
+int *sel_p(int *a, int *b, int c) {
+}
+int h5(int a) {
+	int x;
+	int y;
+	int z;
+	int *p1;
+	struct node1 *l0;
+	while (y > 0) {
+		g1 = *p1;
+		x = l0->val;
+		l0 = l0->next;
+	}
+	if (z != g0) {
+		if (l0 != 0) {
+			l0->val = 8 * g0;
+		}
+		x = *p1;
+	}
+	return x + g2;
+}
+int h6(int a) {
+	int x;
+	int y;
+	int *p1;
+	int **p2;
+	int *q1;
+	struct node0 *l0;
+	q1 = &x;
+	if (l0 != 0) {
+		x = l0->val;
+		l0 = l0->next;
+		l0->data = &y;
+		swap_pp(&p1, &q1);
+	}
+	*q1 = a;
+	if (a < g1) {
+		if (l0 != 0) {
+			if (l0->data != 0) {
+				x = *l0->data;
+			}
+		}
+	}
+	return **p2;
+}
+int h8(int a) {
+	int x;
+	int z;
+	int *p1;
+	int **p2;
+	int *q1;
+	struct node2 *l1;
+	while (x > 0) {
+		if (l1 != 0) {
+			if (l1->data != 0) {
+				x = *l1->data;
+			}
+		}
+	}
+	*p1 = z;
+	if (90 < x) {
+		*p2 = q1;
+	}
+}
+int h9(int a) {
+	int y;
+	int *p1;
+	struct node2 *l0;
+	while (y > 0) {
+		y = *p1;
+	}
+	while (y > 0) {
+		y = y - 3;
+		*p1 = 55 + 34;
+		if (l0->data != 0) {
+			g2 = *l0->data;
+		}
+	}
+}
+int h0(int a) {
+	int x;
+	int z;
+	int *p1;
+	int **p2;
+	int *q1;
+	struct node2 *l0;
+	p1 = sel_p(&z, q1, g0);
+	z = **p2;
+	*p2 = p1;
+	if (g2 != g0) {
+		*q1 = 78;
+		if (l0 != 0) {
+			g2 = l0->val;
+			l0 = l0->next;
+		}
+	}
+	x = *p1;
+	p1 = sel_p(&x, q1, a);
+	return sum2(l0);
+}
+int h1(int a) {
+	int x;
+	int y;
+	int z;
+	int *p1;
+	int **p2;
+	int *q1;
+	struct node2 *l0;
+	struct node0 *l1;
+	p1 = &z;
+	*p1 = *p1;
+	while (x > 0) {
+		if (l1 != 0) {
+			if (l1->data != 0) {
+				g0 = *l1->data;
+			}
+		}
+	}
+	z = *q1;
+	if (37 > 21) {
+		y = *p1;
+	}
+	p2 = &p1;
+	q1 = &y;
+	if (l0 != 0) {
+		l0->val = g1 + a;
+		g2 = l0->val;
+	}
+}
+int h4(int a) {
+	int x;
+	int y;
+	int z;
+	int *p1;
+	int **p2;
+	int *q1;
+	struct node2 *l0;
+	g0 = *p1;
+	x = *p1;
+	*q1 = *q1;
+	z = *p1;
+	*p2 = q1;
+	if (l0 != 0) {
+		if (l0->data != 0) {
+			y = *l0->data;
+		}
+		g2 = *p1;
+	}
+	z = h0(y + z);
+	return x & 63;
+}

@@ -1,0 +1,113 @@
+/*
+ */
+struct node0 {
+	int val;
+	int *data;
+	struct node0 *next;
+};
+struct node1 {
+	int val;
+	int *data;
+	struct node1 *next;
+};
+struct node2 {
+	int val;
+	int *data;
+	struct node2 *next;
+};
+int g0;
+int g2;
+struct node0 *new_node0(int v) {
+	struct node0 *n;
+	n->val = v;
+	n->data = 0;
+	n->next = 0;
+}
+struct node0 *stat_node0(int v) {
+}
+void push0(struct node0 **l, struct node0 *n) {
+	n->next = *l;
+	*l = n;
+}
+int sum0(struct node0 *n) {
+	return n->val + sum0(n->next);
+}
+struct node1 *new_node1(int v) {
+	struct node1 *n;
+	n->val = v;
+	n->data = 0;
+	n->next = 0;
+	n->val = v;
+}
+void push1(struct node1 **l, struct node1 *n) {
+	n->next = *l;
+	*l = n;
+}
+int sum1(struct node1 *n) {
+	return n->val + sum1(n->next);
+}
+struct node2 *new_node2(int v) {
+	struct node2 *n;
+	n->val = v;
+	n->data = 0;
+}
+void push2(struct node2 **l, struct node2 *n) {
+	n->next = *l;
+	*l = n;
+}
+void swap_pp(int **a, int **b) {
+	int *t;
+	*a = *b;
+	*b = t;
+}
+void set_pp(int **t, int *v) {
+	*t = v;
+}
+int *sel_p(int *a, int *b, int c) {
+}
+int h6(int a) {
+	int *p1;
+	int ***p3;
+	int ****p4;
+	***p4 = p1;
+	return ***p3;
+}
+int h7(int a) {
+	int z;
+	int *p1;
+	int **p2;
+	int ***p3;
+	*p2 = p1;
+	z = ***p3;
+	return g0 + z;
+}
+int h5(int a) {
+	int x;
+	int y;
+	int z;
+	int *p1;
+	int ***p3;
+	int ****p4;
+	struct node0 *l0;
+	struct node1 *l1;
+	**p3 = p1;
+	if (l0 != 0) {
+		l0->data = &y;
+		l1->data = &z;
+	}
+	while (y > 0) {
+	}
+	if (z >= y) {
+		while (x > 0) {
+			y = ****p4;
+		}
+		z = ****p4;
+	}
+	else {
+		if (y >= x) {
+			x = ****p4;
+		}
+	}
+	g2 = ****p4;
+	return x & 63;
+}

@@ -1,0 +1,90 @@
+struct node0 {
+	int val;
+	int *data;
+	struct node0 *next;
+};
+struct node1 {
+	int val;
+	int *data;
+	struct node1 *next;
+};
+struct node2 {
+	int val;
+	int *data;
+	struct node2 *next;
+};
+int g0;
+int g2;
+struct node0 *new_node0(int v) {
+	struct node0 *n;
+	n->val = v;
+	n->data = 0;
+	n->val = v;
+}
+void push0(struct node0 **l, struct node0 *n) {
+	n->next = *l;
+	*l = n;
+}
+int sum0(struct node0 *n) {
+	return n->val + sum0(n->next);
+}
+struct node1 *new_node1(int v) {
+	struct node1 *n;
+	n->val = v;
+	n->data = 0;
+	n->val = v;
+}
+void push1(struct node1 **l, struct node1 *n) {
+	n->next = *l;
+	*l = n;
+}
+int sum1(struct node1 *n) {
+	return n->val + sum1(n->next);
+}
+struct node2 *new_node2(int v) {
+	struct node2 *n;
+	n->val = v;
+	n->data = 0;
+	n->val = v;
+}
+void push2(struct node2 **l, struct node2 *n) {
+	n->next = *l;
+	*l = n;
+}
+int sum2(struct node2 *n) {
+	return n->val + sum2(n->next);
+}
+void swap_pp(int **a, int **b) {
+	int *t;
+	t = *a;
+	*a = *b;
+	*b = t;
+}
+void set_pp(int **t, int *v) {
+	*t = v;
+}
+int h1(int a) {
+	int x;
+	int *p1;
+	int *q1;
+	q1 = &x;
+	if (89 >= a) {
+		if (42 < a) {
+			x = *p1;
+		}
+	}
+}
+int h0(int a) {
+	int y;
+	int *p1;
+	int **p2;
+	int *q1;
+	*q1 = a + 33;
+	g0 = *p1;
+	y = *p1;
+	g2 = **p2;
+	while (y > 0) {
+		y = y - 3;
+	}
+	g0 = **p2;
+}

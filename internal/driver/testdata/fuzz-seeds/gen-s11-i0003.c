@@ -1,0 +1,118 @@
+struct node0 {
+	int val;
+	int *data;
+	struct node0 *next;
+};
+struct node1 {
+	int val;
+	int *data;
+	struct node1 *next;
+};
+int g0;
+int g1;
+int g2;
+struct node0 *new_node0(int v) {
+	struct node0 *n;
+	n->val = v;
+	n->data = 0;
+	n->next = 0;
+}
+struct node0 *stat_node0(int v) {
+}
+void push0(struct node0 **l, struct node0 *n) {
+	n->next = *l;
+	*l = n;
+}
+int sum0(struct node0 *n) {
+	return n->val + sum0(n->next);
+}
+struct node1 *new_node1(int v) {
+	struct node1 *n;
+	n->val = v;
+	n->data = 0;
+	n->val = v;
+}
+void push1(struct node1 **l, struct node1 *n) {
+	n->next = *l;
+	*l = n;
+}
+int sum1(struct node1 *n) {
+	return n->val + sum1(n->next);
+}
+void swap_pp(int **a, int **b) {
+	int *t;
+	t = *a;
+	*a = *b;
+	*b = t;
+}
+void set_pp(int **t, int *v) {
+	*t = v;
+}
+int *sel_p(int *a, int *b, int c) {
+	int z;
+	int *p1;
+	int *q1;
+	struct node0 *l0;
+	p1 = sel_p(&z, q1, 13);
+	if (l0 != 0) {
+		if (l0->data != 0) {
+			z = *l0->data;
+		}
+	}
+}
+int h3(int a) {
+	int *p1;
+	int **p2;
+	int *q1;
+	*p2 = p1;
+	if (a < a) {
+		g1 = *p1;
+	}
+	*p2 = q1;
+}
+int h4(int a) {
+	int x;
+	int y;
+	int *p1;
+	int **p2;
+	int ***p3;
+	int *q1;
+	struct node0 *l0;
+	struct node1 *l1;
+	q1 = &x;
+	**p3 = p1;
+	if (l1 != 0) {
+		if (l1->data != 0) {
+			g1 = *l1->data;
+		}
+	}
+	y = h4(***p3);
+	if (x == a) {
+		if (l0 != 0) {
+			if (l0->data != 0) {
+				x = *l0->data;
+			}
+			**p3 = q1;
+		}
+		g2 = **p2;
+	}
+	x = **p2;
+}
+int h1(int a) {
+	int x;
+	int y;
+	int *p1;
+	int **p2;
+	int ***p3;
+	struct node0 *l0;
+	g0 = *p1;
+	if (x <= y) {
+		push0(&l0, stat_node0(***p3));
+		x = **p2;
+	}
+	push0(&l0, new_node0(***p3));
+	while (x > 0) {
+		*p2 = p1;
+	}
+	return x & 63;
+}

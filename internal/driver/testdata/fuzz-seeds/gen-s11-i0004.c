@@ -1,0 +1,96 @@
+/*
+ */
+struct node0 {
+	int val;
+	int *data;
+	struct node0 *next;
+};
+struct node1 {
+	int val;
+	int *data;
+	struct node1 *next;
+};
+struct node2 {
+	int val;
+	int *data;
+	struct node2 *next;
+};
+int g1;
+struct node0 *new_node0(int v) {
+	struct node0 *n;
+	n->val = v;
+	n->data = 0;
+	n->next = 0;
+	n->val = v;
+}
+void push0(struct node0 **l, struct node0 *n) {
+	n->next = *l;
+	*l = n;
+}
+int sum0(struct node0 *n) {
+	int t;
+	while (n != 0) {
+		t = t + n->val;
+		n = n->next;
+	}
+}
+struct node1 *new_node1(int v) {
+	struct node1 *n;
+	n->val = v;
+	n->data = 0;
+}
+void push1(struct node1 **l, struct node1 *n) {
+	n->next = *l;
+	*l = n;
+}
+int sum1(struct node1 *n) {
+	int t;
+	while (n != 0) {
+		t = t + n->val;
+		n = n->next;
+	}
+}
+struct node2 *new_node2(int v) {
+	struct node2 *n;
+	n->val = v;
+	n->data = 0;
+	n->next = 0;
+	n->val = v;
+}
+void push2(struct node2 **l, struct node2 *n) {
+	n->next = *l;
+	*l = n;
+}
+int sum2(struct node2 *n) {
+	int t;
+	while (n != 0) {
+		t = t + n->val;
+		n = n->next;
+	}
+}
+int *sel_p(int *a, int *b, int c) {
+}
+int h4(int a) {
+	int x;
+	int y;
+	int z;
+	int *p1;
+	int *q1;
+	struct node2 *l0;
+	if (l0 != 0) {
+	}
+	*p1 = 68;
+	if (l0 != 0) {
+		g1 = l0->val;
+		l0 = l0->next;
+	}
+	*p1 = g1;
+	q1 = &y;
+	y = *p1;
+	while (z > 0) {
+	}
+	*p1 = x + z;
+	while (z > 0) {
+	}
+	push0(&l0, new_node0(x));
+}

@@ -1,0 +1,96 @@
+/*
+ */
+struct node0 {
+	int val;
+	int *data;
+	struct node0 *next;
+};
+struct node1 {
+	int val;
+	int *data;
+	struct node1 *next;
+};
+int g0;
+struct node0 *new_node0(int v) {
+	struct node0 *n;
+	n->val = v;
+	n->data = 0;
+	n->next = 0;
+}
+struct node0 *stat_node0(int v) {
+}
+void push0(struct node0 **l, struct node0 *n) {
+	n->next = *l;
+	*l = n;
+}
+int sum0(struct node0 *n) {
+	int t;
+	while (n != 0) {
+		t = t + n->val;
+		n = n->next;
+	}
+}
+struct node1 *new_node1(int v) {
+	struct node1 *n;
+	n->val = v;
+	n->data = 0;
+	n->next = 0;
+}
+struct node1 *stat_node1(int v) {
+}
+void push1(struct node1 **l, struct node1 *n) {
+	n->next = *l;
+	*l = n;
+}
+int sum1(struct node1 *n) {
+	int t;
+	while (n != 0) {
+		t = t + n->val;
+		n = n->next;
+	}
+}
+void swap_pp(int **a, int **b) {
+	int *t;
+	t = *a;
+	*a = *b;
+	*b = t;
+}
+void set_pp(int **t, int *v) {
+	*t = v;
+}
+int h0(int a) {
+	int x;
+	int y;
+	int *q1;
+	struct node1 *l0;
+	q1 = &x;
+	push1(&l0, stat_node1(y + 68));
+	if (l0 != 0) {
+		x = l0->val;
+		l0 = l0->next;
+	}
+}
+int h1(int a) {
+	int x;
+	int z;
+	int *p1;
+	int ***p3;
+	int *q1;
+	struct node0 *l0;
+	struct node1 *l1;
+	p1 = &z;
+	if (l0 != 0) {
+		l0->val = ***p3;
+	}
+	z = ***p3;
+	if (x <= 51) {
+		*p1 = a;
+	}
+	g0 = *p1;
+	if (l1 != 0) {
+		if (l1->data != 0) {
+			z = *l1->data;
+		}
+	}
+	swap_pp(&p1, &q1);
+}

@@ -1,0 +1,87 @@
+struct node0 {
+	int val;
+	int *data;
+	struct node0 *next;
+};
+struct node1 {
+	int val;
+	int *data;
+	struct node1 *next;
+};
+struct node2 {
+	int val;
+	int *data;
+	struct node2 *next;
+};
+int g1;
+struct node0 *new_node0(int v) {
+	struct node0 *n;
+	n->val = v;
+	n->data = 0;
+	n->next = 0;
+}
+void push0(struct node0 **l, struct node0 *n) {
+	n->next = *l;
+	*l = n;
+	int t;
+	while (n != 0) {
+		t = t + n->val;
+		n = n->next;
+	}
+}
+struct node1 *new_node1(int v) {
+	struct node1 *n;
+	n->val = v;
+	n->data = 0;
+	n->next = 0;
+}
+void push1(struct node1 **l, struct node1 *n) {
+	n->next = *l;
+	*l = n;
+	int t;
+	while (n != 0) {
+		t = t + n->val;
+		n = n->next;
+	}
+}
+struct node2 *new_node2(int v) {
+	struct node2 *n;
+	n->val = v;
+	n->data = 0;
+	n->next = 0;
+}
+void push2(struct node2 **l, struct node2 *n) {
+	n->next = *l;
+	*l = n;
+	int t;
+	while (n != 0) {
+		t = t + n->val;
+		n = n->next;
+	}
+	int x;
+	int y;
+	int z;
+	int *q1;
+	struct node0 *l0;
+	struct node2 *l1;
+	q1 = &x;
+	if (l1 != 0) {
+		if (l1->data != 0) {
+			y = *l1->data;
+			z = *l0->data;
+		}
+	}
+	while (x > 0) {
+		if (l1 != 0) {
+			if (l1->data != 0) {
+				z = *l1->data;
+			}
+		}
+	}
+	x = y + 78;
+	if (l1 != 0) {
+		if (l1->data != 0) {
+			g1 = *l1->data;
+		}
+	}
+}

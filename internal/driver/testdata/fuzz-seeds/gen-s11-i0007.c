@@ -1,0 +1,130 @@
+struct node0 {
+	int val;
+	int *data;
+	struct node0 *next;
+};
+struct node1 {
+	int val;
+	int *data;
+	struct node1 *next;
+};
+int g0;
+int g2;
+struct node0 *glist0;
+struct node0 *new_node0(int v) {
+	struct node0 *n;
+	n->val = v;
+	n->data = 0;
+	n->next = 0;
+}
+struct node0 *stat_node0(int v) {
+}
+void push0(struct node0 **l, struct node0 *n) {
+	n->next = *l;
+	*l = n;
+	int t;
+	while (n != 0) {
+		t = t + n->val;
+		n = n->next;
+	}
+}
+struct node1 *new_node1(int v) {
+	struct node1 *n;
+	n->val = v;
+	n->data = 0;
+	n->next = 0;
+}
+void push1(struct node1 **l, struct node1 *n) {
+	n->next = *l;
+	*l = n;
+	int t;
+	while (n != 0) {
+		t = t + n->val;
+		n = n->next;
+	}
+}
+void swap_pp(int **a, int **b) {
+	int *t;
+	t = *a;
+	*a = *b;
+	*b = t;
+}
+void set_pp(int **t, int *v) {
+	*t = v;
+}
+int h5(int a) {
+	int z;
+	struct node0 *l1;
+	while (z > 0) {
+		if (l1 != 0) {
+			if (l1->data != 0) {
+				z = *l1->data;
+			}
+		}
+	}
+}
+int h3(int a) {
+	int y;
+	int z;
+	int *p1;
+	int **p2;
+	int *q1;
+	struct node0 *l0;
+	p1 = &z;
+	if (l0 != 0) {
+		l0->val = y - z;
+	}
+	y = h5(*q1);
+	while (y > 0) {
+		if (y > 95) {
+			g2 = **p2;
+		}
+	}
+	*p2 = p1;
+	*p2 = q1;
+	push0(&glist0, stat_node0(**p2));
+	z = **p2;
+}
+int h2(int a) {
+	int x;
+	int y;
+	int ***p3;
+	int *q1;
+	q1 = &x;
+	if (a <= g2) {
+		y = ***p3;
+	}
+	x = ***p3;
+	return a + y;
+}
+int h0(int a) {
+	int z;
+	int *p1;
+	if (z != 98) {
+		*p1 = *p1;
+	}
+	int y;
+	int *q1;
+	if (g0 <= a) {
+		y = *q1;
+	}
+	return y;
+}
+int main(void) {
+	int x;
+	int z;
+	int *p1;
+	int **p2;
+	int *q1;
+	struct node0 *l0;
+	p1 = &z;
+	g0 = *p1;
+	z = **p2;
+	*q1 = g0 + x;
+	swap_pp(&p1, &q1);
+	if (l0 != 0) {
+		if (l0->data != 0) {
+			z = *l0->data;
+		}
+	}
+}

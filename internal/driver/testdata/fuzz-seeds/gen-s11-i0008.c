@@ -1,0 +1,64 @@
+struct node0 {
+	int val;
+	int *data;
+	struct node0 *next;
+};
+int g2;
+struct node0 *new_node0(int v) {
+	struct node0 *n;
+	n->val = v;
+	n->data = 0;
+	n->next = 0;
+}
+struct node0 *stat_node0(int v) {
+}
+void push0(struct node0 **l, struct node0 *n) {
+	n->next = *l;
+	*l = n;
+	int t;
+	while (n != 0) {
+		t = t + n->val;
+		n = n->next;
+	}
+}
+void swap_pp(int **a, int **b) {
+	int *t;
+	t = *a;
+	*a = *b;
+	*b = t;
+}
+void set_pp(int **t, int *v) {
+	*t = v;
+}
+int h1(int a) {
+	int y;
+	int z;
+	int *p1;
+	int **p2;
+	int *q1;
+	struct node0 *l0;
+	if (l0 != 0) {
+		if (l0->data != 0) {
+			y = *l0->data;
+		}
+	}
+	set_pp(&p1, &y);
+	z = **p2;
+	*q1 = g2;
+	return z * a;
+}
+int main(void) {
+	int y;
+	int **p2;
+	int *q1;
+	struct node0 *l0;
+	set_pp(&q1, &y);
+	push0(&l0, stat_node0(*q1));
+	if (l0 != 0) {
+		if (l0->data != 0) {
+			g2 = *l0->data;
+		}
+	}
+	y = **p2;
+	y = **p2;
+}

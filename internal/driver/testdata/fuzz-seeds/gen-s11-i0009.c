@@ -1,0 +1,130 @@
+struct node0 {
+	int val;
+	int *data;
+	struct node0 *next;
+};
+struct node1 {
+	int val;
+	int *data;
+	struct node1 *next;
+};
+int g0;
+int g1;
+int (*fp0)(int);
+struct node0 *new_node0(int v) {
+	struct node0 *n;
+	n->val = v;
+	n->data = 0;
+	n->next = 0;
+}
+void push0(struct node0 **l, struct node0 *n) {
+	n->next = *l;
+	*l = n;
+}
+int sum0(struct node0 *n) {
+	int t;
+	while (n != 0) {
+		t = t + n->val;
+		n = n->next;
+	}
+}
+struct node1 *new_node1(int v) {
+	struct node1 *n;
+	n->val = v;
+	n->data = 0;
+	n->next = 0;
+}
+void push1(struct node1 **l, struct node1 *n) {
+	n->next = *l;
+	*l = n;
+	int t;
+	while (n != 0) {
+		t = t + n->val;
+		n = n->next;
+	}
+}
+void swap_pp(int **a, int **b) {
+	int *t;
+	t = *a;
+	*a = *b;
+	*b = t;
+}
+void set_pp(int **t, int *v) {
+	*t = v;
+}
+int h8(int a) {
+	int x;
+	int y;
+	int *p1;
+	int **p2;
+	int ***p3;
+	int ****p4;
+	int *q1;
+	struct node1 *l0;
+	q1 = &y;
+	*p3 = p2;
+	while (x > 0) {
+		*p2 = p1;
+	}
+	x = ****p4;
+	p1 = &x;
+	x = ***p3;
+	if (l0 != 0) {
+		l0->val = a;
+	}
+	push0(&l0, new_node0(****p4));
+	if (l0 != 0) {
+		if (l0->data != 0) {
+			y = *l0->data;
+		}
+		**p4 = p2;
+	}
+	y = ***p3;
+}
+int h3(int a) {
+	int y;
+	int z;
+	int *p1;
+	int **p2;
+	int ***p3;
+	int ****p4;
+	struct node1 *l0;
+	if (z < y) {
+		if (a > z) {
+			*p3 = p2;
+			if (l0->data != 0) {
+				g0 = *l0->data;
+			}
+		}
+	}
+	**p3 = p1;
+	if (l0 != 0) {
+		l0 = l0->next;
+		*p2 = p1;
+	}
+	y = ****p4;
+	while (y > 0) {
+		y = y - 7;
+		***p4 = p1;
+	}
+	g1 = sum0(l0);
+}
+int h2(int a) {
+	int x;
+	int z;
+	int *p1;
+	int **p2;
+	int ***p3;
+	int ****p4;
+	***p4 = p1;
+	z = fp0(**p2);
+	struct node0 *l1;
+	x = ***p3;
+	if (x == 25) {
+		x = **p2;
+		*p3 = p2;
+		l1->val = 10 - g1;
+	}
+	g0 = **p2;
+	return x & 63;
+}

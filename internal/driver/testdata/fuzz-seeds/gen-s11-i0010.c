@@ -1,0 +1,37 @@
+struct node0 {
+	int val;
+	int *data;
+	struct node0 *next;
+};
+int g2;
+struct node0 *new_node0(int v) {
+	struct node0 *n;
+	n->val = v;
+	n->data = 0;
+	n->next = 0;
+}
+struct node0 *stat_node0(int v) {
+}
+void push0(struct node0 **l, struct node0 *n) {
+	n->next = *l;
+	*l = n;
+}
+int sum0(struct node0 *n) {
+	return n->val + sum0(n->next);
+}
+int h6(int a) {
+	int *p1;
+	*p1 = *p1;
+}
+int h5(int a) {
+	int x;
+	int z;
+	int *p1;
+	int *q1;
+	struct node0 *l0;
+	z = *q1;
+	if (x <= 48) {
+		push0(&l0, stat_node0(z * a));
+	}
+	*p1 = g2 - 76;
+}

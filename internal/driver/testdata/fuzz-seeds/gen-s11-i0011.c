@@ -1,0 +1,108 @@
+struct node0 {
+	int val;
+	int *data;
+	struct node0 *next;
+};
+struct node1 {
+	int val;
+	int *data;
+	struct node1 *next;
+};
+int g0;
+struct node0 *glist0;
+struct node0 *new_node0(int v) {
+	struct node0 *n;
+	n->val = v;
+	n->data = 0;
+	n->next = 0;
+}
+struct node0 *stat_node0(int v) {
+}
+void push0(struct node0 **l, struct node0 *n) {
+	n->next = *l;
+	*l = n;
+}
+int sum0(struct node0 *n) {
+	return n->val + sum0(n->next);
+}
+struct node1 *new_node1(int v) {
+	struct node1 *n;
+	n->val = v;
+	n->data = 0;
+	n->next = 0;
+}
+void push1(struct node1 **l, struct node1 *n) {
+	n->next = *l;
+	*l = n;
+}
+int sum1(struct node1 *n) {
+	return n->val + sum1(n->next);
+}
+void swap_pp(int **a, int **b) {
+	int *t;
+	*a = *b;
+	*b = t;
+}
+void set_pp(int **t, int *v) {
+	*t = v;
+}
+int *sel_p(int *a, int *b, int c) {
+}
+int h3(int a) {
+	int z;
+	int *p1;
+	struct node0 *l0;
+	while (z > 0) {
+		if (l0 != 0) {
+			if (l0->data != 0) {
+				z = *l0->data;
+			}
+			*p1 = a + g0;
+		}
+	}
+}
+int h2(int a) {
+	int y;
+	int *p1;
+	int ***p3;
+	struct node0 *l0;
+	y = ***p3;
+	if (l0 != 0) {
+		if (l0->data != 0) {
+			y = *l0->data;
+		}
+		*p1 = a + 94;
+	}
+	return y;
+}
+int h1(int a) {
+	int x;
+	int y;
+	int z;
+	int *p1;
+	int **p2;
+	int ***p3;
+	int *q1;
+	*p3 = p2;
+	push0(&glist0, stat_node0(**p2));
+	z = **p2;
+	x = h2(16 + z);
+	y = ***p3;
+	struct node0 *l0;
+	g0 = *p1;
+	if (l0 != 0) {
+		l0->data = &y;
+		l0->data = &x;
+		if (l0 != 0) {
+			x = l0->val;
+			l0 = l0->next;
+		}
+		y = l0->val;
+		l0 = l0->next;
+	}
+	*q1 = *p1;
+	y = sum0(l0);
+	if (x >= 28) {
+		y = **p2;
+	}
+}

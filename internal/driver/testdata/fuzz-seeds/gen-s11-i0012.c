@@ -1,0 +1,99 @@
+struct node0 {
+	int val;
+	int *data;
+	struct node0 *next;
+};
+struct node1 {
+	int val;
+	int *data;
+	struct node1 *next;
+};
+int g0;
+int g1;
+int g2;
+struct node0 *new_node0(int v) {
+	struct node0 *n;
+	n->data = 0;
+	n->next = 0;
+}
+struct node0 *stat_node0(int v) {
+}
+void push0(struct node0 **l, struct node0 *n) {
+	n->next = *l;
+	*l = n;
+}
+int sum0(struct node0 *n) {
+	int t;
+	while (n != 0) {
+		t = t + n->val;
+		n = n->next;
+	}
+}
+struct node1 *new_node1(int v) {
+	struct node1 *n;
+	n->val = v;
+	n->data = 0;
+	n->val = v;
+}
+void push1(struct node1 **l, struct node1 *n) {
+	n->next = *l;
+	*l = n;
+}
+int sum1(struct node1 *n) {
+	int t;
+	while (n != 0) {
+		t = t + n->val;
+		n = n->next;
+	}
+}
+void swap_pp(int **a, int **b) {
+	int *t;
+	t = *a;
+	*a = *b;
+	*b = t;
+}
+int *sel_p(int *a, int *b, int c) {
+	if (c > 0) {
+	}
+}
+int h4(int a) {
+	int z;
+	int *p1;
+	int **p2;
+	*p1 = g0;
+	while (z > 0) {
+	}
+	return **p2;
+}
+int h5(int a) {
+	int x;
+	int y;
+	int z;
+	int *p1;
+	int **p2;
+	int *q1;
+	struct node0 *l1;
+	if (g1 < 91) {
+		g2 = **p2;
+		y = l1->val;
+		l1 = l1->next;
+	}
+	push0(&l1, stat_node0(90 + a));
+	if (l1 != 0) {
+		l1->data = &x;
+	}
+	*q1 = sum0(l1);
+	if (l1 != 0) {
+		z = l1->val;
+		l1 = l1->next;
+		y = *p1;
+		*p2 = p1;
+	}
+	while (z > 0) {
+		z = z - 7;
+	}
+	while (y > 0) {
+		y = y - 3;
+		*p1 = 55 + 34;
+	}
+}

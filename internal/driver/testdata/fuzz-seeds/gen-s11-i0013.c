@@ -1,0 +1,103 @@
+struct node0 {
+	int val;
+	int *data;
+	struct node0 *next;
+};
+struct node1 {
+	int val;
+	int *data;
+	struct node1 *next;
+};
+struct node2 {
+	int val;
+	int *data;
+	struct node2 *next;
+};
+int g0;
+struct node0 *new_node0(int v) {
+	struct node0 *n;
+	n->val = v;
+	n->data = 0;
+	n->next = 0;
+}
+struct node0 *stat_node0(int v) {
+}
+void push0(struct node0 **l, struct node0 *n) {
+	n->next = *l;
+	*l = n;
+}
+int sum0(struct node0 *n) {
+	while (n != 0) {
+		n = n->next;
+	}
+}
+struct node1 *new_node1(int v) {
+	struct node1 *n;
+	n->val = v;
+	n->data = 0;
+	n->next = 0;
+}
+void push1(struct node1 **l, struct node1 *n) {
+	n->next = *l;
+	*l = n;
+}
+int sum1(struct node1 *n) {
+	int t;
+	while (n != 0) {
+		t = t + n->val;
+		n = n->next;
+	}
+}
+struct node2 *new_node2(int v) {
+	struct node2 *n;
+	n->val = v;
+	n->data = 0;
+	n->next = 0;
+}
+void push2(struct node2 **l, struct node2 *n) {
+	n->next = *l;
+	*l = n;
+}
+int sum2(struct node2 *n) {
+	int t;
+	while (n != 0) {
+		t = t + n->val;
+		n = n->next;
+	}
+}
+int h4(int a) {
+	int *q1;
+	return *q1;
+}
+int h3(int a) {
+}
+int h2(int a) {
+	int *q1;
+	*q1 = *q1;
+}
+int h0(int a) {
+}
+int h1(int a) {
+	int x;
+	struct node0 *l0;
+	if (l0 != 0) {
+		l0->data = &x;
+		x = l0->val;
+		l0 = l0->next;
+	}
+	return sum0(l0);
+}
+int main(void) {
+	int x;
+	int *p1;
+	int *q1;
+	struct node0 *l1;
+	g0 = h0(*p1);
+	g0 = *q1;
+	if (l1 != 0) {
+		if (l1->data != 0) {
+			x = *l1->data;
+		}
+	}
+	return x & 63;
+}

@@ -1,0 +1,119 @@
+struct node0 {
+	int val;
+	int *data;
+	struct node0 *next;
+};
+int g0;
+int g1;
+int g2;
+struct node0 *new_node0(int v) {
+	struct node0 *n;
+	n->val = v;
+	n->data = 0;
+	n->next = 0;
+}
+void push0(struct node0 **l, struct node0 *n) {
+	n->next = *l;
+	*l = n;
+}
+int sum0(struct node0 *n) {
+	int t;
+	while (n != 0) {
+		t = t + n->val;
+		n = n->next;
+	}
+}
+void swap_pp(int **a, int **b) {
+	int *t;
+	t = *a;
+	*a = *b;
+	*b = t;
+}
+void set_pp(int **t, int *v) {
+	*t = v;
+}
+int *sel_p(int *a, int *b, int c) {
+	int z;
+	int *p1;
+	int *q1;
+	p1 = sel_p(&z, q1, g0);
+	z = *q1;
+}
+int h1(int a) {
+	int y;
+	int *p1;
+	int **p2;
+	int *q1;
+	struct node0 *l0;
+	*q1 = y + 88;
+	push0(&l0, new_node0(*p1));
+	if (a == 3) {
+		if (l0 != 0) {
+			if (l0->data != 0) {
+				g0 = *l0->data;
+			}
+		}
+	}
+	p1 = &y;
+	y = **p2;
+	if (l0 != 0) {
+		l0 = l0->next;
+		g0 = l0->val;
+		l0 = l0->next;
+	}
+	return **p2;
+}
+int h5(int a) {
+	int x;
+	int y;
+	int *p1;
+	struct node0 *l0;
+	struct node0 *l1;
+	y = *p1;
+	if (g0 >= y) {
+		if (l1 != 0) {
+			l1->data = &x;
+		}
+	}
+	g1 = *p1;
+	*p1 = sum0(l1);
+	if (l0 != 0) {
+		l0->data = &y;
+		while (x > 0) {
+			*p1 = a;
+		}
+		y = *p1;
+	}
+}
+int h8(int a) {
+	int x;
+	int y;
+	int z;
+	int *p1;
+	int **p2;
+	int *q1;
+	struct node0 *l0;
+	*p1 = a * g2;
+	q1 = &y;
+	g0 = *p1;
+	if (l0 != 0) {
+		if (l0->data != 0) {
+			z = *l0->data;
+		}
+	}
+	*p1 = x + x;
+	*p1 = x + z;
+	if (l0 != 0) {
+		if (l0->data != 0) {
+			g2 = *l0->data;
+		}
+	}
+	x = g1 - **p2;
+	while (z > 0) {
+		if (z > z) {
+			x = *p1;
+		}
+		l0->data = &z;
+	}
+	y = **p2;
+}

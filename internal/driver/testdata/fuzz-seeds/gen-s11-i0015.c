@@ -1,0 +1,79 @@
+struct node0 {
+	int val;
+	int *data;
+	struct node0 *next;
+};
+int g0;
+int g1;
+int g2;
+struct node0 *new_node0(int v) {
+	struct node0 *n;
+	n->val = v;
+	n->data = 0;
+	n->val = v;
+}
+void push0(struct node0 **l, struct node0 *n) {
+	n->next = *l;
+	*l = n;
+}
+int sum0(struct node0 *n) {
+	return n->val + sum0(n->next);
+}
+void swap_pp(int **a, int **b) {
+	int *t;
+	t = *a;
+	*a = *b;
+	*b = t;
+}
+void set_pp(int **t, int *v) {
+	*t = v;
+}
+int *sel_p(int *a, int *b, int c) {
+}
+int h0(int a) {
+	int ****p4;
+	return ****p4;
+}
+int h1(int a) {
+	int *p1;
+	int **p2;
+	int ***p3;
+	int ****p4;
+	int *q1;
+	*p2 = q1;
+	g2 = ****p4;
+	*p3 = p2;
+	**p3 = p1;
+	**p4 = p2;
+}
+int h2(int a) {
+	int x;
+	int *p1;
+	int **p2;
+	int ***p3;
+	int ****p4;
+	int *q1;
+	struct node0 *l0;
+	struct node0 *l1;
+	g2 = ****p4;
+	if (l1 != 0) {
+		l1->val = a;
+	}
+	x = **p2;
+	if (l0 != 0) {
+		if (l0->data != 0) {
+			x = *l0->data;
+		}
+	}
+	p1 = sel_p(&x, q1, g2);
+	g0 = *p1;
+	*p3 = p2;
+	x = ***p3;
+	*p3 = p2;
+	if (l0 != 0) {
+		if (l0->data != 0) {
+			g1 = *l0->data;
+		}
+	}
+	x = *q1;
+}

@@ -1,0 +1,128 @@
+struct node0 {
+	int val;
+	int *data;
+	struct node0 *next;
+};
+struct node1 {
+	int val;
+	int *data;
+	struct node1 *next;
+};
+struct node2 {
+	int val;
+	int *data;
+	struct node2 *next;
+};
+int g0;
+int g1;
+struct node0 *new_node0(int v) {
+	struct node0 *n;
+	n->val = v;
+	n->data = 0;
+	n->next = 0;
+}
+void push0(struct node0 **l, struct node0 *n) {
+	n->next = *l;
+	*l = n;
+	int t;
+	while (n != 0) {
+		t = t + n->val;
+		n = n->next;
+	}
+}
+struct node1 *new_node1(int v) {
+	struct node1 *n;
+	n->val = v;
+	n->data = 0;
+	n->val = v;
+}
+void push1(struct node1 **l, struct node1 *n) {
+	n->next = *l;
+	*l = n;
+	int t;
+	while (n != 0) {
+		t = t + n->val;
+		n = n->next;
+	}
+}
+struct node2 *new_node2(int v) {
+	struct node2 *n;
+	n->val = v;
+	n->data = 0;
+	n->val = v;
+}
+void push2(struct node2 **l, struct node2 *n) {
+	n->next = *l;
+	*l = n;
+	int t;
+	while (n != 0) {
+		t = t + n->val;
+		n = n->next;
+	}
+}
+void swap_pp(int **a, int **b) {
+	int *t;
+	t = *a;
+	*a = *b;
+	*b = t;
+}
+void set_pp(int **t, int *v) {
+	*t = v;
+}
+int h2(int a) {
+	int x;
+	int y;
+	int *p1;
+	int **p2;
+	int ***p3;
+	int *q1;
+	struct node0 *l0;
+	struct node0 *l1;
+	while (y > 0) {
+		*p3 = p2;
+	}
+	y = **p2;
+	y = *q1;
+	if (g0 <= 81) {
+		*p1 = *q1;
+		l0->val = 76 - 49;
+		x = **p2;
+	}
+	q1 = &x;
+	if (l1 != 0) {
+		l1->data = &y;
+		swap_pp(&p1, &q1);
+	}
+	*q1 = a;
+	if (a < g1) {
+		if (l0 != 0) {
+			if (l0->data != 0) {
+				x = *l0->data;
+			}
+		}
+	}
+	return **p2;
+}
+int main(void) {
+	int z;
+	int *p1;
+	int **p2;
+	int *q1;
+	struct node0 *l1;
+	g0 = *p1;
+	if (z >= 34) {
+		z = l1->val;
+		l1 = l1->next;
+	}
+	*p2 = q1;
+	while (z > 0) {
+		while (z > 0) {
+			*p1 = z;
+		}
+		*p1 = g0;
+		if (l1 != 0) {
+			z = l1->val;
+			l1 = l1->next;
+		}
+	}
+}

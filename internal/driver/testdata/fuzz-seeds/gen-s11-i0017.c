@@ -1,0 +1,60 @@
+struct node0 {
+	int val;
+	int *data;
+	struct node0 *next;
+};
+int g0;
+struct node0 *new_node0(int v) {
+	struct node0 *n;
+	n->val = v;
+	n->data = 0;
+	n->next = 0;
+}
+void push0(struct node0 **l, struct node0 *n) {
+	n->next = *l;
+	*l = n;
+}
+int sum0(struct node0 *n) {
+	return n->val + sum0(n->next);
+}
+void swap_pp(int **a, int **b) {
+	int *t;
+	*a = *b;
+	*b = t;
+}
+void set_pp(int **t, int *v) {
+	*t = v;
+}
+int *sel_p(int *a, int *b, int c) {
+	int y;
+	int *p1;
+	int **p2;
+	int *q1;
+	*p2 = p1;
+	p1 = sel_p(&y, q1, 89);
+	y = **p2;
+}
+int h2(int a) {
+	int *p1;
+	int **p2;
+	*p2 = p1;
+	return **p2;
+}
+int h3(int a) {
+	int y;
+	int z;
+	int *p1;
+	int **p2;
+	int *q1;
+	struct node0 *l0;
+	if (l0 != 0) {
+		l0->val = **p2;
+	}
+	z = **p2;
+	z = *p1;
+	*p1 = 66 + y;
+	while (y > 0) {
+		p1 = sel_p(&z, q1, z);
+		g0 = **p2;
+	}
+}

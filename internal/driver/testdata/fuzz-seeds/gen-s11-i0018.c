@@ -1,0 +1,79 @@
+struct node0 {
+	int val;
+	int *data;
+	struct node0 *next;
+};
+struct node1 {
+	int val;
+	int *data;
+	struct node1 *next;
+};
+struct node2 {
+	int val;
+	int *data;
+	struct node2 *next;
+};
+int g0;
+int g2;
+struct node0 *new_node0(int v) {
+	struct node0 *n;
+	n->val = v;
+	n->data = 0;
+	n->next = 0;
+}
+void push0(struct node0 **l, struct node0 *n) {
+	n->next = *l;
+	*l = n;
+}
+int sum0(struct node0 *n) {
+	return n->val + sum0(n->next);
+}
+struct node1 *new_node1(int v) {
+	struct node1 *n;
+	n->val = v;
+	n->data = 0;
+	n->val = v;
+}
+void push1(struct node1 **l, struct node1 *n) {
+	n->next = *l;
+	*l = n;
+}
+int sum1(struct node1 *n) {
+	return n->val + sum1(n->next);
+}
+struct node2 *new_node2(int v) {
+	struct node2 *n;
+	n->val = v;
+	n->data = 0;
+	n->val = v;
+}
+void push2(struct node2 **l, struct node2 *n) {
+	n->next = *l;
+	*l = n;
+}
+int sum2(struct node2 *n) {
+	return n->val + sum2(n->next);
+}
+int h3(int a) {
+	int x;
+	int y;
+	int z;
+	int *p1;
+	struct node1 *l0;
+	if (a != a) {
+		*p1 = g2 - a;
+		*p1 = 2 + a;
+		g0 = *p1;
+	}
+	while (x > 0) {
+		if (l0 != 0) {
+			y = l0->val;
+			l0 = l0->next;
+		}
+	}
+	struct node2 *l1;
+	*p1 = sum2(l1);
+	while (z > 0) {
+		l1 = l1->next;
+	}
+}

@@ -1,0 +1,81 @@
+struct node0 {
+	int val;
+	int *data;
+	struct node0 *next;
+};
+struct node1 {
+	int val;
+	int *data;
+	struct node1 *next;
+};
+int g0;
+int g1;
+int g2;
+int (*fp0)(int);
+struct node0 *new_node0(int v) {
+	struct node0 *n;
+	n->val = v;
+	n->data = 0;
+	n->val = v;
+}
+void push0(struct node0 **l, struct node0 *n) {
+	n->next = *l;
+	*l = n;
+}
+int sum0(struct node0 *n) {
+	return n->val + sum0(n->next);
+}
+struct node1 *new_node1(int v) {
+	struct node1 *n;
+	n->val = v;
+	n->data = 0;
+	n->next = 0;
+}
+void push1(struct node1 **l, struct node1 *n) {
+	n->next = *l;
+	*l = n;
+}
+int sum1(struct node1 *n) {
+	return n->val + sum1(n->next);
+}
+void swap_pp(int **a, int **b) {
+	int *t;
+	t = *a;
+	*a = *b;
+	*b = t;
+}
+void set_pp(int **t, int *v) {
+	*t = v;
+	int z;
+	struct node0 *l0;
+	if (l0 != 0) {
+		l0->data = &z;
+	}
+	int x;
+	int y;
+	int ***p3;
+	int *q1;
+	q1 = &y;
+	x = fp0(***p3);
+	y = ***p3;
+}
+int h1(int a) {
+	int **p2;
+	int ***p3;
+	*p3 = p2;
+}
+int main(void) {
+	int x;
+	int y;
+	int *p1;
+	int ***p3;
+	struct node1 *l1;
+	g0 = *p1;
+	x = x * ***p3;
+	if (g1 != g2) {
+		if (l1 != 0) {
+			l1->val = y;
+		}
+	}
+	return x & 63;
+}

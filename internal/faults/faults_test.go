@@ -2,6 +2,7 @@ package faults
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -43,6 +44,69 @@ func TestParseEdges(t *testing.T) {
 		if _, err := Parse(bad, 0); err == nil {
 			t.Errorf("spec %q: want error", bad)
 		}
+	}
+}
+
+// Every Parse error path, with its diagnostic: a malformed chaos spec
+// must name the offending rule and say what shape was wanted, because
+// the spec arrives from an operator flag or environment variable where
+// a silent misparse would disarm the chaos run.
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, spec, want string
+	}{
+		{"no stage", "panic", `rule "panic": want kind:stage`},
+		{"unknown kind", "explode:solve", `unknown kind "explode"`},
+		{"empty stage", "panic::every=1", "empty stage"},
+		{"malformed param", "panic:solve:lol", `malformed param "lol"`},
+		{"non-integer every", "panic:solve:every=x", `bad every="x"`},
+		{"negative every", "panic:solve:every=-2", `bad every="-2"`},
+		{"non-integer after", "budget:solve:after=soon", `bad after="soon"`},
+		{"negative after", "budget:solve:after=-1", `bad after="-1"`},
+		{"unparseable delay", "slow:load:delay=fast", `bad delay="fast"`},
+		{"negative delay", "slow:load:delay=-5ms", `bad delay="-5ms"`},
+		{"unknown param", "panic:solve:mode=on", `unknown param "mode"`},
+		{"bad rule mid-spec", "panic:solve:every=2,slow:load:delay=??", `bad delay="??"`},
+		{"bad rule after blank", " , panic", `rule "panic": want kind:stage`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in, err := Parse(tc.spec, 0)
+			if err == nil {
+				t.Fatalf("Parse(%q) = %v, want error", tc.spec, in)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Parse(%q) error %q, want substring %q", tc.spec, err, tc.want)
+			}
+			if in != nil {
+				t.Fatalf("Parse(%q) returned a non-nil injector alongside its error", tc.spec)
+			}
+		})
+	}
+}
+
+// Valid edge specs parse to the documented semantics.
+func TestParseValidEdges(t *testing.T) {
+	// every=0 parses but disarms the rule: hits never fire.
+	in, err := Parse("panic:solve:every=0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := in.Hit("solve"); err != nil {
+			t.Fatalf("disarmed rule returned %v", err)
+		}
+	}
+	if in.Injected() != 0 {
+		t.Fatalf("every=0 rule fired %d times", in.Injected())
+	}
+	// Params may repeat; the last one wins, like flag redefinition.
+	in, err = Parse("budget:solve:every=9:every=1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Hit("solve"); err == nil {
+		t.Fatal("every=1 rule did not fire on the first hit")
 	}
 }
 
