@@ -483,8 +483,12 @@ func (r *Result) IndirectOps() []IndirectOp {
 }
 
 // ModRef reports, per function, the locations it (transitively) may
-// modify and reference. Available on results that ran the
-// context-insensitive pre-pass (Analyze and AnalyzeContextSensitive).
+// modify and reference, each list sorted by location name. Available
+// on results that ran the context-insensitive pre-pass (Analyze,
+// AnalyzeContextSensitive, and AnalyzeIncremental). The name sort
+// makes the lists a pure function of the analysis answer — in
+// particular, identical between the exhaustive and the modular solve,
+// whose internal path-interning orders differ.
 func (r *Result) ModRef() (mod, ref map[string][]string, err error) {
 	if r.ci == nil {
 		return nil, nil, fmt.Errorf("aliaslab: ModRef requires a context-insensitive result")
@@ -502,6 +506,8 @@ func (r *Result) ModRef() (mod, ref map[string][]string, err error) {
 		for _, p := range info.Ref[fg].Sorted() {
 			ref[fg.Fn.Name] = append(ref[fg.Fn.Name], p.String())
 		}
+		sort.Strings(mod[fg.Fn.Name])
+		sort.Strings(ref[fg.Fn.Name])
 	}
 	return mod, ref, nil
 }

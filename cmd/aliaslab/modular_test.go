@@ -1,0 +1,123 @@
+package main
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// -modular must be invisible in the JSON rendering: same label, same
+// census, same lexically-sorted store. Byte identity is the acceptance
+// bar — a consumer diffing the two runs sees nothing.
+func TestModularJSONByteIdentical(t *testing.T) {
+	for _, name := range []string{"part", "anagram", "bc"} {
+		exh, _, code := runCLI(t, "-corpus", name, "-print", "json")
+		if code != 0 {
+			t.Fatalf("%s exhaustive: exit %d", name, code)
+		}
+		mod, _, code := runCLI(t, "-corpus", name, "-print", "json", "-modular")
+		if code != 0 {
+			t.Fatalf("%s modular: exit %d", name, code)
+		}
+		if mod != exh {
+			t.Errorf("%s: modular JSON differs from exhaustive:\n%s\nvs\n%s", name, mod, exh)
+		}
+	}
+}
+
+// parseModRef splits "-print modref" output into per-function mod/ref
+// element sets (order-insensitively).
+func parseModRef(t *testing.T, out string) map[string][]string {
+	t.Helper()
+	lists := make(map[string][]string)
+	fn := ""
+	for _, line := range strings.Split(out, "\n") {
+		switch {
+		case strings.HasSuffix(line, ":") && !strings.HasPrefix(line, " "):
+			fn = strings.TrimSuffix(line, ":")
+		case strings.HasPrefix(line, "  mod: ["), strings.HasPrefix(line, "  ref: ["):
+			kind := strings.TrimSpace(line[:7])
+			body := strings.TrimSuffix(strings.SplitN(line, "[", 2)[1], "]")
+			var elems []string
+			if body != "" {
+				elems = strings.Fields(body)
+			}
+			lists[fn+"/"+strings.TrimSuffix(kind, ":")] = elems
+		}
+	}
+	return lists
+}
+
+// -modular -print modref reports exactly the exhaustive mod/ref sets,
+// rendered in lexical order (the modular solver's path-intern order is
+// not deterministic, so only the sorted rendering is).
+func TestModularModRefSetsMatchExhaustive(t *testing.T) {
+	exhOut, _, code := runCLI(t, "-corpus", "part", "-print", "modref")
+	if code != 0 {
+		t.Fatalf("exhaustive: exit %d", code)
+	}
+	modOut, _, code := runCLI(t, "-corpus", "part", "-print", "modref", "-modular")
+	if code != 0 {
+		t.Fatalf("modular: exit %d", code)
+	}
+	exh, mod := parseModRef(t, exhOut), parseModRef(t, modOut)
+	if len(exh) == 0 || len(mod) != len(exh) {
+		t.Fatalf("parsed %d exhaustive lists, %d modular", len(exh), len(mod))
+	}
+	for key, want := range exh {
+		got, ok := mod[key]
+		if !ok {
+			t.Errorf("%s missing from modular output", key)
+			continue
+		}
+		if !sort.StringsAreSorted(got) {
+			t.Errorf("%s: modular list not lexically sorted: %v", key, got)
+		}
+		ws := append([]string(nil), want...)
+		gs := append([]string(nil), got...)
+		sort.Strings(ws)
+		sort.Strings(gs)
+		if strings.Join(ws, " ") != strings.Join(gs, " ") {
+			t.Errorf("%s: modular %v, exhaustive %v", key, got, want)
+		}
+	}
+
+	// The lexical rendering is stable run to run.
+	again, _, code := runCLI(t, "-corpus", "part", "-print", "modref", "-modular")
+	if code != 0 {
+		t.Fatalf("modular rerun: exit %d", code)
+	}
+	if again != modOut {
+		t.Error("modular modref output is not deterministic across runs")
+	}
+}
+
+// -modular is ci-only, and the CLI's vet path does not take it.
+func TestModularFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-corpus", "part", "-modular", "-analysis", "cs"},
+		{"-corpus", "part", "-modular", "-backend", "andersen"},
+		{"-corpus", "part", "-modular", "-analysis", "baseline"},
+		{"-corpus", "part", "-modular", "-vet"},
+	} {
+		_, errOut, code := runCLI(t, args...)
+		if code != 2 {
+			t.Errorf("%v: exit %d, want 2 (stderr: %s)", args, code, errOut)
+		}
+		if !strings.Contains(errOut, "-modular") {
+			t.Errorf("%v: stderr does not mention -modular: %s", args, errOut)
+		}
+	}
+}
+
+// -modular -stats appends the summary-reuse line after the engine
+// counters.
+func TestModularStatsLine(t *testing.T) {
+	_, errOut, code := runCLI(t, "-corpus", "anagram", "-print", "sizes", "-modular", "-stats")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "aliaslab: modular:") || !strings.Contains(errOut, "procedures") {
+		t.Errorf("missing modular stats line: %s", errOut)
+	}
+}

@@ -1,0 +1,87 @@
+package aliaslab
+
+import (
+	"fmt"
+
+	"aliaslab/internal/core"
+	"aliaslab/internal/summary"
+)
+
+// SummaryCache holds per-procedure analysis summaries across
+// AnalyzeIncremental calls. It is the unit of incrementality: a
+// procedure whose body and caller-visible inputs are unchanged since a
+// previous analysis — of this program or any other sharing the
+// procedure — is answered from the cache without re-solving its body.
+// The cache is safe for concurrent use and bounded (records beyond the
+// limit evict oldest-first, costing re-solves, never correctness).
+type SummaryCache struct {
+	c *summary.Cache
+}
+
+// NewSummaryCache builds a summary cache bounded to maxRecords
+// per-procedure records (<= 0 means the default bound).
+func NewSummaryCache(maxRecords int) *SummaryCache {
+	return &SummaryCache{c: summary.NewCache(maxRecords, nil)}
+}
+
+// Len reports the number of cached per-procedure records.
+func (sc *SummaryCache) Len() int { return sc.c.Len() }
+
+// IncrementalStats reports how much of an incremental analysis was
+// answered from the summary cache. All counts are deterministic: the
+// same program against the same cache state yields the same stats.
+type IncrementalStats struct {
+	// Procedures is the number of procedures in the program.
+	Procedures int
+
+	// Reused counts procedures answered entirely from the cache —
+	// their bodies were never re-solved.
+	Reused int
+
+	// Solved counts procedures whose bodies were solved this run
+	// (cold misses plus stall-breaking forced solves; the entry
+	// procedure always re-solves).
+	Solved int
+
+	// Rounds counts solver rounds to convergence; Restarts counts
+	// validation-failure restarts (a restart re-solves procedures
+	// whose installed summaries failed the exactness check).
+	Rounds, Restarts int
+}
+
+// AnalyzeIncremental runs the context-insensitive analysis as a
+// modular, per-procedure-parallel summary composition against cache.
+// The resulting pair sets are exactly the Analyze fixpoint — modular
+// solving changes how the answer is computed, never the answer — so
+// every Result view (StoreAtExit, IndirectOps, ModRef, CallGraph)
+// reads identically. A nil cache solves every procedure cold and is
+// only useful for the parallelism.
+//
+// The intended workflow is re-analysis after an edit: analyze, edit
+// some procedures, re-analyze against the same cache. Only the edited
+// procedures (plus any whose caller-visible inputs changed, and the
+// entry) re-solve; see the IncrementalStats.
+func (p *Program) AnalyzeIncremental(cache *SummaryCache) (*Result, IncrementalStats, error) {
+	opts := core.ModularOptions{}
+	if cache != nil {
+		opts.Cache = cache.c
+	}
+	sp := p.span("solve-ci-modular")
+	res, st := core.AnalyzeModular(p.unit.Graph, opts)
+	core.AttachEngine(sp, res.Engine)
+	pub := IncrementalStats{
+		Procedures: st.Procedures,
+		Reused:     st.Reused(),
+		Solved:     st.Misses + st.Forced,
+		Rounds:     st.Rounds,
+		Restarts:   st.Restarts,
+	}
+	if res.Stopped != nil {
+		return nil, pub, fmt.Errorf("aliaslab: incremental analysis stopped early: %v", res.Stopped)
+	}
+	return &Result{
+		prog: p, ci: res, sets: res.Sets, label: "context-insensitive (modular)",
+		TransferFns: res.Metrics.FlowIns, MeetOps: res.Metrics.FlowOuts,
+		Engine: engineStats(res.Engine),
+	}, pub, nil
+}

@@ -1,0 +1,112 @@
+package aliaslab_test
+
+import (
+	"reflect"
+	"testing"
+
+	"aliaslab"
+)
+
+// The incremental facade must be invisible in the answer: every public
+// view of an incremental Result equals the exhaustive one, cold and
+// warm, and the warm rerun must actually reuse summaries.
+func TestAnalyzeIncrementalMatchesAnalyze(t *testing.T) {
+	prog, err := aliaslab.Benchmark("part", aliaslab.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exh, err := prog.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := aliaslab.NewSummaryCache(0)
+	cold, coldSt, err := prog.AnalyzeIncremental(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldSt.Reused != 0 {
+		t.Errorf("cold run against an empty cache reused %d summaries", coldSt.Reused)
+	}
+	if cache.Len() == 0 {
+		t.Fatal("cold run stored nothing")
+	}
+
+	// A rebuilt program simulates the editor round trip: new graph,
+	// same source, same cache.
+	prog2, err := aliaslab.Benchmark("part", aliaslab.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, warmSt, err := prog2.AnalyzeIncremental(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmSt.Reused == 0 {
+		t.Errorf("warm rerun reused nothing: %+v", warmSt)
+	}
+	if warmSt.Procedures != coldSt.Procedures {
+		t.Errorf("procedure count drifted: cold %+v warm %+v", coldSt, warmSt)
+	}
+
+	for _, res := range []*aliaslab.Result{cold, warm} {
+		if got, want := res.StoreAtExit(), exh.StoreAtExit(); !reflect.DeepEqual(got, want) {
+			t.Errorf("StoreAtExit diverged:\n got %v\nwant %v", got, want)
+		}
+		if got, want := res.IndirectOps(), exh.IndirectOps(); !reflect.DeepEqual(got, want) {
+			t.Errorf("IndirectOps diverged")
+		}
+		if got, want := res.TotalPairs(), exh.TotalPairs(); got != want {
+			t.Errorf("TotalPairs: %d, want %d", got, want)
+		}
+		cg, err := res.CallGraph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wcg, err := exh.CallGraph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cg, wcg) {
+			t.Errorf("CallGraph diverged")
+		}
+		mod, ref, err := res.ModRef()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wmod, wref, err := exh.ModRef()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(mod, wmod) || !reflect.DeepEqual(ref, wref) {
+			t.Errorf("ModRef diverged")
+		}
+	}
+
+	if cold.Label() != "context-insensitive (modular)" {
+		t.Errorf("label: %q", cold.Label())
+	}
+}
+
+// A nil cache is the pure per-procedure-parallel solve: still exact,
+// nothing reused.
+func TestAnalyzeIncrementalNilCache(t *testing.T) {
+	prog, err := aliaslab.Benchmark("anagram", aliaslab.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exh, err := prog.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, st, err := prog.AnalyzeIncremental(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reused != 0 {
+		t.Errorf("nil cache reused %d summaries", st.Reused)
+	}
+	if got, want := res.StoreAtExit(), exh.StoreAtExit(); !reflect.DeepEqual(got, want) {
+		t.Errorf("StoreAtExit diverged:\n got %v\nwant %v", got, want)
+	}
+}

@@ -1,0 +1,892 @@
+package core
+
+import (
+	"context"
+
+	"aliaslab/internal/limits"
+	"aliaslab/internal/obs"
+	"aliaslab/internal/paths"
+	"aliaslab/internal/sched"
+	"aliaslab/internal/solver"
+	"aliaslab/internal/vdg"
+)
+
+// This file implements AnalyzeModular: the context-insensitive solve
+// restructured as a composition of per-procedure regions, so that
+// procedure results can be cached (keyed by body hash + formal inputs),
+// reused incrementally across edits, and solved in parallel at
+// per-procedure grain. The transfer semantics are the shared ciHost
+// layer in transfer.go — identical to the whole-program solver — which
+// is why the result sets are provably the same fixpoint (the oracle
+// asserts it corpus-wide and over generated populations).
+//
+// Architecture (DESIGN.md §14 has the full treatment):
+//
+//   - Every function is a *region* holding its own pair sets and its
+//     own solver engine. VDG edges are intra-procedural, so a region's
+//     transfer functions read only region-local state; every
+//     inter-procedural emission (actuals/store to callee formals,
+//     returns to caller call outputs) is buffered.
+//
+//   - Solving proceeds in rounds. Within a round, dirty regions drain
+//     their worklists in parallel on a sched.Pool (per-procedure
+//     grain); at the round barrier — single-threaded — buffered cross
+//     emissions are applied in region index order, and discovered call
+//     edges are registered with the shared repropagation rules.
+//
+//   - Each region accumulates its inter-procedural arrivals with set
+//     semantics, split in two: *formal* arrivals (pairs landing on the
+//     store formal or a parameter formal, emitted by callers) and the
+//     rest (callee returns landing on call outputs). At convergence
+//     both are pure functions of the final solution — independent of
+//     worklist strategy, worker width, and round schedule.
+//
+//   - A region whose body hash is known to the cache starts *delayed*:
+//     arrivals buffer without solving. At a stall (no queued work
+//     anywhere), a delayed region whose accumulated formal arrivals
+//     match a cached record installs that record's final sets without
+//     ever solving the body (a hit). The formal subset is the right
+//     key half because it is grounded by callers; keying on the full
+//     arrival set would deadlock — a caller cannot finish emitting
+//     into a delayed callee without the callee's returns, which only
+//     exist once the callee runs. The callee returns the record
+//     presumed are checked afterwards (see validation). If formal
+//     arrivals overshoot every cached record, the region activates
+//     cold (a miss). If a stall finds nothing to install, the entry
+//     region (then the SCC-topologically highest) is force-started;
+//     roots therefore always re-solve, and their outputs ground their
+//     callees' installs from above.
+//
+//   - Installed regions are *frozen*: later arrivals are recorded but
+//     not solved. At convergence every installed region's full arrival
+//     set is validated against its record (ModularCache.Confirm). A
+//     mismatch means the cached result presumed inter-procedural
+//     inputs this program no longer produces (or misses ones it now
+//     does): the whole solve restarts with the mismatched regions
+//     distrusted, so they re-solve cold. Validation plus restart is
+//     what makes the optimistic install exact — a stale record can
+//     cost a re-solve, never a wrong reuse.
+type modularState int
+
+const (
+	regionDelayed   modularState = iota // trusted body, waiting to match a cached record
+	regionActive                        // solving from scratch (cold)
+	regionInstalled                     // cached record installed, body never solved
+)
+
+// Region outcome labels, as reported in ModularStats.Outcomes.
+const (
+	OutcomeHit    = "hit"    // cached record installed, body never solved
+	OutcomeMiss   = "miss"   // solved cold (no cached record usable)
+	OutcomeForced = "forced" // solved cold to break a delayed-region stall
+)
+
+// CrossArrival is one inter-procedural arrival: a pair emitted into a
+// region at one of its interface outputs (a formal, the store formal,
+// or a call node's store/result output).
+type CrossArrival struct {
+	Out  *vdg.Output
+	Pair Pair
+}
+
+// Formal reports whether the arrival lands on a formal output (the
+// store formal or a parameter) — the caller-grounded half of a
+// region's inputs, and the half summaries are keyed by. The cache and
+// the solver must agree on this split.
+func (ca CrossArrival) Formal() bool {
+	k := ca.Out.Node.Kind
+	return k == vdg.KParam || k == vdg.KStoreParam
+}
+
+// OutputPairs is one output's pairs in a cached procedure record.
+type OutputPairs struct {
+	Out   *vdg.Output
+	Pairs []Pair
+}
+
+// CallEdge is one cached call-graph edge local to a procedure.
+type CallEdge struct {
+	Call   *vdg.Node
+	Callee *vdg.FuncGraph
+}
+
+// CachedProc is a cached per-procedure result, already rehydrated
+// against the current graph and universe: the procedure's final pair
+// sets (in a deterministic order) and the call edges its body
+// discovered.
+type CachedProc struct {
+	Sets    []OutputPairs
+	Callees []CallEdge
+}
+
+// ModularCache is the seam between the region solver and the summary
+// store (internal/summary implements it; core stays free of the
+// encoding). All methods are called from the single-threaded barrier
+// and setup/finish phases only — implementations need a mutex only if
+// one cache is shared across concurrent AnalyzeModular calls.
+type ModularCache interface {
+	// Trusted reports whether the cache holds records for fg's body
+	// hash, returning the distinct *formal* arrival counts of those
+	// records in ascending order. A region with no records solves
+	// cold immediately.
+	Trusted(fg *vdg.FuncGraph) (sizes []int, ok bool)
+
+	// Lookup resolves the record whose formal arrivals equal the
+	// formal subset of crossIn exactly, returning an opaque key
+	// identifying that record. A failed match, or a record that no
+	// longer rehydrates against this graph (a base, function, or node
+	// that stopped existing), returns ok=false.
+	Lookup(fg *vdg.FuncGraph, crossIn []CrossArrival) (proc CachedProc, key string, ok bool)
+
+	// Confirm reports whether the record installed under key is the
+	// exact answer for the converged arrival set: crossIn's formal
+	// subset must still resolve to that same record (an install that
+	// matched a partial formal set — possible when structurally
+	// identical bodies share records — fails here), and the record's
+	// complete arrival set, the callee returns it presumed included,
+	// must equal crossIn exactly. Called at convergence for every
+	// installed region; false invalidates the install and restarts
+	// the solve.
+	Confirm(fg *vdg.FuncGraph, key string, crossIn []CrossArrival) bool
+
+	// Store records a fully converged region: its complete arrival
+	// set, final sets, and the call edges of its body (callees holds
+	// the whole-program edge map; implementations index it by
+	// fg.Calls).
+	Store(fg *vdg.FuncGraph, crossIn []CrossArrival, sets map[*vdg.Output]*PairSet, callees map[*vdg.Node][]*vdg.FuncGraph)
+}
+
+// GraphSession is an optional ModularCache extension. When the cache
+// implements it, AnalyzeModular brackets the whole solve (restarts
+// included) with BeginGraph/end, letting the cache build per-graph
+// hydration state — base and function resolution tables — once instead
+// of once per procedure lookup. The returned func must be called
+// exactly once, after the last cache call for this graph.
+type GraphSession interface {
+	BeginGraph(g *vdg.Graph) (end func())
+}
+
+// ModularOptions configures AnalyzeModular.
+type ModularOptions struct {
+	// Budget bounds the whole solve; step/pair caps are pooled across
+	// all regions (and restarts) through a shared ledger.
+	Budget limits.Budget
+
+	// Strategy is the per-region worklist discipline (zero: FIFO).
+	Strategy solver.Strategy
+
+	// Cache is the summary store; nil solves every region cold.
+	Cache ModularCache
+
+	// Jobs bounds regions drained concurrently per round
+	// (0 = GOMAXPROCS, 1 = sequential; results and all ModularStats
+	// counters are identical at every width).
+	Jobs int
+
+	// Metrics, when non-nil, receives the summary.* counters.
+	Metrics *obs.Registry
+}
+
+// ModularStats reports what the region solver did. All counts are
+// deterministic: identical at every Jobs width and for every worklist
+// strategy (regions run to local quiescence between barriers, so
+// per-round cross-emission sets are schedule-independent, and
+// installs happen only at stalls, which are schedule-independent
+// states).
+type ModularStats struct {
+	// Procedures is the region count (len of g.Funcs).
+	Procedures int
+	// Rounds counts drain/barrier rounds until convergence, summed
+	// over restarts.
+	Rounds int
+
+	// Hits counts regions answered entirely from cache in the final
+	// attempt (their bodies were never solved). Misses counts regions
+	// solved cold because no cached record matched; Forced counts
+	// regions solved cold to break a stall (always ≥1 on a non-empty
+	// program: the entry region has no callers to ground an install,
+	// so it always re-solves).
+	Hits, Misses, Forced int
+
+	// Restarts counts validation-failure restarts; Invalidated counts
+	// installed records rejected across them.
+	Restarts, Invalidated int
+
+	// Outcomes maps function name → outcome label (OutcomeHit,
+	// OutcomeMiss, OutcomeForced) for the final attempt.
+	Outcomes map[string]string
+}
+
+// Reused reports how many procedures were answered from cache without
+// solving their bodies.
+func (s ModularStats) Reused() int { return s.Hits }
+
+// crossKey identifies one arrival for crossIn set semantics.
+type crossKey struct {
+	out, path, ref int
+}
+
+// edgeEvent is a call edge discovered during a drain, deferred to the
+// barrier (registering it reads the callee's state).
+type edgeEvent struct {
+	call   *vdg.Node
+	callee *vdg.FuncGraph
+}
+
+// region is one procedure's solver state.
+type region struct {
+	m     *modular
+	idx   int
+	topo  int // SCC-condensation order of the static call graph; callers first
+	fg    *vdg.FuncGraph
+	state modularState
+
+	eng   *solver.Engine[workItem]
+	st    *solver.Stats
+	sets  map[*vdg.Output]*PairSet
+	dirty bool
+
+	// crossSeen/crossIn accumulate the region's inter-procedural
+	// arrivals with set semantics; formals counts the formal-output
+	// subset (the cache key half); pending buffers arrivals for
+	// replay while the region is delayed.
+	crossSeen map[crossKey]struct{}
+	crossIn   []CrossArrival
+	formals   int
+	pending   []CrossArrival
+
+	// outCross/outEdges buffer this round's emissions for the barrier.
+	outCross []CrossArrival
+	outEdges []edgeEvent
+
+	sizes      []int // cached formal-arrival counts (ascending) when trusted
+	maxSize    int
+	lastLookup int    // formal count at the last failed Lookup; -1 if none
+	installKey string // cache key of the installed record (for Confirm)
+	outcome    string
+
+	stoppedV *limits.Violation
+}
+
+// ciHost implementation for the drain phase: reads are region-local by
+// construction (VDG edges are intra-procedural), emissions crossing
+// the region boundary are buffered, and call edges defer to the
+// barrier.
+
+func (r *region) universe() *paths.Universe { return r.m.g.Universe }
+
+func (r *region) pairsAt(src *vdg.Output) []Pair {
+	if s, ok := r.sets[src]; ok {
+		return s.List()
+	}
+	return nil
+}
+
+func (r *region) emit(out *vdg.Output, pair Pair) {
+	if r.m.ridx[out.Node.Fn] == r.idx {
+		r.flowOut(out, pair)
+		return
+	}
+	r.outCross = append(r.outCross, CrossArrival{Out: out, Pair: pair})
+}
+
+func (r *region) calleesOf(n *vdg.Node) []*vdg.FuncGraph { return r.m.callees[n] }
+
+func (r *region) callersOf(fg *vdg.FuncGraph) []*vdg.Node { return r.m.callers[fg] }
+
+func (r *region) linkEdge(n *vdg.Node, callee *vdg.FuncGraph) {
+	for _, c := range r.m.callees[n] { // read-only during the round
+		if c == callee {
+			return
+		}
+	}
+	r.outEdges = append(r.outEdges, edgeEvent{call: n, callee: callee})
+}
+
+// flowOut is the region-local meet: add pair to out's set, queue the
+// (local) consumers on growth. Never called on a frozen (installed)
+// region — applyCross guards, and installed engines hold no work.
+func (r *region) flowOut(out *vdg.Output, pair Pair) {
+	r.st.Meets++
+	s, ok := r.sets[out]
+	if !ok {
+		s = &PairSet{}
+		r.sets[out] = s
+	}
+	if !s.Add(pair) {
+		return
+	}
+	r.st.PairInserts++
+	for _, in := range out.Consumers {
+		r.eng.Push(workItem{in: in, pair: pair})
+		r.dirty = true
+	}
+}
+
+// seed plants the base-location constants of the region's body.
+func (r *region) seed() {
+	empty := r.m.g.Universe.Empty()
+	for _, n := range r.fg.Nodes {
+		if n.Kind == vdg.KAddr || n.Kind == vdg.KAlloc {
+			r.flowOut(n.Outputs[0], Pair{Path: empty, Ref: n.Path})
+		}
+	}
+}
+
+// modular is the state of one solve attempt.
+type modular struct {
+	g        *vdg.Graph
+	regions  []*region
+	ridx     map[*vdg.FuncGraph]int
+	callees  map[*vdg.Node][]*vdg.FuncGraph
+	callers  map[*vdg.FuncGraph][]*vdg.Node
+	cache    ModularCache
+	distrust map[*vdg.FuncGraph]bool
+	budget   limits.Budget
+	strategy solver.Strategy
+	jobs     int
+	reg      *obs.Registry
+	stats    ModularStats
+	stopped  *limits.Violation
+}
+
+// edgeHost is the barrier-phase ciHost used to repropagate a call
+// edge: reads resolve against the owning region, emissions route
+// through applyCross with the correct source attribution (every
+// emission of a call edge targets one of its two endpoints).
+type edgeHost struct {
+	m              *modular
+	caller, callee int
+}
+
+func (h edgeHost) universe() *paths.Universe { return h.m.g.Universe }
+
+func (h edgeHost) pairsAt(src *vdg.Output) []Pair {
+	r := h.m.regions[h.m.ridx[src.Node.Fn]]
+	if s, ok := r.sets[src]; ok {
+		return s.List()
+	}
+	return nil
+}
+
+func (h edgeHost) emit(out *vdg.Output, pair Pair) {
+	src := h.caller
+	if h.m.ridx[out.Node.Fn] == h.caller {
+		src = h.callee
+	}
+	h.m.applyCross(src, out, pair)
+}
+
+func (h edgeHost) calleesOf(n *vdg.Node) []*vdg.FuncGraph { return h.m.callees[n] }
+
+func (h edgeHost) callersOf(fg *vdg.FuncGraph) []*vdg.Node { return h.m.callers[fg] }
+
+func (h edgeHost) linkEdge(n *vdg.Node, callee *vdg.FuncGraph) { h.m.applyEdge(n, callee) }
+
+// AnalyzeModular runs the context-insensitive analysis as a summary
+// composition over per-procedure regions. The returned sets are the
+// same fixpoint AnalyzeInsensitive computes (oracle-enforced); the
+// stats report how much of it came from the cache.
+func AnalyzeModular(g *vdg.Graph, opts ModularOptions) (*Result, ModularStats) {
+	budget := opts.Budget
+	if (budget.MaxSteps > 0 || budget.MaxPairs > 0) && budget.Ledger == nil {
+		// Pool the step/pair caps across all region engines (and
+		// across restarts); without a shared ledger each engine would
+		// get the full cap to itself.
+		budget = budget.Share(&limits.Ledger{})
+	}
+	// Region drains run in parallel and extend the shared path
+	// universe; arm its interning lock.
+	g.Universe.Concurrent()
+
+	if s, ok := opts.Cache.(GraphSession); ok {
+		end := s.BeginGraph(g)
+		defer end()
+	}
+
+	distrust := make(map[*vdg.FuncGraph]bool)
+	restarts, invalidated, rounds := 0, 0, 0
+	for {
+		m := newModular(g, opts, budget, distrust)
+		m.solve()
+		m.stats.Restarts = restarts
+		m.stats.Invalidated = invalidated
+		m.stats.Rounds += rounds
+		if m.stopped != nil {
+			return m.finish()
+		}
+		bad := m.validate()
+		if len(bad) == 0 {
+			return m.finish()
+		}
+		for _, fg := range bad {
+			distrust[fg] = true
+		}
+		restarts++
+		invalidated += len(bad)
+		rounds = m.stats.Rounds
+	}
+}
+
+// newModular builds one solve attempt over g.
+func newModular(g *vdg.Graph, opts ModularOptions, budget limits.Budget, distrust map[*vdg.FuncGraph]bool) *modular {
+	m := &modular{
+		g:        g,
+		ridx:     make(map[*vdg.FuncGraph]int, len(g.Funcs)),
+		callees:  make(map[*vdg.Node][]*vdg.FuncGraph),
+		callers:  make(map[*vdg.FuncGraph][]*vdg.Node),
+		cache:    opts.Cache,
+		distrust: distrust,
+		budget:   budget,
+		strategy: opts.Strategy,
+		jobs:     opts.Jobs,
+		reg:      opts.Metrics,
+	}
+	m.stats.Procedures = len(g.Funcs)
+	m.stats.Outcomes = make(map[string]string, len(g.Funcs))
+
+	cfg := engineConfig(g, opts.Strategy, budget, 0, func(it workItem) *vdg.Input { return it.in })
+	for i, fg := range g.Funcs {
+		r := &region{
+			m:          m,
+			idx:        i,
+			fg:         fg,
+			sets:       make(map[*vdg.Output]*PairSet),
+			crossSeen:  make(map[crossKey]struct{}),
+			eng:        solver.New(cfg),
+			lastLookup: -1,
+		}
+		r.st = r.eng.Stats()
+		m.ridx[fg] = i
+		m.regions = append(m.regions, r)
+	}
+	m.assignTopo()
+
+	for _, r := range m.regions {
+		var sizes []int
+		trusted := false
+		if m.cache != nil && !m.distrust[r.fg] {
+			sizes, trusted = m.cache.Trusted(r.fg)
+		}
+		if trusted && len(sizes) > 0 {
+			r.state = regionDelayed
+			r.sizes = sizes
+			r.maxSize = sizes[len(sizes)-1]
+		} else {
+			m.activate(r, OutcomeMiss)
+		}
+	}
+	return m
+}
+
+// solve runs rounds to convergence: drain dirty regions, apply the
+// barrier, and at stalls try installs before force-starting.
+func (m *modular) solve() {
+	for m.stopped == nil {
+		if act := m.dirtyRegions(); len(act) > 0 {
+			m.stats.Rounds++
+			if !m.drain(act) {
+				return
+			}
+			m.applyBuffers()
+			continue
+		}
+		if m.resolveDelayed() {
+			continue
+		}
+		if !m.forceStart() {
+			return // converged
+		}
+	}
+}
+
+// validate checks every installed region's complete arrival set
+// against its record, returning the mismatches.
+func (m *modular) validate() []*vdg.FuncGraph {
+	var bad []*vdg.FuncGraph
+	for _, r := range m.regions {
+		if r.state != regionInstalled {
+			continue
+		}
+		if !m.cache.Confirm(r.fg, r.installKey, r.crossIn) {
+			bad = append(bad, r.fg)
+		}
+	}
+	return bad
+}
+
+// assignTopo orders regions by the SCC condensation of the static call
+// graph (an over-approximation: fg references fg' when its body takes
+// the address of fg'). Callers get smaller numbers than their callees,
+// so force-starts run top-down and feed delayed callees their inputs.
+func (m *modular) assignTopo() {
+	n := len(m.regions)
+	adj := make([][]int, n)
+	for i, r := range m.regions {
+		seen := make(map[int]bool)
+		for _, nd := range r.fg.Nodes {
+			if nd.Kind != vdg.KAddr || nd.Path == nil {
+				continue
+			}
+			b := nd.Path.Base()
+			if b == nil || b.Kind != paths.FuncBase {
+				continue
+			}
+			callee := m.g.FuncByBase[b]
+			if callee == nil {
+				continue
+			}
+			j := m.ridx[callee]
+			if !seen[j] {
+				seen[j] = true
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+
+	// Tarjan; SCCs are emitted callees-first, so the k-th emitted SCC
+	// gets topo order (#sccs - 1 - k).
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	sccOf := make([]int, n)
+	for i := range index {
+		index[i] = -1
+		sccOf[i] = -1
+	}
+	var stack []int
+	next, sccs := 0, 0
+	var strong func(v int)
+	strong = func(v int) {
+		index[v], low[v] = next, next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if index[w] < 0 {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				sccOf[w] = sccs
+				if w == v {
+					break
+				}
+			}
+			sccs++
+		}
+	}
+	for v := 0; v < n; v++ {
+		if index[v] < 0 {
+			strong(v)
+		}
+	}
+	for i, r := range m.regions {
+		r.topo = sccs - 1 - sccOf[i]
+	}
+}
+
+// dirtyRegions returns the regions with queued work, in index order.
+func (m *modular) dirtyRegions() []*region {
+	var act []*region
+	for _, r := range m.regions {
+		if r.dirty {
+			act = append(act, r)
+		}
+	}
+	return act
+}
+
+// drain runs one round: every dirty region drains its worklist to
+// local quiescence, in parallel at per-procedure grain. Returns false
+// when a budget violation stopped the round.
+func (m *modular) drain(act []*region) bool {
+	pool := sched.Pool{Jobs: m.jobs, Obs: m.reg}
+	errs := pool.Map(m.budget.Ctx, len(act), func(_ context.Context, i int) error {
+		r := act[i]
+		out := r.eng.Run(func(it workItem) { ciFlowIn(r, it.in, it.pair) })
+		r.dirty = false
+		r.stoppedV = out.Stopped
+		return nil
+	})
+	for _, r := range act {
+		if r.stoppedV != nil {
+			m.stopped = r.stoppedV
+			break
+		}
+	}
+	if m.stopped == nil {
+		for _, err := range errs {
+			if err == nil {
+				continue
+			}
+			if se, ok := sched.Skipped(err); ok {
+				m.stopped = &limits.Violation{Reason: limits.Deadline, Err: se.Cause}
+				continue
+			}
+			panic(err) // a guarded region panic; rethrow for the caller's Guard
+		}
+	}
+	return m.stopped == nil
+}
+
+// applyBuffers is the round barrier: buffered cross emissions and call
+// edges are applied single-threaded, in region index order.
+func (m *modular) applyBuffers() {
+	for _, r := range m.regions {
+		cross, edges := r.outCross, r.outEdges
+		r.outCross, r.outEdges = nil, nil
+		for _, ca := range cross {
+			m.applyCross(r.idx, ca.Out, ca.Pair)
+		}
+		for _, e := range edges {
+			m.applyEdge(e.call, e.callee)
+		}
+	}
+}
+
+// applyCross delivers one inter-region arrival: recorded into the
+// target's arrival set (only genuinely external arrivals count —
+// self-recursive flows are intra-region), then buffered (delayed
+// target), dropped (frozen installed target — the record already
+// accounts for it, and validation checks that), or met into the
+// target's sets.
+func (m *modular) applyCross(src int, out *vdg.Output, pair Pair) {
+	r := m.regions[m.ridx[out.Node.Fn]]
+	if src != r.idx {
+		k := crossKey{out: out.ID, path: pair.Path.ID(), ref: pair.Ref.ID()}
+		if _, dup := r.crossSeen[k]; !dup {
+			r.crossSeen[k] = struct{}{}
+			ca := CrossArrival{Out: out, Pair: pair}
+			r.crossIn = append(r.crossIn, ca)
+			if ca.Formal() {
+				r.formals++
+			}
+			if r.state == regionDelayed {
+				r.pending = append(r.pending, ca)
+			}
+		}
+	}
+	if r.state != regionActive {
+		return
+	}
+	r.flowOut(out, pair)
+}
+
+// applyEdge registers call → callee (dedup'd) and repropagates both
+// directions through the shared rules.
+func (m *modular) applyEdge(n *vdg.Node, callee *vdg.FuncGraph) {
+	for _, c := range m.callees[n] {
+		if c == callee {
+			return
+		}
+	}
+	m.callees[n] = append(m.callees[n], callee)
+	m.callers[callee] = append(m.callers[callee], n)
+	ciApplyCallEdge(edgeHost{m: m, caller: m.ridx[n.Fn], callee: m.ridx[callee]}, n, callee)
+}
+
+// resolveDelayed runs the install cascade at a stall: delayed regions
+// whose formal arrivals match a cached record install; regions whose
+// formal arrivals overshoot every record activate cold. Installs
+// emit, so the cascade loops to a fixed point. Reports whether
+// anything changed state.
+func (m *modular) resolveDelayed() bool {
+	any := false
+	for changed := true; changed; {
+		changed = false
+		for _, r := range m.regions {
+			if r.state != regionDelayed {
+				continue
+			}
+			sizeMatch := false
+			for _, s := range r.sizes {
+				if s == r.formals {
+					sizeMatch = true
+					break
+				}
+			}
+			if sizeMatch && r.formals != r.lastLookup {
+				if rec, key, ok := m.cache.Lookup(r.fg, r.crossIn); ok {
+					m.install(r, rec, key)
+					changed, any = true, true
+					continue
+				}
+				r.lastLookup = r.formals // retry only once more arrivals land
+			}
+			if r.formals >= r.maxSize {
+				m.activate(r, OutcomeMiss)
+				changed, any = true, true
+			}
+		}
+	}
+	return any
+}
+
+// install populates a delayed region from a cached record: its final
+// sets land without solving, its cached call edges re-register (which
+// re-emits the forward flows from the installed sets), and its return
+// flows are synthesized toward already-registered callers. The region
+// is frozen from here on; validation settles whether the callee
+// returns the record presumed actually materialize.
+func (m *modular) install(r *region, rec CachedProc, key string) {
+	r.state = regionInstalled
+	r.installKey = key
+	r.pending = nil
+	m.stats.Hits++
+	for _, op := range rec.Sets {
+		s := &PairSet{}
+		for _, p := range op.Pairs {
+			s.Add(p)
+		}
+		r.sets[op.Out] = s
+	}
+	for _, e := range rec.Callees {
+		m.applyEdge(e.Call, e.Callee)
+	}
+	m.emitReturns(r)
+}
+
+// emitReturns synthesizes the region's return flows to its currently
+// registered callers (callers registered later pull them through
+// applyEdge's backward direction).
+func (m *modular) emitReturns(r *region) {
+	callers := m.callers[r.fg]
+	if len(callers) == 0 {
+		return
+	}
+	var storePairs, valPairs []Pair
+	if rs := r.fg.ReturnStore(); rs != nil {
+		if s, ok := r.sets[rs]; ok {
+			storePairs = s.List()
+		}
+	}
+	if rv := r.fg.ReturnValue(); rv != nil {
+		if s, ok := r.sets[rv]; ok {
+			valPairs = s.List()
+		}
+	}
+	for _, c := range callers {
+		for _, p := range storePairs {
+			m.applyCross(r.idx, vdg.CallStoreOut(c), p)
+		}
+		if res := vdg.CallResultOut(c); res != nil {
+			for _, p := range valPairs {
+				m.applyCross(r.idx, res, p)
+			}
+		}
+	}
+}
+
+// activate starts a region cold: seeds, then replays the arrivals
+// that buffered while it was delayed.
+func (m *modular) activate(r *region, outcome string) {
+	r.state = regionActive
+	r.outcome = outcome
+	if outcome == OutcomeForced {
+		m.stats.Forced++
+	} else {
+		m.stats.Misses++
+	}
+	r.seed()
+	pend := r.pending
+	r.pending = nil
+	for _, ca := range pend {
+		r.flowOut(ca.Out, ca.Pair)
+	}
+}
+
+// forceStart breaks a stall: with no queued work anywhere and nothing
+// installable, some delayed region's inputs can only be completed
+// from above — start one cold. The entry region first (it has no
+// callers, so nothing grounds an install for it), then top-down by
+// SCC order so forced solves feed the regions below them.
+func (m *modular) forceStart() bool {
+	var pick *region
+	for _, r := range m.regions {
+		if r.state != regionDelayed {
+			continue
+		}
+		if r.fg == m.g.Entry {
+			pick = r
+			break
+		}
+		if pick == nil || r.topo < pick.topo || (r.topo == pick.topo && r.idx < pick.idx) {
+			pick = r
+		}
+	}
+	if pick == nil {
+		return false
+	}
+	m.activate(pick, OutcomeForced)
+	return true
+}
+
+// finish assembles the Result, stores converged regions into the
+// cache, and publishes the metrics.
+func (m *modular) finish() (*Result, ModularStats) {
+	res := &Result{
+		Graph:   m.g,
+		Sets:    make(map[*vdg.Output]*PairSet),
+		Callees: m.callees,
+		Callers: m.callers,
+		Stopped: m.stopped,
+	}
+	var st solver.Stats
+	st.Strategy = m.strategy
+	for _, r := range m.regions {
+		for out, s := range r.sets {
+			if s.Len() > 0 {
+				res.Sets[out] = s
+			}
+		}
+		st.Steps += r.st.Steps
+		st.Meets += r.st.Meets
+		st.PairInserts += r.st.PairInserts
+		st.SubsumeHits += r.st.SubsumeHits
+		st.SubsumeDrops += r.st.SubsumeDrops
+		st.Enqueued += r.st.Enqueued
+		st.DepthSum += r.st.DepthSum
+		if r.st.PeakDepth > st.PeakDepth {
+			st.PeakDepth = r.st.PeakDepth
+		}
+
+		if r.state == regionInstalled {
+			r.outcome = OutcomeHit
+		}
+		m.stats.Outcomes[r.fg.Fn.Name] = r.outcome
+	}
+	res.Engine = st
+	res.Metrics = metricsFrom(&st)
+
+	if m.stopped == nil && m.cache != nil {
+		for _, r := range m.regions {
+			if r.state == regionInstalled {
+				continue // the identical record is already cached
+			}
+			m.cache.Store(r.fg, r.crossIn, r.sets, m.callees)
+		}
+	}
+
+	// summary.* counters: deterministic at any Jobs width and under
+	// every strategy (see ModularStats), so they are safe in the
+	// byte-stable metrics snapshots.
+	m.reg.Counter("summary.procedures", obs.Deterministic).Add(int64(m.stats.Procedures))
+	m.reg.Counter("summary.rounds", obs.Deterministic).Add(int64(m.stats.Rounds))
+	m.reg.Counter("summary.cache.hits", obs.Deterministic).Add(int64(m.stats.Hits))
+	m.reg.Counter("summary.cache.misses", obs.Deterministic).Add(int64(m.stats.Misses))
+	m.reg.Counter("summary.cache.forced", obs.Deterministic).Add(int64(m.stats.Forced))
+	m.reg.Counter("summary.cache.invalidated", obs.Deterministic).Add(int64(m.stats.Invalidated))
+	m.reg.Counter("summary.restarts", obs.Deterministic).Add(int64(m.stats.Restarts))
+
+	return res, m.stats
+}

@@ -1,0 +1,118 @@
+package core_test
+
+import (
+	"testing"
+
+	"aliaslab/internal/core"
+	"aliaslab/internal/corpus"
+	"aliaslab/internal/limits"
+	"aliaslab/internal/oracle"
+	"aliaslab/internal/solver"
+	"aliaslab/internal/vdg"
+)
+
+// sameSets fails the test if the two result maps differ on any output.
+func sameSets(t *testing.T, name, invariant string, g *vdg.Graph, a, b map[*vdg.Output]*core.PairSet) {
+	t.Helper()
+	for _, v := range oracle.EqualPerOutput(name, invariant, g, a, b) {
+		t.Errorf("%s", v)
+	}
+}
+
+// sameEdges fails the test if the discovered call graphs differ.
+func sameEdges(t *testing.T, name string, g *vdg.Graph, a, b map[*vdg.Node][]*vdg.FuncGraph) {
+	t.Helper()
+	for _, fg := range g.Funcs {
+		for _, call := range fg.Calls {
+			am := make(map[*vdg.FuncGraph]bool)
+			for _, c := range a[call] {
+				am[c] = true
+			}
+			bm := make(map[*vdg.FuncGraph]bool)
+			for _, c := range b[call] {
+				bm[c] = true
+			}
+			if len(am) != len(bm) {
+				t.Errorf("%s: call %v: %d vs %d callees", name, call, len(am), len(bm))
+				continue
+			}
+			for c := range am {
+				if !bm[c] {
+					t.Errorf("%s: call %v: callee %s only on one side", name, call, c.Fn.Name)
+				}
+			}
+		}
+	}
+}
+
+// TestModularMatchesExhaustiveOnCorpus is the tentpole invariant: the
+// per-procedure region solver computes exactly the whole-program CI
+// fixpoint on every corpus unit, with no cache attached (every region
+// solves cold, so this isolates the region decomposition itself).
+func TestModularMatchesExhaustiveOnCorpus(t *testing.T) {
+	for _, name := range corpus.Names() {
+		u, err := corpus.Load(name, vdg.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		whole := core.AnalyzeInsensitive(u.Graph)
+		mod, st := core.AnalyzeModular(u.Graph, core.ModularOptions{})
+		if mod.Stopped != nil {
+			t.Fatalf("%s: modular stopped: %v", name, mod.Stopped)
+		}
+		sameSets(t, name, "modular == exhaustive", u.Graph, mod.Sets, whole.Sets)
+		sameEdges(t, name, u.Graph, mod.Callees, whole.Callees)
+		if st.Procedures != len(u.Graph.Funcs) {
+			t.Errorf("%s: Procedures = %d, want %d", name, st.Procedures, len(u.Graph.Funcs))
+		}
+		if st.Hits != 0 || st.Misses != st.Procedures {
+			t.Errorf("%s: cacheless run should be all misses: %+v", name, st)
+		}
+	}
+}
+
+// TestModularDeterministicAcrossJobsAndStrategies: the result sets and
+// every ModularStats counter are identical at every worker width and
+// under every worklist strategy (the property that makes the summary
+// counters safe in deterministic metrics snapshots).
+func TestModularDeterministicAcrossJobsAndStrategies(t *testing.T) {
+	for _, name := range []string{"bc", "compiler", "simulator"} {
+		u, err := corpus.Load(name, vdg.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ref, refSt := core.AnalyzeModular(u.Graph, core.ModularOptions{Jobs: 1})
+		for _, jobs := range []int{2, 8} {
+			got, st := core.AnalyzeModular(u.Graph, core.ModularOptions{Jobs: jobs})
+			sameSets(t, name, "jobs determinism", u.Graph, got.Sets, ref.Sets)
+			if st.Rounds != refSt.Rounds || st.Misses != refSt.Misses || st.Forced != refSt.Forced {
+				t.Errorf("%s: jobs=%d stats %+v != jobs=1 stats %+v", name, jobs, st, refSt)
+			}
+		}
+		for _, strat := range []solver.Strategy{solver.LIFO, solver.Priority} {
+			got, st := core.AnalyzeModular(u.Graph, core.ModularOptions{Strategy: strat, Jobs: 4})
+			sameSets(t, name, "strategy determinism", u.Graph, got.Sets, ref.Sets)
+			if st.Rounds != refSt.Rounds {
+				t.Errorf("%s: strategy %v rounds %d != fifo rounds %d", name, strat, st.Rounds, refSt.Rounds)
+			}
+		}
+	}
+}
+
+// TestModularBudgetStops: pooled step caps stop the modular solve with
+// a Violation, like the whole-program solver.
+func TestModularBudgetStops(t *testing.T) {
+	u, err := corpus.Load("bc", vdg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := core.AnalyzeModular(u.Graph, core.ModularOptions{
+		Budget: limits.Budget{MaxSteps: 100},
+	})
+	if res.Stopped == nil {
+		t.Fatal("want Stopped under a 100-step budget")
+	}
+	if res.Stopped.Reason != limits.Steps {
+		t.Fatalf("want Steps violation, got %v", res.Stopped.Reason)
+	}
+}

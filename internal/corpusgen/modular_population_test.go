@@ -1,0 +1,50 @@
+package corpusgen
+
+import (
+	"testing"
+
+	"aliaslab/internal/core"
+	"aliaslab/internal/oracle"
+	"aliaslab/internal/summary"
+	"aliaslab/internal/vdg"
+)
+
+// TestModularEquivalencePopulation proves the summary solver's
+// correctness contract at population scale: over 200 generated units
+// spanning the full knob sweep, the modular solve — cold and on a warm
+// rerun through its own cached records — computes exactly the
+// whole-program CI fixpoint, and the warm rerun answers procedures
+// from the cache. This is the cheap, targeted companion of
+// TestCheckUnitPasses (which runs the whole oracle lattice, modular
+// invariant included, on fewer units).
+func TestModularEquivalencePopulation(t *testing.T) {
+	n := 200
+	if testing.Short() {
+		n = 20
+	}
+	for i := 0; i < n; i++ {
+		p := Generate(7, i, SweepKnobs(7, i))
+		u, err := p.Load(vdg.Options{})
+		if err != nil {
+			t.Fatalf("%s: front end rejected generated program: %v", p.Name, err)
+		}
+		ci := core.AnalyzeInsensitive(u.Graph)
+		cache := summary.NewCache(0, nil)
+
+		cold, _ := core.AnalyzeModular(u.Graph, core.ModularOptions{Cache: cache})
+		for _, v := range oracle.EqualPerOutput(p.Name, "modular-cold-equals-ci", u.Graph, cold.Sets, ci.Sets) {
+			t.Errorf("%s", v)
+		}
+
+		warm, st := core.AnalyzeModular(u.Graph, core.ModularOptions{Cache: cache})
+		for _, v := range oracle.EqualPerOutput(p.Name, "modular-warm-equals-ci", u.Graph, warm.Sets, ci.Sets) {
+			t.Errorf("%s", v)
+		}
+		if len(u.Graph.Funcs) > 0 && st.Reused() == 0 {
+			t.Errorf("%s: warm rerun reused no summaries (outcomes %v)", p.Name, st.Outcomes)
+		}
+		if t.Failed() {
+			t.Fatalf("%s: stopping at first failing unit\n%s", p.Name, p.Source)
+		}
+	}
+}

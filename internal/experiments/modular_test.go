@@ -1,0 +1,96 @@
+package experiments_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aliaslab/internal/experiments"
+)
+
+// BatchOptions.Modular runs the bottom-up solve cold and warm on each
+// unit, oracle-checks both against the exhaustive reference in-line
+// (a divergence fails the unit), and the warm pass reuses summaries.
+func TestBatchModularReusesAndAgrees(t *testing.T) {
+	names := []string{"anagram", "part", "bc"}
+	rs, err := experiments.RunBatch(names, experiments.BatchOptions{Modular: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if r.Failed() {
+			t.Fatalf("%s: %v", r.Name, r.Err)
+		}
+		if r.ModularCold == nil || r.ModularWarm == nil {
+			t.Fatalf("%s: modular counters missing", r.Name)
+		}
+		if r.ModularCold.Reused() != 0 {
+			t.Errorf("%s: cold solve reused %d summaries", r.Name, r.ModularCold.Reused())
+		}
+		if r.ModularWarm.Procedures > 1 && r.ModularWarm.Reused() == 0 {
+			t.Errorf("%s: warm solve reused nothing: %+v", r.Name, r.ModularWarm)
+		}
+		if r.ModularWarm.Procedures != r.ModularCold.Procedures {
+			t.Errorf("%s: procedure count drifted: cold %d warm %d",
+				r.Name, r.ModularCold.Procedures, r.ModularWarm.Procedures)
+		}
+	}
+
+	var buf bytes.Buffer
+	experiments.Incremental(&buf, rs)
+	out := buf.String()
+	for _, name := range names {
+		if !strings.Contains(out, name) {
+			t.Errorf("Incremental table missing %s:\n%s", name, out)
+		}
+	}
+}
+
+// The modular JSON block is opt-in by construction: a default batch
+// renders byte-identically whether or not the type exists, and a
+// modular batch adds exactly the "modular" object per unit.
+func TestModularJSONBlockOptIn(t *testing.T) {
+	names := []string{"anagram", "part"}
+	plain, err := experiments.RunBatch(names, experiments.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modular, err := experiments.RunBatch(names, experiments.BatchOptions{Modular: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var pb, mb bytes.Buffer
+	if err := experiments.WriteJSON(&pb, plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(pb.String(), `"modular"`) {
+		t.Error("default batch JSON contains a modular block")
+	}
+	if err := experiments.WriteJSON(&mb, modular); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(mb.String(), `"modular"`) {
+		t.Error("modular batch JSON lacks the modular block")
+	}
+	if !strings.Contains(mb.String(), `"warmReused"`) {
+		t.Error("modular block lacks warmReused")
+	}
+
+	// Stripping the modular blocks must recover the default bytes: the
+	// block is additive, nothing else may shift.
+	us := experiments.UnitsJSONWith(modular, experiments.JSONOptions{})
+	for i := range us {
+		us[i].Modular = nil
+	}
+	ps := experiments.UnitsJSONWith(plain, experiments.JSONOptions{})
+	if len(us) != len(ps) {
+		t.Fatalf("unit count: %d vs %d", len(us), len(ps))
+	}
+	for i := range us {
+		if us[i].Name != ps[i].Name || us[i].CI == nil || ps[i].CI == nil ||
+			us[i].CI.Census != ps[i].CI.Census {
+			t.Errorf("unit %d diverges beyond the modular block", i)
+		}
+	}
+}

@@ -108,3 +108,33 @@ func TestEnvelopeFullShape(t *testing.T) {
 		t.Fatalf("diagnostics field: %s", parsed.Diagnostics)
 	}
 }
+
+// Mode is orthogonal to degradation: a modular-mode envelope marshals
+// without tier/sound/notes noise, and a plain degraded envelope — the
+// historical shape — must not grow a mode field.
+func TestEnvelopeModeField(t *testing.T) {
+	b, err := json.Marshal(ModularEnvelope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"degraded":false,"reason":"","mode":"modular"}`
+	if string(b) != want {
+		t.Fatalf("modular envelope: %s, want %s", b, want)
+	}
+
+	b, err = json.Marshal(DegradedEnvelope("steps", "partial-ci"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "mode") {
+		t.Fatalf("exhaustive degraded envelope leaked a mode field: %s", b)
+	}
+
+	b, err = json.Marshal(DegradedEnvelope("steps", "").WithMode("modular"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"mode":"modular"`) || !strings.Contains(string(b), `"degraded":true`) {
+		t.Fatalf("degraded modular envelope lost a field: %s", b)
+	}
+}

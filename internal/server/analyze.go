@@ -73,6 +73,14 @@ type request struct {
 
 	// Checkers filters the vet checker suite (default: all).
 	Checkers []string `json:"checkers,omitempty"`
+
+	// Modular solves the context-insensitive fixpoint by composing
+	// per-procedure summaries from the server's shared summary cache
+	// instead of exhaustively (ci backend only). The answer is
+	// identical — only the work changes: procedures already summarized
+	// by any earlier request are not re-solved. Responses carry a
+	// report.Envelope with Mode "modular".
+	Modular bool `json:"modular,omitempty"`
 }
 
 // job is a validated request plus its effective (clamped) budget — the
@@ -83,6 +91,7 @@ type job struct {
 	kind     backend.Kind
 	strategy solver.Strategy
 	source   string // canonicalized; empty for corpus jobs
+	modular  bool
 
 	maxSteps, maxPairs int
 	timeout            time.Duration
@@ -227,9 +236,13 @@ func (s *Server) parse(r *http.Request, m mode) (*job, *response) {
 	} else if len(req.Checkers) > 0 {
 		return nil, errorResponse(http.StatusBadRequest, "checkers apply to /v1/vet only")
 	}
+	if req.Modular && kind != backend.CI {
+		return nil, errorResponse(http.StatusBadRequest,
+			"modular solving runs on the ci backend, not %s", kind)
+	}
 
 	j := &job{mode: m, req: req, kind: kind, strategy: strategy,
-		source: canonicalize(req.Source)}
+		source: canonicalize(req.Source), modular: req.Modular}
 	if j.maxSteps, err = s.headerCap(r, hdrMaxSteps, s.cfg.MaxSteps); err != nil {
 		return nil, errorResponse(http.StatusBadRequest, "%v", err)
 	}
@@ -290,6 +303,7 @@ func (j *job) key() cacheKey {
 	put(j.mode.String())
 	put(j.kind.String())
 	put(j.strategy.String())
+	put(strconv.FormatBool(j.modular))
 	put(strings.Join(j.req.Checkers, ","))
 	put(strconv.Itoa(j.maxSteps))
 	put(strconv.Itoa(j.maxPairs))
@@ -360,9 +374,13 @@ func (s *Server) run(j *job) *response {
 
 // exhausted maps a mid-flight budget violation (real or injected) to
 // 503: the partial state is not a sound answer, so no result is served.
-func (s *Server) exhausted(err error) *response {
+func (s *Server) exhausted(err error) *response { return s.exhaustedIn(err, "") }
+
+// exhaustedIn is exhausted with the analysis mode recorded in the
+// envelope, so a blown modular solve stays distinguishable.
+func (s *Server) exhaustedIn(err error, mode string) *response {
 	s.degraded.Add(1)
-	env := report.DegradedEnvelope(err.Error(), "").WithSound(false)
+	env := report.DegradedEnvelope(err.Error(), "").WithSound(false).WithMode(mode)
 	resp := jsonResponse(http.StatusServiceUnavailable,
 		errorBody{Error: "analysis budget exhausted: " + err.Error(), Degradation: &env})
 	resp.retryAfter = 1
@@ -407,6 +425,24 @@ func (s *Server) runAnalyze(j *job, u *driver.Unit, budget limits.Budget) *respo
 
 	switch j.kind {
 	case backend.CI, backend.CS:
+		if j.modular { // ci only; parse rejected every other combination
+			mo := core.ModularOptions{Budget: budget, Strategy: j.strategy, Metrics: s.reg}
+			if s.summaries != nil {
+				mo.Cache = s.summaries
+			}
+			res, _ := core.AnalyzeModular(u.Graph, mo)
+			if res.Stopped != nil {
+				// A stopped modular solve is a partial CI fixpoint:
+				// under-approximating and unsound to serve, exactly like
+				// the exhaustive TierPartialCI case.
+				return s.exhaustedIn(res.Stopped, "modular")
+			}
+			label = "context-insensitive"
+			e := report.ModularEnvelope()
+			env = &e
+			sets = res.Sets
+			break
+		}
 		gr := core.AnalyzeGoverned(u.Graph, core.GovernedOptions{
 			Budget:    budget,
 			Sensitive: j.kind == backend.CS,
@@ -497,7 +533,15 @@ func (s *Server) runVet(j *job, u *driver.Unit, budget limits.Budget) *response 
 	case backend.Steensgaard:
 		res = steensgaard.AnalyzeBudgeted(u.Graph, budget)
 	default: // backend.CI; CS was rejected at parse
-		res = core.AnalyzeInsensitiveEngine(u.Graph, budget, j.strategy)
+		if j.modular {
+			mo := core.ModularOptions{Budget: budget, Strategy: j.strategy, Metrics: s.reg}
+			if s.summaries != nil {
+				mo.Cache = s.summaries
+			}
+			res, _ = core.AnalyzeModular(u.Graph, mo)
+		} else {
+			res = core.AnalyzeInsensitiveEngine(u.Graph, budget, j.strategy)
+		}
 	}
 	sel, err := checkers.Select(j.req.Checkers)
 	if err != nil {
@@ -514,6 +558,9 @@ func (s *Server) runVet(j *job, u *driver.Unit, budget limits.Budget) *response 
 		s.degraded.Add(1)
 		status = http.StatusPartialContent
 		e := report.DegradedEnvelope(res.Stopped.Error(), "")
+		if j.modular {
+			e = e.WithMode("modular")
+		}
 		e.Notes = []string{"vet ran on a partial points-to solution; findings may be missing"}
 		env = &e
 	}

@@ -1,0 +1,193 @@
+package server_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"aliaslab/internal/server"
+)
+
+// modularResp is the analyze body plus the mode-carrying envelope.
+type modularResp struct {
+	Unit   string `json:"unit"`
+	Label  string `json:"label"`
+	Census struct {
+		Total int `json:"total"`
+	} `json:"pairs"`
+	StoreAtExit []struct {
+		Path string `json:"path"`
+		Ref  string `json:"referent"`
+	} `json:"storeAtExit"`
+	Degradation *struct {
+		Degraded bool   `json:"degraded"`
+		Mode     string `json:"mode"`
+	} `json:"degradation"`
+}
+
+// A modular request must return the exhaustive answer — same census,
+// same store — tagged with the mode envelope, and a second request over
+// the same procedures (different cache key) must answer from the
+// per-procedure summary cache.
+func TestModularAnalyzeMatchesExhaustive(t *testing.T) {
+	s, ts := newTestServer(t, server.Config{})
+	_ = s
+
+	resp, body := post(t, ts.URL+"/v1/analyze", map[string]any{"corpus": "part"}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("exhaustive: %d: %s", resp.StatusCode, body)
+	}
+	var exh modularResp
+	if err := json.Unmarshal(body, &exh); err != nil {
+		t.Fatal(err)
+	}
+	if exh.Degradation != nil {
+		t.Fatalf("exhaustive run carries an envelope: %s", body)
+	}
+
+	resp, body = post(t, ts.URL+"/v1/analyze", map[string]any{"corpus": "part", "modular": true}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("modular: %d: %s", resp.StatusCode, body)
+	}
+	var mod modularResp
+	if err := json.Unmarshal(body, &mod); err != nil {
+		t.Fatal(err)
+	}
+	if mod.Census.Total != exh.Census.Total {
+		t.Errorf("census: modular %d, exhaustive %d", mod.Census.Total, exh.Census.Total)
+	}
+	if len(mod.StoreAtExit) != len(exh.StoreAtExit) {
+		t.Errorf("storeAtExit: modular %d entries, exhaustive %d", len(mod.StoreAtExit), len(exh.StoreAtExit))
+	}
+	for i := range mod.StoreAtExit {
+		if mod.StoreAtExit[i] != exh.StoreAtExit[i] {
+			t.Errorf("storeAtExit[%d]: %v vs %v", i, mod.StoreAtExit[i], exh.StoreAtExit[i])
+		}
+	}
+	if mod.Label != exh.Label {
+		t.Errorf("label: modular %q, exhaustive %q", mod.Label, exh.Label)
+	}
+	if mod.Degradation == nil || mod.Degradation.Mode != "modular" || mod.Degradation.Degraded {
+		t.Errorf("modular envelope missing or wrong: %s", body)
+	}
+
+	// A second modular request under a different budget header has a
+	// different LRU key, so it re-enters the pipeline — and must find
+	// every procedure in the shared summary cache.
+	resp, body = post(t, ts.URL+"/v1/analyze", map[string]any{"corpus": "part", "modular": true},
+		map[string]string{"X-Aliaslab-Max-Steps": "40000000"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm modular: %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Aliaslab-Cache"); got != "miss" {
+		t.Fatalf("warm modular request should miss the response LRU, got %q", got)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var metrics []struct {
+		Name  string `json:"name"`
+		Value int64  `json:"value"`
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	vals := make(map[string]int64)
+	for _, m := range metrics {
+		vals[m.Name] = m.Value
+	}
+	if vals["summary.cache.hits"] == 0 {
+		t.Errorf("no summary reuse across modular requests: %v", vals)
+	}
+	if vals["summary.cache.stored"] == 0 || vals["summary.procedures"] == 0 {
+		t.Errorf("summary counters missing from /metrics: %v", vals)
+	}
+	if _, ok := vals["summary.cache.entries"]; !ok {
+		t.Errorf("summary.cache.entries gauge missing from /metrics: %v", vals)
+	}
+}
+
+// Modular is a ci-only refinement; every other backend rejects it
+// loudly instead of silently solving exhaustively.
+func TestModularRejectsOtherBackends(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+	for _, be := range []string{"cs", "andersen", "steensgaard"} {
+		resp, body := post(t, ts.URL+"/v1/analyze",
+			map[string]any{"corpus": "part", "backend": be, "modular": true}, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("backend %s: %d, want 400: %s", be, resp.StatusCode, body)
+		}
+		if !strings.Contains(string(body), "modular") {
+			t.Errorf("backend %s: error does not mention modular: %s", be, body)
+		}
+	}
+}
+
+// The modular flag is part of the cache identity: a modular response
+// must never be served from an exhaustive request's LRU entry (their
+// bodies differ by the mode envelope).
+func TestModularHasOwnCacheKey(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+	resp, _ := post(t, ts.URL+"/v1/analyze", map[string]any{"corpus": "anagram"}, nil)
+	if got := resp.Header.Get("X-Aliaslab-Cache"); got != "miss" {
+		t.Fatalf("first exhaustive request: cache %q", got)
+	}
+	resp, body := post(t, ts.URL+"/v1/analyze", map[string]any{"corpus": "anagram", "modular": true}, nil)
+	if got := resp.Header.Get("X-Aliaslab-Cache"); got != "miss" {
+		t.Fatalf("first modular request served from the exhaustive entry: cache %q", got)
+	}
+	if !strings.Contains(string(body), `"mode": "modular"`) {
+		t.Fatalf("modular body missing mode: %s", body)
+	}
+	resp, _ = post(t, ts.URL+"/v1/analyze", map[string]any{"corpus": "anagram", "modular": true}, nil)
+	if got := resp.Header.Get("X-Aliaslab-Cache"); got != "hit" {
+		t.Fatalf("repeated modular request: cache %q, want hit", got)
+	}
+}
+
+// SummaryRecords < 0 disables the summary cache: modular requests
+// still answer exactly, they just solve cold.
+func TestModularWithDisabledSummaryCache(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{SummaryRecords: -1})
+	resp, body := post(t, ts.URL+"/v1/analyze", map[string]any{"corpus": "part"}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("exhaustive: %d", resp.StatusCode)
+	}
+	var exh modularResp
+	if err := json.Unmarshal(body, &exh); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = post(t, ts.URL+"/v1/analyze", map[string]any{"corpus": "part", "modular": true}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("modular, no cache: %d: %s", resp.StatusCode, body)
+	}
+	var mod modularResp
+	if err := json.Unmarshal(body, &mod); err != nil {
+		t.Fatal(err)
+	}
+	if mod.Census.Total != exh.Census.Total {
+		t.Errorf("census: modular %d, exhaustive %d", mod.Census.Total, exh.Census.Total)
+	}
+}
+
+// Modular vet runs the same checker suite on the composed solution:
+// identical findings, identical healthy shape (a plain array — the
+// mode only appears in degraded envelopes, which carry it).
+func TestModularVetMatchesExhaustive(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+	resp, exhBody := post(t, ts.URL+"/v1/vet", map[string]any{"source": buggySrc}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("exhaustive vet: %d: %s", resp.StatusCode, exhBody)
+	}
+	resp, modBody := post(t, ts.URL+"/v1/vet", map[string]any{"source": buggySrc, "modular": true}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("modular vet: %d: %s", resp.StatusCode, modBody)
+	}
+	if string(modBody) != string(exhBody) {
+		t.Errorf("modular vet body differs:\n%s\nvs\n%s", modBody, exhBody)
+	}
+}

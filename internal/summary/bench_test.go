@@ -1,0 +1,103 @@
+package summary_test
+
+import (
+	"testing"
+
+	"aliaslab/internal/core"
+	"aliaslab/internal/corpus"
+	"aliaslab/internal/driver"
+	"aliaslab/internal/summary"
+	"aliaslab/internal/vdg"
+)
+
+// probeProc is the one-procedure edit: a self-contained procedure
+// appended at the END of the file, so every existing token keeps its
+// position and with it its positional base names and body hash.
+const probeProc = `
+int probe_g;
+
+int *probe_fresh(void) {
+	return &probe_g;
+}
+`
+
+// BenchmarkIncrementalReanalyze measures the re-analysis cost after a
+// one-procedure edit to the largest corpus unit (bc), three ways:
+//
+//   - cold: the exhaustive whole-program CI solve of the edited graph —
+//     what a non-incremental pipeline pays on every edit.
+//   - first-analysis: the modular solve with an empty summary cache —
+//     solving every procedure AND encoding its summary into the store.
+//     This is the admission price of the incremental world: what the
+//     server pays the first time it sees a unit version.
+//   - incremental: the modular solve against summaries warmed from the
+//     pre-edit unit — 23 of 24 procedures install from cache and only
+//     the entry re-solves.
+//
+// All three time only the solve of the already-built edited graph (the
+// front end runs identically in every world and its ~2.8ms would
+// drown the comparison); the incremental cache is re-warmed from the
+// pre-edit unit outside the timer each iteration, so every timed solve
+// is exactly the first re-analysis after the edit.
+//
+// Honest headline (recorded in BENCH_9.json): incremental re-solve
+// beats the incremental pipeline's own first-analysis ~1.8×, but does
+// NOT beat the plain exhaustive solve on corpus-scale units — the
+// context-insensitive whole-program fixpoint is near-linear and
+// converges in one round on bc, so summary digest+hydration+install
+// (all O(total pairs), same order as the solve) cannot undercut it at
+// this scale. See DESIGN §14 for the full account.
+func BenchmarkIncrementalReanalyze(b *testing.B) {
+	prog, err := corpus.Get("bc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	edited := prog.Source + probeProc
+
+	b.Run("cold", func(b *testing.B) {
+		u, err := driver.LoadString("bc.c", edited, vdg.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			core.AnalyzeInsensitive(u.Graph)
+		}
+	})
+
+	b.Run("first-analysis", func(b *testing.B) {
+		u, err := driver.LoadString("bc.c", edited, vdg.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cache := summary.NewCache(0, nil)
+			b.StartTimer()
+			core.AnalyzeModular(u.Graph, core.ModularOptions{Cache: cache})
+		}
+	})
+
+	b.Run("incremental", func(b *testing.B) {
+		orig, err := driver.LoadString("bc.c", prog.Source, vdg.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		u, err := driver.LoadString("bc.c", edited, vdg.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cache := summary.NewCache(0, nil)
+			core.AnalyzeModular(orig.Graph, core.ModularOptions{Cache: cache})
+			b.StartTimer()
+			core.AnalyzeModular(u.Graph, core.ModularOptions{Cache: cache})
+		}
+	})
+}

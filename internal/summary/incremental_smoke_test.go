@@ -1,0 +1,50 @@
+package summary_test
+
+import (
+	"testing"
+
+	"aliaslab/internal/core"
+	"aliaslab/internal/corpus"
+	"aliaslab/internal/driver"
+	"aliaslab/internal/summary"
+	"aliaslab/internal/vdg"
+)
+
+// TestIncrementalSmokeEditLoop drives the edit loop over the whole
+// corpus: solve each unit cold into a cache, append one procedure,
+// re-solve warm. The warm answer must equal the exhaustive solve of the
+// edited unit, and every pre-edit procedure must come from the cache —
+// the only re-solves allowed are the entry (always forced) and the new
+// procedure itself. This is the `make incremental-smoke` target CI runs
+// under the race detector.
+func TestIncrementalSmokeEditLoop(t *testing.T) {
+	for _, name := range corpus.Names() {
+		prog, err := corpus.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cache := summary.NewCache(0, nil)
+		orig, err := driver.LoadString(name+".c", prog.Source, vdg.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		core.AnalyzeModular(orig.Graph, core.ModularOptions{Cache: cache})
+
+		edited, err := driver.LoadString(name+".c", prog.Source+probeProc, vdg.Options{})
+		if err != nil {
+			t.Fatalf("%s/edited: %v", name, err)
+		}
+		res, st := core.AnalyzeModular(edited.Graph, core.ModularOptions{Cache: cache})
+		sameAsExhaustive(t, name+"/edited", edited, res)
+		if res.Stopped != nil {
+			t.Errorf("%s: warm solve stopped early: %v", name, res.Stopped)
+		}
+		if want := st.Procedures - 2; st.Hits < want {
+			t.Errorf("%s: one-procedure edit reused %d of %d procedures (want >= %d): %v",
+				name, st.Hits, st.Procedures, want, st.Outcomes)
+		}
+		if oc := st.Outcomes["probe_fresh"]; oc == core.OutcomeHit {
+			t.Errorf("%s: brand-new procedure claims a cache hit", name)
+		}
+	}
+}

@@ -1,0 +1,688 @@
+// Package summary persists per-procedure analysis results across runs,
+// graphs, and edits.
+//
+// The region solver behind core.AnalyzeModular asks four questions —
+// "do you know this procedure body?", "do you have its result for these
+// caller-supplied formal inputs?", "did the callee returns that result
+// presumed actually materialize?", and "remember this result" — through
+// the core.ModularCache interface. This package answers them with a
+// bounded in-memory store whose keys survive rebuilding the graph:
+// procedures are identified by their VDG body hash
+// (vdg.FuncGraph.BodyHash, function-local and position-independent
+// within the body), and input sets by digests over a *portable*
+// encoding of (output, pair) arrivals — outputs as (local node index,
+// output index), paths as (base kind, name, flags) plus operator
+// sequence, never as pointers or universe IDs.
+//
+// Records are *keyed* by the digest of the formal-arrival subset (the
+// pairs callers push into parameters and the store formal — the half
+// that is grounded top-down during a modular solve) and additionally
+// *store* the digest of the complete arrival set, callee returns
+// included. Lookup matches the formal key; Confirm — called by the
+// solver at convergence for every installed record — compares the
+// complete set. This split is what lets an install happen before the
+// callee returns exist, while still guaranteeing the reuse was exact.
+//
+// Records therefore hit across separately built graphs of the same
+// source (the server's workflow: every request builds a fresh graph)
+// and survive edits to *other* procedures (the incremental workflow:
+// one edited body invalidates only its own records, and the solver
+// re-derives its dependents' inputs — matching records reinstall,
+// changed ones re-solve). Hydration back into a live graph is strict:
+// any base, function, or node that no longer resolves distrusts the
+// record and reports a miss, so a stale record can cost a re-solve but
+// never a wrong reuse.
+package summary
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strings"
+	"sync"
+
+	"aliaslab/internal/core"
+	"aliaslab/internal/obs"
+	"aliaslab/internal/paths"
+	"aliaslab/internal/vdg"
+)
+
+// DefaultMaxRecords bounds the cache when NewCache is given no limit:
+// enough for every procedure of a large unit at several input sets,
+// small enough to stay a bounded sidecar of the server's unit cache.
+const DefaultMaxRecords = 4096
+
+// pPath is a portable path: base identity by value, then the operator
+// sequence. HasBase=false encodes an offset path rooted at ε.
+type pPath struct {
+	hasBase        bool
+	kind           paths.BaseKind
+	name           string
+	local, summary bool
+	ops            []paths.Op
+}
+
+// pPair is a portable points-to pair.
+type pPair struct {
+	path, ref pPath
+}
+
+// pOutputPairs is one output's final pairs, the output named by its
+// node's index within the procedure plus the output index.
+type pOutputPairs struct {
+	node, out int
+	pairs     []pPair
+}
+
+// pEdge is one discovered call edge: the call node's local index and
+// the callee's (program-unique) function name.
+type pEdge struct {
+	call   int
+	callee string
+}
+
+// record is one cached per-procedure result, keyed in its procEntry by
+// the digest of its formal arrivals.
+type record struct {
+	size  int    // formal-arrival count of the crossIn it answers
+	full  string // digest of the complete arrival set (validation)
+	sets  []pOutputPairs
+	edges []pEdge
+}
+
+// procEntry holds all records for one body hash.
+type procEntry struct {
+	recs  map[string]*record
+	sizes []int // distinct record sizes, ascending
+}
+
+type evictKey struct {
+	body   [sha256.Size]byte
+	digest string
+}
+
+// Cache is a bounded, concurrency-safe summary store implementing
+// core.ModularCache. Eviction is insertion-order (FIFO): summaries are
+// cheap to recompute and the bound exists to cap memory, not to chase
+// an optimal hit rate.
+type Cache struct {
+	mu    sync.Mutex
+	max   int
+	reg   *obs.Registry
+	procs map[[sha256.Size]byte]*procEntry
+	queue []evictKey
+	count int
+
+	// sessions holds per-graph hydration state for solves currently
+	// bracketed by BeginGraph (core.GraphSession). Entries are
+	// refcounted and removed when the last solve on that graph ends, so
+	// the cache never outlives-references a transient graph.
+	sessions map[*vdg.Graph]*session
+}
+
+// session is the per-graph state shared by every cache call of one (or
+// several concurrent) AnalyzeModular runs: the base/function resolver
+// and the per-procedure node indices, each built once per graph
+// instead of once per procedure lookup.
+type session struct {
+	refs  int
+	mu    sync.Mutex
+	r     *resolver
+	local map[*vdg.FuncGraph]map[*vdg.Node]int
+
+	// pairs memoizes the canonical encoding of live pairs. The same
+	// pair reaches many procedures' arrival sets (a global's pairs flow
+	// into every callee) and every digest attempt re-encodes its
+	// arrivals, so interning by pair identity — paths are interned, so
+	// a Pair is two stable pointers — collapses the dominant digest
+	// cost of a warm solve.
+	pairs map[core.Pair]string
+}
+
+// pairString returns the canonical "path>ref" encoding of p, memoized
+// for the session's lifetime.
+func (s *session) pairString(p core.Pair) (string, bool) {
+	s.mu.Lock()
+	k, ok := s.pairs[p]
+	s.mu.Unlock()
+	if ok {
+		return k, true
+	}
+	pp, ok := encodePair(p)
+	if !ok {
+		return "", false
+	}
+	k = pairKey(pp)
+	s.mu.Lock()
+	s.pairs[p] = k
+	s.mu.Unlock()
+	return k, true
+}
+
+// BeginGraph implements core.GraphSession: it opens (or joins) the
+// per-graph hydration session and returns its release func.
+func (c *Cache) BeginGraph(g *vdg.Graph) func() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.sessions[g]
+	if s == nil {
+		s = &session{
+			local: make(map[*vdg.FuncGraph]map[*vdg.Node]int),
+			pairs: make(map[core.Pair]string),
+		}
+		c.sessions[g] = s
+	}
+	s.refs++
+	return func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if s.refs--; s.refs == 0 {
+			delete(c.sessions, g)
+		}
+	}
+}
+
+// sessionFor returns g's live session, nil when the solve was not
+// bracketed by BeginGraph (per-call state is then built fresh).
+func (c *Cache) sessionFor(g *vdg.Graph) *session {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sessions[g]
+}
+
+// resolverFor returns the session's resolver for g, building it on
+// first use; without a session it builds a throwaway one.
+func resolverFor(s *session, g *vdg.Graph) *resolver {
+	if s == nil {
+		return newResolver(g)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.r == nil {
+		s.r = newResolver(g)
+	}
+	return s.r
+}
+
+// localFor returns fg's node-index map, memoized in the session.
+func localFor(s *session, fg *vdg.FuncGraph) map[*vdg.Node]int {
+	if s == nil {
+		return localIndex(fg)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.local[fg]
+	if m == nil {
+		m = localIndex(fg)
+		s.local[fg] = m
+	}
+	return m
+}
+
+// NewCache returns a cache bounded to maxRecords (<= 0 uses
+// DefaultMaxRecords). reg, when non-nil, receives the summary.cache
+// store/eviction/distrust counters; hit and miss counters are published
+// by the solver itself (see core.AnalyzeModular).
+func NewCache(maxRecords int, reg *obs.Registry) *Cache {
+	if maxRecords <= 0 {
+		maxRecords = DefaultMaxRecords
+	}
+	return &Cache{
+		max:      maxRecords,
+		reg:      reg,
+		procs:    make(map[[sha256.Size]byte]*procEntry),
+		sessions: make(map[*vdg.Graph]*session),
+	}
+}
+
+// Len returns the number of records currently stored.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count
+}
+
+// Trusted implements core.ModularCache: the distinct formal-arrival
+// counts of the records held for fg's body, ascending.
+func (c *Cache) Trusted(fg *vdg.FuncGraph) ([]int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.procs[fg.BodyHash()]
+	if !ok || len(e.sizes) == 0 {
+		return nil, false
+	}
+	return append([]int(nil), e.sizes...), true
+}
+
+// Lookup implements core.ModularCache: digest the formal subset of the
+// arrivals, find the record, and hydrate it against fg's graph. The
+// returned key is the formal digest the record is stored under —
+// Confirm requires it back. Any resolution failure distrusts the
+// record (a miss), never a partial install.
+func (c *Cache) Lookup(fg *vdg.FuncGraph, crossIn []core.CrossArrival) (core.CachedProc, string, bool) {
+	body := fg.BodyHash()
+	c.mu.Lock()
+	e, ok := c.procs[body]
+	c.mu.Unlock()
+	if !ok {
+		return core.CachedProc{}, "", false
+	}
+	sess := c.sessionFor(fg.Graph)
+	digest, ok := digestArrivals(localFor(sess, fg), formalSubset(crossIn), sess)
+	if !ok {
+		return core.CachedProc{}, "", false
+	}
+	c.mu.Lock()
+	rec, ok := e.recs[digest]
+	c.mu.Unlock() // hydration only reads the (immutable) record
+	if !ok {
+		return core.CachedProc{}, "", false
+	}
+	proc, ok := hydrate(resolverFor(sess, fg.Graph), fg, rec)
+	if !ok {
+		c.reg.Counter("summary.cache.distrusted", obs.Deterministic).Add(1)
+		return core.CachedProc{}, "", false
+	}
+	return proc, digest, true
+}
+
+// Confirm implements core.ModularCache: the converged formal subset
+// must still digest to the installed record's key (a Lookup that
+// matched on a then-partial formal set — possible when structurally
+// identical bodies share a hash — fails here), and the record's
+// complete arrival set must equal crossIn exactly.
+func (c *Cache) Confirm(fg *vdg.FuncGraph, key string, crossIn []core.CrossArrival) bool {
+	sess := c.sessionFor(fg.Graph)
+	local := localFor(sess, fg)
+	formal, ok := digestArrivals(local, formalSubset(crossIn), sess)
+	if !ok || formal != key {
+		return false
+	}
+	full, ok := digestArrivals(local, crossIn, sess)
+	if !ok {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.procs[fg.BodyHash()]
+	if !ok {
+		return false
+	}
+	rec, ok := e.recs[key]
+	if !ok {
+		return false
+	}
+	return rec.full == full
+}
+
+// Store implements core.ModularCache.
+func (c *Cache) Store(fg *vdg.FuncGraph, crossIn []core.CrossArrival, sets map[*vdg.Output]*core.PairSet, callees map[*vdg.Node][]*vdg.FuncGraph) {
+	sess := c.sessionFor(fg.Graph)
+	local := localFor(sess, fg)
+	formals := formalSubset(crossIn)
+	digest, ok := digestArrivals(local, formals, sess)
+	if !ok {
+		return // an unencodable arrival; skip the region
+	}
+	full, ok := digestArrivals(local, crossIn, sess)
+	if !ok {
+		return
+	}
+	rec := &record{size: len(formals), full: full}
+
+	for out, s := range sets {
+		if s.Len() == 0 {
+			continue
+		}
+		ni, ok := local[out.Node]
+		if !ok {
+			continue // foreign output cannot occur; defensive
+		}
+		live := s.List()
+		op := pOutputPairs{node: ni, out: out.Index}
+		op.pairs = make([]pPair, 0, len(live))
+		keys := make([]string, 0, len(live))
+		for _, p := range live {
+			pp, ok := encodePair(p)
+			if !ok {
+				return // unencodable pair: store nothing for this region
+			}
+			var k string
+			if sess != nil {
+				k, ok = sess.pairString(p)
+			} else {
+				k = pairKey(pp)
+			}
+			if !ok {
+				return
+			}
+			op.pairs = append(op.pairs, pp)
+			keys = append(keys, k)
+		}
+		sort.Sort(&pairsByKey{keys: keys, pairs: op.pairs})
+		rec.sets = append(rec.sets, op)
+	}
+	sort.Slice(rec.sets, func(i, j int) bool {
+		a, b := rec.sets[i], rec.sets[j]
+		if a.node != b.node {
+			return a.node < b.node
+		}
+		return a.out < b.out
+	})
+
+	for _, call := range fg.Calls {
+		for _, callee := range callees[call] {
+			rec.edges = append(rec.edges, pEdge{call: local[call], callee: callee.Fn.Name})
+		}
+	}
+
+	body := fg.BodyHash()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.procs[body]
+	if e == nil {
+		e = &procEntry{recs: make(map[string]*record)}
+		c.procs[body] = e
+	}
+	if _, exists := e.recs[digest]; !exists {
+		c.count++
+		c.queue = append(c.queue, evictKey{body: body, digest: digest})
+	}
+	e.recs[digest] = rec
+	e.rebuildSizes()
+	c.reg.Counter("summary.cache.stored", obs.Deterministic).Add(1)
+	for c.count > c.max {
+		c.evictOldest()
+	}
+}
+
+// evictOldest drops the oldest stored record. Caller holds c.mu.
+func (c *Cache) evictOldest() {
+	for len(c.queue) > 0 {
+		k := c.queue[0]
+		c.queue = c.queue[1:]
+		e := c.procs[k.body]
+		if e == nil {
+			continue
+		}
+		if _, ok := e.recs[k.digest]; !ok {
+			continue
+		}
+		delete(e.recs, k.digest)
+		c.count--
+		if len(e.recs) == 0 {
+			delete(c.procs, k.body)
+		} else {
+			e.rebuildSizes()
+		}
+		c.reg.Counter("summary.cache.evictions", obs.Volatile).Add(1)
+		return
+	}
+}
+
+func (e *procEntry) rebuildSizes() {
+	e.sizes = e.sizes[:0]
+	seen := make(map[int]bool, len(e.recs))
+	for _, r := range e.recs {
+		if !seen[r.size] {
+			seen[r.size] = true
+			e.sizes = append(e.sizes, r.size)
+		}
+	}
+	sort.Ints(e.sizes)
+}
+
+// pairsByKey sorts a record's pairs by their canonical encodings,
+// computed once per pair rather than per comparison.
+type pairsByKey struct {
+	keys  []string
+	pairs []pPair
+}
+
+func (s *pairsByKey) Len() int           { return len(s.keys) }
+func (s *pairsByKey) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *pairsByKey) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.pairs[i], s.pairs[j] = s.pairs[j], s.pairs[i]
+}
+
+// localIndex maps fg's nodes to their body-local indices (the same
+// numbering BodyHash uses).
+func localIndex(fg *vdg.FuncGraph) map[*vdg.Node]int {
+	m := make(map[*vdg.Node]int, len(fg.Nodes))
+	for i, n := range fg.Nodes {
+		m[n] = i
+	}
+	return m
+}
+
+// encodePath makes a path portable. Every path is encodable (bases are
+// identified by kind+name+flags), so ok is always true today; the
+// return is kept so a future unencodable shape degrades to a miss.
+func encodePath(p *paths.Path) (pPath, bool) {
+	var pp pPath
+	if b := p.Base(); b != nil {
+		pp.hasBase = true
+		pp.kind = b.Kind
+		pp.name = b.Name
+		pp.local = b.Local
+		pp.summary = b.Summary
+	}
+	pp.ops = p.Ops()
+	return pp, true
+}
+
+func encodePair(p core.Pair) (pPair, bool) {
+	path, ok := encodePath(p.Path)
+	if !ok {
+		return pPair{}, false
+	}
+	ref, ok := encodePath(p.Ref)
+	if !ok {
+		return pPair{}, false
+	}
+	return pPair{path: path, ref: ref}, true
+}
+
+// pathKey renders a portable path canonically for sorting and digests.
+func pathKey(sb *strings.Builder, p pPath) {
+	if p.hasBase {
+		sb.WriteByte('b')
+		sb.WriteByte(byte('0' + int(p.kind)))
+		if p.local {
+			sb.WriteByte('l')
+		}
+		if p.summary {
+			sb.WriteByte('s')
+		}
+		sb.WriteByte(':')
+		sb.WriteString(p.name)
+	} else {
+		sb.WriteByte('e')
+	}
+	for _, op := range p.ops {
+		if op.Array {
+			sb.WriteString("/[]")
+		} else if op.Union {
+			sb.WriteString("/!")
+			sb.WriteString(op.Field)
+		} else {
+			sb.WriteString("/.")
+			sb.WriteString(op.Field)
+		}
+	}
+}
+
+func pairKey(p pPair) string {
+	var sb strings.Builder
+	pathKey(&sb, p.path)
+	sb.WriteByte('>')
+	pathKey(&sb, p.ref)
+	return sb.String()
+}
+
+// formalSubset filters an arrival set down to the formal arrivals —
+// the record key half (core.CrossArrival.Formal defines the split).
+func formalSubset(crossIn []core.CrossArrival) []core.CrossArrival {
+	var f []core.CrossArrival
+	for _, ca := range crossIn {
+		if ca.Formal() {
+			f = append(f, ca)
+		}
+	}
+	return f
+}
+
+// digestArrivals computes the input-set digest: the SHA-256 over the
+// sorted canonical encodings of the arrivals. Sorting makes it a digest
+// of the *set* — arrival order (a schedule artifact) does not matter.
+// s, when non-nil, memoizes the per-pair encodings across calls.
+func digestArrivals(local map[*vdg.Node]int, crossIn []core.CrossArrival, s *session) (string, bool) {
+	keys := make([]string, 0, len(crossIn))
+	for _, ca := range crossIn {
+		ni, ok := local[ca.Out.Node]
+		if !ok {
+			return "", false
+		}
+		var pk string
+		if s != nil {
+			pk, ok = s.pairString(ca.Pair)
+		} else {
+			var pp pPair
+			if pp, ok = encodePair(ca.Pair); ok {
+				pk = pairKey(pp)
+			}
+		}
+		if !ok {
+			return "", false
+		}
+		var sb strings.Builder
+		var nb [2 * binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(nb[:], uint64(ni))
+		n += binary.PutUvarint(nb[n:], uint64(ca.Out.Index))
+		sb.Grow(n + 1 + len(pk))
+		sb.Write(nb[:n])
+		sb.WriteByte('@')
+		sb.WriteString(pk)
+		keys = append(keys, sb.String())
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	for _, k := range keys {
+		var nb [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(nb[:], uint64(len(k)))
+		h.Write(nb[:n])
+		h.Write([]byte(k))
+	}
+	return string(h.Sum(nil)), true
+}
+
+// resolver rebuilds live pointers from portable identities, strictly:
+// a base tuple or function name that is missing — or ambiguous — in the
+// current graph fails the whole hydration.
+type baseKey struct {
+	kind           paths.BaseKind
+	name           string
+	local, summary bool
+}
+
+type resolver struct {
+	u     *paths.Universe
+	bases map[baseKey]*paths.Base
+	dup   map[baseKey]bool
+	funcs map[string]*vdg.FuncGraph
+}
+
+func newResolver(g *vdg.Graph) *resolver {
+	r := &resolver{
+		u:     g.Universe,
+		bases: make(map[baseKey]*paths.Base),
+		dup:   make(map[baseKey]bool),
+		funcs: make(map[string]*vdg.FuncGraph, len(g.Funcs)),
+	}
+	for _, b := range g.Universe.Bases() {
+		k := baseKey{kind: b.Kind, name: b.Name, local: b.Local, summary: b.Summary}
+		if _, seen := r.bases[k]; seen {
+			r.dup[k] = true
+			continue
+		}
+		r.bases[k] = b
+	}
+	for _, fg := range g.Funcs {
+		r.funcs[fg.Fn.Name] = fg
+	}
+	return r
+}
+
+func (r *resolver) path(p pPath) (*paths.Path, bool) {
+	var q *paths.Path
+	if p.hasBase {
+		k := baseKey{kind: p.kind, name: p.name, local: p.local, summary: p.summary}
+		if r.dup[k] {
+			return nil, false
+		}
+		b, ok := r.bases[k]
+		if !ok {
+			return nil, false
+		}
+		q = r.u.Root(b)
+	} else {
+		q = r.u.Empty()
+	}
+	for _, op := range p.ops {
+		q = r.u.Extend(q, op)
+	}
+	return q, true
+}
+
+func (r *resolver) pair(p pPair) (core.Pair, bool) {
+	path, ok := r.path(p.path)
+	if !ok {
+		return core.Pair{}, false
+	}
+	ref, ok := r.path(p.ref)
+	if !ok {
+		return core.Pair{}, false
+	}
+	return core.Pair{Path: path, Ref: ref}, true
+}
+
+// hydrate rebuilds a CachedProc against fg's graph through r (the
+// solve-wide resolver when the caller opened a session). The record's
+// node indices are trusted because they were stored under fg's body
+// hash — a hash match means the node list has the same shape.
+func hydrate(r *resolver, fg *vdg.FuncGraph, rec *record) (core.CachedProc, bool) {
+	proc := core.CachedProc{Sets: make([]core.OutputPairs, 0, len(rec.sets))}
+	for _, ps := range rec.sets {
+		if ps.node >= len(fg.Nodes) {
+			return core.CachedProc{}, false
+		}
+		n := fg.Nodes[ps.node]
+		if ps.out >= len(n.Outputs) {
+			return core.CachedProc{}, false
+		}
+		op := core.OutputPairs{Out: n.Outputs[ps.out], Pairs: make([]core.Pair, 0, len(ps.pairs))}
+		for _, pp := range ps.pairs {
+			pair, ok := r.pair(pp)
+			if !ok {
+				return core.CachedProc{}, false
+			}
+			op.Pairs = append(op.Pairs, pair)
+		}
+		proc.Sets = append(proc.Sets, op)
+	}
+	if len(rec.edges) > 0 {
+		proc.Callees = make([]core.CallEdge, 0, len(rec.edges))
+	}
+	for _, e := range rec.edges {
+		if e.call >= len(fg.Nodes) {
+			return core.CachedProc{}, false
+		}
+		callee, ok := r.funcs[e.callee]
+		if !ok {
+			return core.CachedProc{}, false
+		}
+		proc.Callees = append(proc.Callees, core.CallEdge{Call: fg.Nodes[e.call], Callee: callee})
+	}
+	return proc, true
+}

@@ -1,0 +1,285 @@
+package summary_test
+
+import (
+	"testing"
+
+	"aliaslab/internal/core"
+	"aliaslab/internal/corpus"
+	"aliaslab/internal/driver"
+	"aliaslab/internal/obs"
+	"aliaslab/internal/oracle"
+	"aliaslab/internal/summary"
+	"aliaslab/internal/vdg"
+)
+
+// sameAsExhaustive fails the test if modular-with-cache disagrees with
+// the whole-program solve on any output of g.
+func sameAsExhaustive(t *testing.T, name string, u *driver.Unit, res *core.Result) {
+	t.Helper()
+	whole := core.AnalyzeInsensitive(u.Graph)
+	for _, v := range oracle.EqualPerOutput(name, "modular+cache == exhaustive", u.Graph, res.Sets, whole.Sets) {
+		t.Errorf("%s", v)
+	}
+}
+
+// TestWarmRerunHitsAcrossGraphs drives the server workflow: the same
+// source built twice into independent graphs (distinct node pointers,
+// distinct path universes), analyzed against one shared cache. The
+// second run must still be exact, and must answer procedures from the
+// cache — which exercises the portable encode/hydrate round trip for
+// every stored record.
+func TestWarmRerunHitsAcrossGraphs(t *testing.T) {
+	for _, name := range []string{"part", "bc", "simulator"} {
+		cache := summary.NewCache(0, nil)
+		u1, err := corpus.Load(name, vdg.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res1, st1 := core.AnalyzeModular(u1.Graph, core.ModularOptions{Cache: cache})
+		sameAsExhaustive(t, name+"/cold", u1, res1)
+		if st1.Hits != 0 {
+			t.Errorf("%s: cold run hit %d times on an empty cache", name, st1.Hits)
+		}
+		if cache.Len() == 0 {
+			t.Fatalf("%s: cold run stored nothing", name)
+		}
+
+		u2, err := corpus.Load(name, vdg.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res2, st2 := core.AnalyzeModular(u2.Graph, core.ModularOptions{Cache: cache})
+		sameAsExhaustive(t, name+"/warm", u2, res2)
+		if st2.Misses != 0 {
+			t.Errorf("%s: warm rerun missed %d times (outcomes %v)", name, st2.Misses, st2.Outcomes)
+		}
+		if st2.Reused() == 0 {
+			t.Errorf("%s: warm rerun reused nothing (outcomes %v)", name, st2.Outcomes)
+		}
+	}
+}
+
+// invalidationBase has call chains and shared callees so that editing
+// one procedure leaves plenty of untouched summaries to reuse. The
+// edited procedure is last in the file: heap-site names and base names
+// of everything before it stay stable.
+const invalidationBase = `
+int g1, g2;
+int *shared;
+
+int *pick(int *a, int *b) {
+	if (g1) return a;
+	return b;
+}
+
+int *left(void) {
+	return pick(&g1, &g2);
+}
+
+int *right(void) {
+	shared = pick(&g2, &g1);
+	return shared;
+}
+
+int main(void) {
+	int *p;
+	p = left();
+	p = right();
+	return 0;
+}
+`
+
+// invalidationEdited changes only main (the last procedure): it now
+// also stores through the picked pointer.
+const invalidationEdited = `
+int g1, g2;
+int *shared;
+
+int *pick(int *a, int *b) {
+	if (g1) return a;
+	return b;
+}
+
+int *left(void) {
+	return pick(&g1, &g2);
+}
+
+int *right(void) {
+	shared = pick(&g2, &g1);
+	return shared;
+}
+
+int main(void) {
+	int *p;
+	p = left();
+	p = right();
+	*p = 7;
+	return 0;
+}
+`
+
+// TestInvalidationIsProcedureLocal is the invalidation-correctness
+// test: after editing exactly one procedure, the edited body must not
+// be answered from the cache, untouched procedures whose inputs are
+// unchanged must be, and the composed result must still equal the
+// exhaustive solve. ModularStats.Outcomes is the recomputation spy —
+// it records per procedure whether the body was re-solved.
+func TestInvalidationIsProcedureLocal(t *testing.T) {
+	cache := summary.NewCache(0, nil)
+	u1, err := driver.LoadString("inv.c", invalidationBase, vdg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, _ := core.AnalyzeModular(u1.Graph, core.ModularOptions{Cache: cache})
+	sameAsExhaustive(t, "inv/base", u1, res1)
+
+	u2, err := driver.LoadString("inv.c", invalidationEdited, vdg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, st := core.AnalyzeModular(u2.Graph, core.ModularOptions{Cache: cache})
+	sameAsExhaustive(t, "inv/edited", u2, res2)
+
+	if oc := st.Outcomes["main"]; oc == core.OutcomeHit {
+		t.Errorf("edited main answered from cache: %v", st.Outcomes)
+	}
+	for _, fn := range []string{"pick", "left", "right"} {
+		if oc := st.Outcomes[fn]; oc != core.OutcomeHit {
+			t.Errorf("untouched %s re-solved (%s): %v", fn, oc, st.Outcomes)
+		}
+	}
+}
+
+// TestAppendOnlyEditReusesEverything: appending a new procedure at the
+// end of the file (the universal smoke mutation) leaves every existing
+// body hash and base name untouched, so only the entry — which is
+// always forced — and the new procedure solve.
+func TestAppendOnlyEditReusesEverything(t *testing.T) {
+	cache := summary.NewCache(0, nil)
+	u1, err := driver.LoadString("app.c", invalidationBase, vdg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.AnalyzeModular(u1.Graph, core.ModularOptions{Cache: cache})
+
+	appended := invalidationBase + `
+int *fresh(void) {
+	return &g1;
+}
+`
+	u2, err := driver.LoadString("app.c", appended, vdg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, st := core.AnalyzeModular(u2.Graph, core.ModularOptions{Cache: cache})
+	sameAsExhaustive(t, "app/edited", u2, res2)
+	for _, fn := range []string{"pick", "left", "right"} {
+		if oc := st.Outcomes[fn]; oc != core.OutcomeHit {
+			t.Errorf("append-only edit re-solved %s (%s): %v", fn, oc, st.Outcomes)
+		}
+	}
+	if oc := st.Outcomes["fresh"]; oc == core.OutcomeHit {
+		t.Errorf("brand-new procedure claims a cache hit: %v", st.Outcomes)
+	}
+}
+
+// twinSrc has two structurally identical procedures (their scalar
+// params are SSA-lifted, so no base name distinguishes the bodies and
+// they share a body hash) called with different arguments. Their
+// records land under one cache entry; a warm install may match the
+// *wrong twin's* record on a partial formal set, and only the
+// install-key check in Confirm catches that. Regression test for the
+// record-swap bug the population study found.
+const twinSrc = `
+int a1, a2, b1, b2;
+
+int *fst(int *x, int *y) {
+	if (a1) return y;
+	return x;
+}
+
+int *snd(int *x, int *y) {
+	if (a1) return y;
+	return x;
+}
+
+int main(void) {
+	int *p;
+	int *q;
+	p = fst(&a1, &a2);
+	q = snd(&b1, &b2);
+	a2 = *p + *q;
+	return 0;
+}
+`
+
+func TestTwinBodiesStayExact(t *testing.T) {
+	u1, err := driver.LoadString("twin.c", twinSrc, vdg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fst, snd *vdg.FuncGraph
+	for _, fg := range u1.Graph.Funcs {
+		switch fg.Fn.Name {
+		case "fst":
+			fst = fg
+		case "snd":
+			snd = fg
+		}
+	}
+	if fst.BodyHash() != snd.BodyHash() {
+		t.Skip("twins no longer share a body hash; the fixture lost its point")
+	}
+
+	cache := summary.NewCache(0, nil)
+	res1, _ := core.AnalyzeModular(u1.Graph, core.ModularOptions{Cache: cache})
+	sameAsExhaustive(t, "twin/cold", u1, res1)
+
+	u2, err := driver.LoadString("twin.c", twinSrc, vdg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, _ := core.AnalyzeModular(u2.Graph, core.ModularOptions{Cache: cache})
+	sameAsExhaustive(t, "twin/warm", u2, res2)
+}
+
+// TestEvictionBoundsRecords: the cache never holds more records than
+// its bound, and eviction only costs re-solves, never correctness.
+func TestEvictionBoundsRecords(t *testing.T) {
+	reg := obs.NewRegistry()
+	cache := summary.NewCache(2, reg)
+	u, err := corpus.Load("part", vdg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := core.AnalyzeModular(u.Graph, core.ModularOptions{Cache: cache})
+	sameAsExhaustive(t, "part/bounded", u, res)
+	if cache.Len() > 2 {
+		t.Fatalf("cache holds %d records, bound is 2", cache.Len())
+	}
+}
+
+// TestCounters: the store/eviction counters land in the registry.
+func TestCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	cache := summary.NewCache(1, reg)
+	u, err := corpus.Load("part", vdg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.AnalyzeModular(u.Graph, core.ModularOptions{Cache: cache, Metrics: reg})
+	snap := reg.Snapshot()
+	vals := make(map[string]int64)
+	for _, m := range snap {
+		vals[m.Name] = m.Value
+	}
+	if vals["summary.cache.stored"] == 0 {
+		t.Errorf("no stored counter: %v", vals)
+	}
+	if vals["summary.cache.evictions"] == 0 {
+		t.Errorf("bound 1 with several procedures should evict: %v", vals)
+	}
+	if vals["summary.procedures"] == 0 || vals["summary.cache.misses"] == 0 {
+		t.Errorf("solver counters missing: %v", vals)
+	}
+}

@@ -2,6 +2,7 @@ package vdg
 
 import (
 	"fmt"
+	"sort"
 
 	"aliaslab/internal/ast"
 	"aliaslab/internal/ctypes"
@@ -402,6 +403,29 @@ func (fb *fnBuilder) initAggregate(addr *Output, typ *ctypes.Type, elems []ast.E
 // ---------------------------------------------------------------------------
 // State merging
 
+// orderedEnv returns env's keys in declaration order (position, then
+// name). Merge points and loop headers create gamma nodes while
+// walking the environment; iterating the map directly would make node
+// creation order — and with it vdg.FuncGraph.BodyHash — vary between
+// builds of the same source, which breaks cross-build summary reuse.
+func orderedEnv(env map[*sema.Object]*Output) []*sema.Object {
+	objs := make([]*sema.Object, 0, len(env))
+	for obj := range env {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool {
+		a, b := objs[i].Pos, objs[j].Pos
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return objs[i].Name < objs[j].Name
+	})
+	return objs
+}
+
 // merge combines alternative flow states at a join point, creating
 // gamma nodes where values differ.
 func (fb *fnBuilder) merge(pos token.Pos, states ...flowState) flowState {
@@ -439,7 +463,8 @@ func (fb *fnBuilder) merge(pos token.Pos, states ...flowState) flowState {
 	}
 
 	// Environment: keep variables present in every live state.
-	for obj, v0 := range live[0].env {
+	for _, obj := range orderedEnv(live[0].env) {
+		v0 := live[0].env[obj]
 		inAll := true
 		allSame := true
 		for _, s := range live[1:] {
@@ -483,10 +508,10 @@ func (fb *fnBuilder) openLoop(pos token.Pos) *loopHeader {
 	fb.g.Connect(gamma, fb.cur.store)
 	h.storeGamma = gamma
 	fb.cur.store = out
-	for obj, v := range fb.cur.env {
+	for _, obj := range orderedEnv(fb.cur.env) {
 		gn := fb.g.NewNode(fb.fg, KGamma, pos)
 		gout := fb.g.AddOutput(gn, obj.Type, false)
-		fb.g.Connect(gn, v)
+		fb.g.Connect(gn, fb.cur.env[obj])
 		h.envGammas[obj] = gn
 		fb.cur.env[obj] = gout
 	}

@@ -1,0 +1,115 @@
+package vdg
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+
+	"aliaslab/internal/paths"
+)
+
+// BodyHash returns a SHA-256 content hash of the function's VDG slice:
+// its nodes in creation order with their kinds, attached paths, member
+// names, operator spellings and flags, and the intra-procedural wiring
+// (each input as the local index of its source node plus the source
+// output index). Node and output identities are function-local, so the
+// hash of one procedure is independent of everything around it: editing
+// a sibling procedure, reordering the file around it, or loading the
+// same body in a different unit leaves the hash unchanged. That is what
+// makes it a cache key for per-procedure summaries.
+//
+// Attached paths hash by base (kind, name, local/summary flags) plus
+// operator sequence, not by universe ID — so two structurally identical
+// bodies in different universes hash equal, while bodies referring to
+// different storage (locals are qualified "fn.var", heap bases carry
+// their site position) do not.
+//
+// The hash is memoized; FuncGraphs are immutable once built.
+func (fg *FuncGraph) BodyHash() [sha256.Size]byte {
+	if fg.hashed {
+		return fg.bodyHash
+	}
+	h := sha256.New()
+	var buf []byte
+	put := func(vals ...uint64) {
+		buf = buf[:0]
+		for _, v := range vals {
+			buf = binary.AppendUvarint(buf, v)
+		}
+		h.Write(buf)
+	}
+	putStr := func(s string) {
+		put(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	putBool := func(b bool) {
+		if b {
+			put(1)
+		} else {
+			put(0)
+		}
+	}
+
+	local := make(map[*Node]int, len(fg.Nodes))
+	for i, n := range fg.Nodes {
+		local[n] = i
+	}
+	put(uint64(len(fg.Nodes)))
+	for i, n := range fg.Nodes {
+		put(uint64(i), uint64(n.Kind))
+		putStr(n.Field)
+		putStr(n.Op)
+		putBool(n.Transparent)
+		putBool(n.Indirect)
+		putBool(n.Effectful)
+		hashPath(put, putStr, putBool, n.Path)
+		put(uint64(len(n.Inputs)))
+		for _, in := range n.Inputs {
+			src, ok := local[in.Src.Node]
+			if !ok {
+				// Cannot happen: VDG edges are intra-procedural. Poison
+				// the hash rather than panic so a future violation shows
+				// up as cache misses, never as wrong reuse.
+				src = -1
+			}
+			put(uint64(int64(src)), uint64(in.Src.Index))
+		}
+		put(uint64(len(n.Outputs)))
+		for _, o := range n.Outputs {
+			putBool(o.IsStore)
+		}
+	}
+	put(uint64(len(fg.ParamOuts)))
+	putBool(fg.Return != nil)
+	if fg.Return != nil {
+		put(uint64(local[fg.Return]))
+	}
+
+	copy(fg.bodyHash[:], h.Sum(nil))
+	fg.hashed = true
+	return fg.bodyHash
+}
+
+// hashPath feeds one attached path (or its absence) into the hash.
+func hashPath(put func(...uint64), putStr func(string), putBool func(bool), p *paths.Path) {
+	if p == nil {
+		put(0)
+		return
+	}
+	put(1)
+	b := p.Base()
+	if b == nil {
+		put(0)
+	} else {
+		put(1, uint64(b.Kind))
+		putStr(b.Name)
+		putBool(b.Local)
+		putBool(b.Summary)
+	}
+	ops := p.Ops()
+	put(uint64(len(ops)))
+	for _, op := range ops {
+		putStr(op.Field)
+		putBool(op.Array)
+		putBool(op.Union)
+	}
+}

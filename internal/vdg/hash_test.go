@@ -1,0 +1,118 @@
+package vdg_test
+
+import (
+	"testing"
+
+	"aliaslab/internal/vdg"
+)
+
+// hashSrc exercises the shapes whose construction once depended on map
+// iteration order: if/else joins, loops (header gammas), and nested
+// loops — one procedure of each, plus a straight-line control.
+const hashSrc = `
+int g;
+int *gp;
+
+int plain(int *p) {
+	return *p;
+}
+
+int *branchy(int c, int *a, int *b) {
+	int *r;
+	int *s;
+	r = a;
+	s = b;
+	if (c) {
+		r = b;
+		s = a;
+	}
+	gp = s;
+	return r;
+}
+
+int loopy(int n) {
+	int i;
+	int acc;
+	int *p;
+	acc = 0;
+	p = &g;
+	for (i = 0; i < n; i = i + 1) {
+		acc = acc + *p;
+		if (acc > 10) {
+			p = gp;
+		}
+	}
+	return acc;
+}
+
+int main(void) {
+	int *x;
+	x = branchy(1, &g, gp);
+	return loopy(plain(x));
+}
+`
+
+func hashes(t *testing.T, src string) map[string][32]byte {
+	t.Helper()
+	g := build(t, src, vdg.Options{})
+	m := make(map[string][32]byte, len(g.Funcs))
+	for _, fg := range g.Funcs {
+		m[fg.Fn.Name] = fg.BodyHash()
+	}
+	return m
+}
+
+// TestBodyHashStableAcrossBuilds: two independent builds of the same
+// source give every procedure the same body hash. This is the property
+// the summary cache keys on (the server builds a fresh graph per
+// request), so any map-order leak into node creation breaks it.
+func TestBodyHashStableAcrossBuilds(t *testing.T) {
+	for i := 0; i < 8; i++ { // map iteration order varies per run
+		a := hashes(t, hashSrc)
+		b := hashes(t, hashSrc)
+		if len(a) != len(b) {
+			t.Fatalf("function sets differ: %d vs %d", len(a), len(b))
+		}
+		for name, ha := range a {
+			if hb := b[name]; hb != ha {
+				t.Fatalf("%s: body hash differs across builds of identical source", name)
+			}
+		}
+	}
+}
+
+// TestBodyHashIgnoresSiblingEdits: appending a new procedure at the end
+// of the file leaves every existing body hash unchanged — the property
+// that makes append-only edits (and edits to the last procedure) cheap
+// in the incremental workflow.
+func TestBodyHashIgnoresSiblingEdits(t *testing.T) {
+	before := hashes(t, hashSrc)
+	after := hashes(t, hashSrc+`
+int *extra(void) {
+	return &g;
+}
+`)
+	for name, h := range before {
+		if after[name] != h {
+			t.Errorf("%s: body hash changed by an append-only sibling edit", name)
+		}
+	}
+	if _, ok := after["extra"]; !ok {
+		t.Fatal("appended procedure missing from the rebuilt graph")
+	}
+}
+
+// TestBodyHashDistinguishesBodies: two procedures with identical
+// signatures but different bodies hash differently (sanity: the hash
+// actually covers the body).
+func TestBodyHashDistinguishesBodies(t *testing.T) {
+	h := hashes(t, `
+int g;
+int a(int *p) { return *p; }
+int b(int *p) { return *p + g; }
+int main(void) { return a(&g) + b(&g); }
+`)
+	if h["a"] == h["b"] {
+		t.Error("different bodies share a body hash")
+	}
+}
