@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check lint bench bench-compare golden fuzz-smoke oracle race-canary cover server-smoke chaos population-smoke incremental-smoke
+.PHONY: all build test race vet fmt-check lint bench bench-compare golden fuzz-smoke oracle race-canary cover server-smoke chaos population-smoke incremental-smoke query-smoke
 
 all: build test vet fmt-check
 
@@ -75,17 +75,21 @@ golden:
 	UPDATE_GOLDEN=1 $(GO) test ./internal/experiments -run MetricsGolden
 
 # Statement-coverage floor for the observability layer, the report
-# renderers, and the corpus generator — the packages behind every
-# number the CLIs print and every generated test program. CI runs the
-# same check.
+# renderers, the corpus generator, and the demand-query engine — the
+# packages behind every number the CLIs print, every generated test
+# program, and every query answer. Each package prints its headroom
+# over the floor so a shrinking margin is visible before it becomes a
+# failure. CI runs the same check.
 COVER_FLOOR ?= 70.0
+COVER_PKGS ?= ./internal/obs ./internal/report ./internal/corpusgen ./internal/query
 
 cover:
 	@set -e; \
-	for pkg in ./internal/obs ./internal/report ./internal/corpusgen; do \
+	for pkg in $(COVER_PKGS); do \
 		$(GO) test -coverprofile=/tmp/cover.out $$pkg >/dev/null; \
 		pct="$$($(GO) tool cover -func=/tmp/cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}')"; \
-		echo "$$pkg coverage: $$pct% (floor $(COVER_FLOOR)%)"; \
+		delta="$$(awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN {printf "%+.1f", p - f}')"; \
+		echo "$$pkg coverage: $$pct% (floor $(COVER_FLOOR)%, delta $$delta)"; \
 		ok="$$(awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN {print (p+0 >= f+0) ? 1 : 0}')"; \
 		if [ "$$ok" != 1 ]; then echo "coverage below floor for $$pkg"; exit 1; fi; \
 	done
@@ -112,6 +116,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzLoadAndSolve -fuzztime=20s ./internal/driver
 	$(GO) test -fuzz=FuzzVet -fuzztime=20s .
 	$(GO) test -fuzz=FuzzServeAnalyze -fuzztime=20s ./internal/server
+	$(GO) test -fuzz=FuzzQuery -fuzztime=20s ./internal/query
 
 # End-to-end smoke of the aliaslabd daemon over a real socket: start,
 # curl every endpoint (including a duplicate request for the cache-hit
@@ -142,6 +147,14 @@ population-smoke:
 # the exhaustive solve with every pre-edit procedure reused from cache.
 incremental-smoke:
 	$(GO) test -race -count=1 -run 'TestIncrementalSmokeEditLoop|TestBatchModularReusesAndAgrees' ./internal/summary/ ./internal/experiments/
+
+# Demand-query population smoke: the metamorphic battery plus the
+# demand-vs-exhaustive differential oracle over the whole corpus and a
+# 200-unit generated population, under the race detector. Every
+# violation shrinks to a committed fuzz seed, so a failure here leaves
+# a reproducer behind. CI runs the same check.
+query-smoke:
+	$(GO) test -race -count=1 -run 'TestDemandPopulation|TestCheckDemandCorpus' ./internal/query/ ./internal/oracle/
 
 # The injected-fault chaos suite under the race detector: panics,
 # synthetic budget violations, and slow stages across the request

@@ -21,6 +21,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"aliaslab/internal/backend"
@@ -34,6 +35,7 @@ import (
 	"aliaslab/internal/limits"
 	"aliaslab/internal/modref"
 	"aliaslab/internal/obs"
+	"aliaslab/internal/query"
 	"aliaslab/internal/solver"
 	"aliaslab/internal/stats"
 	"aliaslab/internal/vdg"
@@ -72,6 +74,12 @@ type Program struct {
 	// trace, when the program was built with ParseProgramTraced,
 	// receives the solve spans of analysis calls; nil otherwise.
 	trace *Trace
+
+	// queryOnce guards the lazily built demand-driven query engine;
+	// its memo table lives for the Program's lifetime, so repeated
+	// queries share slices.
+	queryOnce sync.Once
+	queryEng  *query.Engine
 }
 
 // ParseProgram builds a Program from source text.
@@ -627,4 +635,52 @@ func Compare(a, b *Result) (spuriousPairs, indirectDiffs int) {
 	spuriousPairs = len(stats.SpuriousPairs(g, a.sets, b.sets))
 	indirectDiffs = len(stats.IndirectDiff(g, a.sets, b.sets))
 	return
+}
+
+// QueryAnswer is the rendered answer of one demand-driven query. Its
+// JSON encoding is byte-identical across the facade, the CLI's
+// -query flag, and the server's /v1/query endpoint.
+type QueryAnswer = query.Answer
+
+func (p *Program) queryEngine() *query.Engine {
+	p.queryOnce.Do(func() {
+		p.queryEng = query.New(p.unit.Graph, query.Options{})
+	})
+	return p.queryEng
+}
+
+// MayAlias answers whether the two expressions (variable paths like
+// "p", "main.q", "s.next", "*pp") may refer to the same location,
+// solving only the demand slice that can influence them instead of the
+// whole-program fixpoint. Verdicts are "yes" (with a witness
+// location), "no", or "unknown" (an expression with no live occurrence
+// in the program). The engine memoizes slices, so repeated queries on
+// the same Program get cheaper.
+func (p *Program) MayAlias(e1, e2 string) (QueryAnswer, error) {
+	return p.queryEngine().MayAlias(e1, e2)
+}
+
+// PointsTo answers what the expression may point to, as the sorted
+// referent names of the demand-solved points-to sets at every live
+// occurrence of the expression.
+func (p *Program) PointsTo(expr string) (QueryAnswer, error) {
+	return p.queryEngine().PointsTo(expr)
+}
+
+// Query evaluates one or more ';'-separated textual queries, e.g.
+// "mayalias(p, q); pointsto(s.next)".
+func (p *Program) Query(src string) ([]QueryAnswer, error) {
+	qs, err := query.ParseAll(src)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]QueryAnswer, 0, len(qs))
+	for _, q := range qs {
+		ans, err := p.queryEngine().Query(q)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ans)
+	}
+	return out, nil
 }

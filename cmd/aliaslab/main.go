@@ -7,13 +7,18 @@
 //	aliaslab [flags] a.c b.c c.c     # multi-file batch, parallel via -jobs
 //	aliaslab -corpus part            # analyze an embedded benchmark
 //	aliaslab -vet file.c             # run the pointer-bug checkers
+//	aliaslab -query 'mayalias(p,q)' file.c   # demand-driven queries
 //
 // Flags select the analysis (-analysis ci|cs|baseline, or -backend
 // ci|cs|andersen|steensgaard to pick a point on the four-way
 // precision/cost frontier), what to print (-print
 // pointsto|indirect|modref|callgraph|sizes|json), ablations, and the
 // checker mode (-vet, filtered with -checkers and rendered per
-// -format). The solver's worklist discipline is swappable (-worklist
+// -format). -query answers ';'-separated mayalias/pointsto queries by
+// solving only the demand slice that can influence the queried
+// expressions instead of the whole-program fixpoint (same -format
+// text|json switch; answers are byte-identical to the exhaustive
+// solve's). The solver's worklist discipline is swappable (-worklist
 // fifo|lifo|priority — every strategy reaches the same fixpoint;
 // steensgaard has no worklist and rejects the flag) and -stats prints
 // the engine's work counters on stderr.
@@ -54,6 +59,7 @@ import (
 	"aliaslab/internal/limits"
 	"aliaslab/internal/modref"
 	"aliaslab/internal/obs"
+	"aliaslab/internal/query"
 	"aliaslab/internal/report"
 	"aliaslab/internal/sched"
 	"aliaslab/internal/solver"
@@ -75,6 +81,7 @@ type config struct {
 	vet      bool
 	checkers string
 	format   string
+	query    string
 	budget   limits.Budget
 	strategy solver.Strategy
 	stats    bool
@@ -114,7 +121,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	statsFlag := fs.Bool("stats", false, "print solver engine counters to stderr after each analysis")
 	vet := fs.Bool("vet", false, "run the pointer-bug checkers instead of printing analysis results")
 	checkersFlag := fs.String("checkers", "", "comma-separated checker IDs for -vet (default: all; see -vet -checkers help)")
-	format := fs.String("format", "text", "-vet output format: text or json")
+	queryFlag := fs.String("query", "", "answer ';'-separated demand queries, e.g. 'mayalias(p,q); pointsto(s.next)', instead of printing analysis results")
+	format := fs.String("format", "text", "-vet/-query output format: text or json")
 	traceOn := fs.Bool("trace", false, "record phase spans and print the span tree to stderr")
 	traceOut := fs.String("trace-out", "", "write the phase spans as a Chrome trace_event file (implies -trace)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile (with per-phase pprof labels) to this file")
@@ -155,6 +163,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// entry point rejects the combination identically.
 	if kind, err := backend.ParseKind(*analysis); err == nil {
 		if err := backend.ValidateWorklist(kind, *worklist); err != nil {
+			fmt.Fprintln(stderr, "aliaslab:", err)
+			return 2
+		}
+	}
+
+	// Demand queries solve the ci analysis on a slice; mixing them with
+	// another backend, the checkers, or the modular mode would promise a
+	// result the query engine does not compute.
+	if *queryFlag != "" {
+		if *analysis != "ci" {
+			fmt.Fprintf(stderr, "aliaslab: -query answers on the ci analysis, not %s\n", *analysis)
+			return 2
+		}
+		if *vet || *modular {
+			fmt.Fprintln(stderr, "aliaslab: -query does not combine with -vet or -modular")
+			return 2
+		}
+		if _, err := query.ParseAll(*queryFlag); err != nil {
 			fmt.Fprintln(stderr, "aliaslab:", err)
 			return 2
 		}
@@ -223,6 +249,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		vet:      *vet,
 		checkers: *checkersFlag,
 		format:   *format,
+		query:    *queryFlag,
 		budget:   budget,
 		strategy: strategy,
 		stats:    *statsFlag,
@@ -358,6 +385,9 @@ func runMulti(files []string, opts vdg.Options, cfg config, jobs int, tr *obs.Tr
 func analyzeUnit(u *driver.Unit, cfg config, stdout, stderr io.Writer) int {
 	if cfg.vet {
 		return runVet(u, cfg, stdout, stderr)
+	}
+	if cfg.query != "" {
+		return runQuery(u, cfg, stdout, stderr)
 	}
 
 	// Run the selected analysis under the budget, always materializing a
@@ -573,6 +603,79 @@ func runVet(u *driver.Unit, cfg config, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// runQuery answers the configured demand queries on one unit. Exit
+// status 0 means every query answered, 1 an unresolvable expression,
+// and 3 a degraded run: the demand solve hit its budget, so an
+// "unknown" verdict stands in for an answer the slice could not
+// finish. The span records one child per query so traces show slice
+// reuse (memo hits have no solve child work).
+func runQuery(u *driver.Unit, cfg config, stdout, stderr io.Writer) int {
+	qs, err := query.ParseAll(cfg.query)
+	if err != nil {
+		fmt.Fprintln(stderr, "aliaslab:", err)
+		return 2
+	}
+	e := query.New(u.Graph, query.Options{Budget: cfg.budget, Strategy: cfg.strategy})
+	answers := make([]query.Answer, 0, len(qs))
+	degraded := false
+	for _, q := range qs {
+		sp := cfg.span.Child("query", obs.Str("query", q.String()))
+		ans, err := e.Query(q)
+		sp.End()
+		if err != nil {
+			fmt.Fprintln(stderr, "aliaslab:", err)
+			return 1
+		}
+		if ans.Degraded() {
+			degraded = true
+		}
+		if cfg.stats {
+			fmt.Fprintf(stderr, "aliaslab: query %s: slice %d/%d outputs, %d/%d procedures, %d steps, memo hit %v\n",
+				ans.Query, ans.Slice.Outputs, ans.Slice.TotalOutputs,
+				ans.Slice.Procedures, ans.Slice.TotalProcedures, ans.Slice.Steps, ans.Slice.MemoHit)
+		}
+		answers = append(answers, ans)
+	}
+	switch cfg.format {
+	case "text":
+		for _, a := range answers {
+			fmt.Fprintln(stdout, renderAnswer(a))
+		}
+	case "json":
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(answers); err != nil {
+			fmt.Fprintln(stderr, "aliaslab:", err)
+			return 1
+		}
+	default:
+		fmt.Fprintln(stderr, "aliaslab: unknown -format", cfg.format)
+		return 2
+	}
+	if degraded {
+		fmt.Fprintln(stderr, "aliaslab: warning: a demand solve stopped on its budget; unknown verdicts are degraded answers, not proofs")
+		return 3
+	}
+	return 0
+}
+
+// renderAnswer is the one-line text form of a query answer.
+func renderAnswer(a query.Answer) string {
+	switch a.Verdict {
+	case "yes":
+		return fmt.Sprintf("%s: yes (witness %s)", a.Query, a.Witness)
+	case "no":
+		return fmt.Sprintf("%s: no", a.Query)
+	case "ok":
+		if len(a.PointsTo) == 0 {
+			return fmt.Sprintf("%s: (empty)", a.Query)
+		}
+		return fmt.Sprintf("%s: %s", a.Query, strings.Join(a.PointsTo, ", "))
+	default:
+		return fmt.Sprintf("%s: unknown (%s)", a.Query, a.Reason)
+	}
 }
 
 // printEngineStats renders one analysis run's solver counters on

@@ -13,6 +13,7 @@
 //	experiments -backend frontier    # four-way precision/cost frontier table
 //	experiments -backend andersen    # also solve each unit with one constraint backend
 //	experiments -modular     # bottom-up summary solve per unit + warm-reuse table
+//	experiments -queries     # demand-query sweep per unit + demand-vs-exhaustive table
 //	experiments -stats       # append solver engine counters (or embed in -json)
 //	experiments -metrics     # collect batch metrics (table, or embed in -json)
 //	experiments -trace       # phase span tree on stderr
@@ -60,6 +61,7 @@ func run() int {
 	worklist := flag.String("worklist", "", "solver worklist strategy: fifo (default), lifo, or priority")
 	backendFlag := flag.String("backend", "", "run a constraint backend per unit (andersen, steensgaard) or render the four-way frontier table (frontier)")
 	modular := flag.Bool("modular", false, "also solve each unit bottom-up from per-procedure summaries, oracle-checked against the exhaustive answer; appends the warm-reuse table (embedded in the summary with -json)")
+	queries := flag.Bool("queries", false, "also sweep each unit's variables through the demand-driven query engine, cross-checked against the exhaustive answer; appends the demand-vs-exhaustive table")
 	statsOut := flag.Bool("stats", false, "append the solver engine counters (embedded in the summary with -json)")
 	metricsOut := flag.Bool("metrics", false, "collect batch metrics: table on stdout, or the deterministic subset embedded in the -json summary")
 	traceOn := flag.Bool("trace", false, "record phase spans and print the span tree to stderr")
@@ -169,7 +171,7 @@ func run() int {
 	t0 := time.Now()
 	rs, err := experiments.RunBatch(corpus.Names(), experiments.BatchOptions{
 		WithCS: needCS, Opts: opts, Jobs: *jobs, Strategy: strategy,
-		Trace: tr, Metrics: reg, Backend: backendKind, Modular: *modular,
+		Trace: tr, Metrics: reg, Backend: backendKind, Modular: *modular, Queries: *queries,
 	})
 	wall := time.Since(t0)
 	if err != nil {
@@ -217,6 +219,10 @@ func run() int {
 	if *modular && !*jsonOut {
 		fmt.Fprintln(w)
 		experiments.Incremental(w, rs)
+	}
+	if *queries && !*jsonOut {
+		fmt.Fprintln(w)
+		experiments.QueryCosts(w, rs)
 	}
 	if *statsOut && !*jsonOut {
 		fmt.Fprintln(w)

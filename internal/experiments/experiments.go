@@ -63,6 +63,12 @@ type ProgramResult struct {
 	ModularColdTime time.Duration
 	ModularWarmTime time.Duration
 
+	// Queries records the demand-query sweep when BatchOptions.Queries
+	// is set: per-query slice sizes, solve steps, and cold/warm times,
+	// every answer cross-checked against the exhaustive CI reference
+	// in-line (a divergence fails the unit).
+	Queries *QueryBench
+
 	// WallTime is the unit's total load+analyze wall time, used by the
 	// batch report to compare aggregate work against batch wall clock
 	// (the parallel speedup).
@@ -129,6 +135,13 @@ type BatchOptions struct {
 	// the exhaustive CI reference. Each unit gets its own cache so the
 	// counters are independent of batch order and Jobs width.
 	Modular bool
+
+	// Queries additionally sweeps each unit's variables through the
+	// demand-driven query engine — pointsto per variable, cold (fresh
+	// engine) and warm (shared memo) — recording slice sizes and times
+	// in ProgramResult.Queries and tripping the unit's Err if any
+	// demand answer diverges from the exhaustive CI reference.
+	Queries bool
 
 	// Trace, when non-nil, records the batch as a span tree: one root
 	// batch span, one detached span per unit (attached in input order
@@ -209,6 +222,12 @@ func runUnit(ctx context.Context, name string, bo BatchOptions) (*ProgramResult,
 
 		if bo.Modular {
 			if err := runModular(r, u, bo, sp); err != nil {
+				return err
+			}
+		}
+
+		if bo.Queries {
+			if err := runQueries(r, u, bo, sp); err != nil {
 				return err
 			}
 		}

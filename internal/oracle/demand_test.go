@@ -1,0 +1,29 @@
+package oracle_test
+
+import (
+	"testing"
+
+	"aliaslab/internal/corpus"
+	"aliaslab/internal/oracle"
+	"aliaslab/internal/vdg"
+)
+
+// The demand-vs-exhaustive differential oracle over the whole corpus:
+// for sampled variable pairs per unit, the demand solve equals the
+// exhaustive fixpoint on its entire slice, stays confined to the
+// slice, and the memoizing engine's answers match answers evaluated on
+// the exhaustive sets.
+func TestCheckDemandCorpus(t *testing.T) {
+	for _, name := range corpus.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			u, err := corpus.Load(name, vdg.Options{})
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			for _, v := range oracle.CheckDemand(name, u, oracle.DemandOptions{}) {
+				t.Errorf("%s", v)
+			}
+		})
+	}
+}

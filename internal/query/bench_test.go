@@ -1,0 +1,77 @@
+package query_test
+
+import (
+	"testing"
+
+	"aliaslab/internal/core"
+	"aliaslab/internal/corpus"
+	"aliaslab/internal/query"
+	"aliaslab/internal/vdg"
+)
+
+// BenchmarkDemandQuery pins the demand engine's cost model on the
+// largest corpus unit (bc): the exhaustive whole-program CI fixpoint
+// every other figure is built on, a cold demand query at the smallest
+// and largest slice the unit's variables induce, and a memo hit. The
+// demand numbers include the full query path — resolve, call-graph
+// (cold engines rebuild it), slice closure, solve, render — so the
+// comparison against the exhaustive solve is end-to-end honest, not
+// solve-vs-solve.
+func BenchmarkDemandQuery(b *testing.B) {
+	u, err := corpus.Load("bc", vdg.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Pick the extreme slices deterministically.
+	probe := query.New(u.Graph, query.Options{})
+	cg := query.BuildCallGraph(u.Graph)
+	var small, large query.Expr
+	minN, maxN := int(^uint(0)>>1), -1
+	for _, x := range query.VarExprs(u.Graph, 0) {
+		anchors, err := probe.Resolve(x)
+		if err != nil || len(anchors) == 0 {
+			continue
+		}
+		n := len(query.SliceFor(u.Graph, cg, anchors).Outputs)
+		if n < minN {
+			minN, small = n, x
+		}
+		if n > maxN {
+			maxN, large = n, x
+		}
+	}
+	b.Logf("bc: %d outputs; smallest slice %s (%d outputs), largest %s (%d outputs)",
+		u.Graph.OutputCount(), small, minN, large, maxN)
+
+	b.Run("exhaustive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.AnalyzeInsensitive(u.Graph)
+		}
+	})
+	for _, bc := range []struct {
+		name string
+		expr query.Expr
+	}{{"demand-smallest-slice", small}, {"demand-largest-slice", large}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := query.New(u.Graph, query.Options{})
+				if _, err := e.Query(query.Query{Kind: query.KindPointsTo, Exprs: []query.Expr{bc.expr}}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("memo-hit", func(b *testing.B) {
+		e := query.New(u.Graph, query.Options{})
+		q := query.Query{Kind: query.KindPointsTo, Exprs: []query.Expr{large}}
+		if _, err := e.Query(q); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,109 @@
+package query_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aliaslab/internal/core"
+	"aliaslab/internal/driver"
+	"aliaslab/internal/limits"
+	"aliaslab/internal/query"
+	"aliaslab/internal/vdg"
+)
+
+// FuzzQuery throws arbitrary source plus two arbitrary query strings
+// at the demand engine. The contract under fuzzing:
+//
+//   - no panics anywhere in parse → resolve → slice → solve → render;
+//   - every accepted query answers with a verdict from the closed set
+//     (yes/no for mayalias, ok for pointsto, unknown when degraded),
+//     and unknown verdicts always carry a reason;
+//   - on units where the budgeted exhaustive fixpoint converges, every
+//     demand pointsto referent appears in the exhaustive answer.
+//
+// Seeds cover both well-formed queries over the basic fixture and the
+// shrunk reproducers the population test writes on oracle violations.
+func FuzzQuery(f *testing.F) {
+	seeds := [][3]string{
+		{basicSrc, "mayalias(p, q)", "pointsto(n1.next)"},
+		{basicSrc, "mayalias(p,p); pointsto(gp)", "pointsto(*p)"},
+		{basicSrc, "pointsto(main.p)", "mayalias(n1.next, n2)"},
+		{basicSrc, "pointsto(**p)", "mayalias(g, g)"},
+		{"int g; int *p; int main(void) { p = &g; return *p; }", "pointsto(p)", "mayalias(p, g)"},
+		{`void swap(int **p, int **q) { int *t; t = *p; *p = *q; *q = t; }
+int x; int y;
+int main(void) { int *u; int *v; u = &x; v = &y; swap(&u, &v); return *u; }`,
+			"mayalias(u, v)", "pointsto(*p)"},
+		{basicSrc, "frobnicate(p)", "pointsto("},
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1], s[2])
+	}
+	// Reproducers shrunk out of population-test failures keep past
+	// violations in the corpus forever.
+	if ents, err := os.ReadDir(filepath.Join("testdata", "fuzz", "FuzzQuery")); err == nil {
+		for _, e := range ents {
+			if !strings.HasSuffix(e.Name(), ".c") {
+				continue
+			}
+			src, err := os.ReadFile(filepath.Join("testdata", "fuzz", "FuzzQuery", e.Name()))
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(string(src), "mayalias(p, q)", "pointsto(p)")
+		}
+	}
+	f.Fuzz(func(t *testing.T, src, q1, q2 string) {
+		u, err := driver.LoadString("fuzz.c", src, vdg.Options{})
+		if err != nil {
+			if pe, ok := limits.AsPanic(err); ok {
+				t.Fatalf("front end panicked: %s", pe.Detail())
+			}
+			return // ordinary diagnostics: expected on arbitrary input
+		}
+		budget := limits.Budget{MaxSteps: 20_000, MaxPairs: 50_000}
+		exh := core.AnalyzeInsensitiveBudgeted(u.Graph, budget)
+		e := query.New(u.Graph, query.Options{Budget: budget})
+		for _, qs := range []string{q1, q2} {
+			queries, err := query.ParseAll(qs)
+			if err != nil {
+				continue // parse diagnostics are the expected outcome
+			}
+			for _, q := range queries {
+				ans, err := e.Query(q)
+				if err != nil {
+					continue // unresolvable variable: expected on arbitrary input
+				}
+				switch ans.Verdict {
+				case "yes", "no", "ok", "unknown":
+				default:
+					t.Fatalf("%s: verdict %q outside the closed set", q, ans.Verdict)
+				}
+				if ans.Verdict == "unknown" && ans.Reason == "" {
+					t.Fatalf("%s: unknown verdict without a reason", q)
+				}
+				if ans.Query != q.String() {
+					t.Fatalf("%s: answer echoes query %q", q, ans.Query)
+				}
+				if q.Kind == query.KindPointsTo && ans.Verdict == "ok" && exh.Stopped == nil {
+					anchors, rerr := e.Resolve(q.Exprs[0])
+					if rerr != nil {
+						t.Fatalf("%s: answered but re-resolve failed: %v", q, rerr)
+					}
+					want := query.Evaluate(q, [][]*vdg.Output{anchors}, exh.Pairs)
+					wantSet := make(map[string]bool, len(want.PointsTo))
+					for _, r := range want.PointsTo {
+						wantSet[r] = true
+					}
+					for _, r := range ans.PointsTo {
+						if !wantSet[r] {
+							t.Fatalf("%s: demand referent %s not in exhaustive answer %v", q, r, want.PointsTo)
+						}
+					}
+				}
+			}
+		}
+	})
+}

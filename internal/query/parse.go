@@ -1,0 +1,220 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind is the query form.
+type Kind int
+
+const (
+	KindMayAlias Kind = iota
+	KindPointsTo
+)
+
+func (k Kind) String() string {
+	if k == KindMayAlias {
+		return "mayalias"
+	}
+	return "pointsto"
+}
+
+// Field is one member access step of an expression suffix.
+type Field struct {
+	Name  string
+	Arrow bool // p->f (through the pointer value) vs x.f (in place)
+}
+
+// Expr is a parsed query expression: '*'* [func ':'] name (('->'|'.')
+// field)*. Stars are prefix derefs and apply outermost, as in C.
+type Expr struct {
+	Derefs int
+	Func   string // optional scope qualifier; "" searches every scope
+	Name   string
+	Fields []Field
+}
+
+func (e Expr) String() string {
+	var b strings.Builder
+	b.WriteString(strings.Repeat("*", e.Derefs))
+	if e.Func != "" {
+		b.WriteString(e.Func)
+		b.WriteByte(':')
+	}
+	b.WriteString(e.Name)
+	for _, f := range e.Fields {
+		if f.Arrow {
+			b.WriteString("->")
+		} else {
+			b.WriteByte('.')
+		}
+		b.WriteString(f.Name)
+	}
+	return b.String()
+}
+
+// Query is a parsed query: mayalias(e1, e2) or pointsto(e).
+type Query struct {
+	Kind  Kind
+	Exprs []Expr
+}
+
+// String renders the canonical form (lowercase kind, single spaces).
+func (q Query) String() string {
+	parts := make([]string, len(q.Exprs))
+	for i, e := range q.Exprs {
+		parts[i] = e.String()
+	}
+	return fmt.Sprintf("%s(%s)", q.Kind, strings.Join(parts, ", "))
+}
+
+// Parse parses one query: `mayalias(e1, e2)` or `pointsto(e)`, where an
+// expression is `'*'* [func ':'] var (('->'|'.') field)*`. Whitespace
+// between tokens is ignored; names are C identifiers.
+func Parse(s string) (Query, error) {
+	p := &parser{src: s}
+	q, err := p.query()
+	if err != nil {
+		return Query{}, fmt.Errorf("query %q: %w", s, err)
+	}
+	return q, nil
+}
+
+// ParseAll parses a ';'-separated list of queries.
+func ParseAll(s string) ([]Query, error) {
+	var qs []Query
+	for _, part := range strings.Split(s, ";") {
+		if strings.TrimSpace(part) == "" {
+			continue
+		}
+		q, err := Parse(part)
+		if err != nil {
+			return nil, err
+		}
+		qs = append(qs, q)
+	}
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("no query in %q", s)
+	}
+	return qs, nil
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *parser) eat(tok string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentByte(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func (p *parser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	if p.pos >= len(p.src) || !isIdentStart(p.src[p.pos]) {
+		return "", fmt.Errorf("expected identifier at offset %d", p.pos)
+	}
+	for p.pos < len(p.src) && isIdentByte(p.src[p.pos]) {
+		p.pos++
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) query() (Query, error) {
+	name, err := p.ident()
+	if err != nil {
+		return Query{}, err
+	}
+	var q Query
+	switch strings.ToLower(name) {
+	case "mayalias":
+		q.Kind = KindMayAlias
+	case "pointsto":
+		q.Kind = KindPointsTo
+	default:
+		return Query{}, fmt.Errorf("unknown query kind %q (want mayalias or pointsto)", name)
+	}
+	if !p.eat("(") {
+		return Query{}, fmt.Errorf("expected '(' after %s", q.Kind)
+	}
+	e, err := p.expr()
+	if err != nil {
+		return Query{}, err
+	}
+	q.Exprs = append(q.Exprs, e)
+	if q.Kind == KindMayAlias {
+		if !p.eat(",") {
+			return Query{}, fmt.Errorf("mayalias takes two expressions")
+		}
+		e2, err := p.expr()
+		if err != nil {
+			return Query{}, err
+		}
+		q.Exprs = append(q.Exprs, e2)
+	}
+	if !p.eat(")") {
+		return Query{}, fmt.Errorf("expected ')'")
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return Query{}, fmt.Errorf("trailing input at offset %d", p.pos)
+	}
+	return q, nil
+}
+
+func (p *parser) expr() (Expr, error) {
+	var e Expr
+	for p.eat("*") {
+		e.Derefs++
+	}
+	name, err := p.ident()
+	if err != nil {
+		return Expr{}, err
+	}
+	e.Name = name
+	if p.eat(":") {
+		e.Func = name
+		if e.Name, err = p.ident(); err != nil {
+			return Expr{}, err
+		}
+	}
+	for {
+		if p.eat("->") {
+			f, err := p.ident()
+			if err != nil {
+				return Expr{}, err
+			}
+			e.Fields = append(e.Fields, Field{Name: f, Arrow: true})
+			continue
+		}
+		if p.eat(".") {
+			f, err := p.ident()
+			if err != nil {
+				return Expr{}, err
+			}
+			e.Fields = append(e.Fields, Field{Name: f})
+			continue
+		}
+		return e, nil
+	}
+}

@@ -1,0 +1,168 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"aliaslab/internal/sema"
+	"aliaslab/internal/vdg"
+)
+
+// resolver indexes one graph for expression-to-anchor resolution. The
+// indexes are derived once per engine from the final (simplified)
+// graph, so every anchor it hands out is a live output.
+type resolver struct {
+	g       *vdg.Graph
+	objects map[string][]*sema.Object // by name, ordered by object ID
+	addrs   map[*sema.Object][]*vdg.Output
+}
+
+func newResolver(g *vdg.Graph) *resolver {
+	r := &resolver{
+		g:       g,
+		objects: make(map[string][]*sema.Object),
+		addrs:   make(map[*sema.Object][]*vdg.Output),
+	}
+	seen := make(map[*sema.Object]bool)
+	note := func(obj *sema.Object) {
+		if obj == nil || seen[obj] {
+			return
+		}
+		seen[obj] = true
+		r.objects[obj.Name] = append(r.objects[obj.Name], obj)
+	}
+	for obj := range g.VarValues {
+		note(obj)
+	}
+	for obj := range g.BaseOf {
+		note(obj)
+	}
+	for _, fg := range g.Funcs {
+		for _, n := range fg.Nodes {
+			if n.Obj != nil {
+				note(n.Obj)
+				if n.Kind == vdg.KAddr {
+					r.addrs[n.Obj] = append(r.addrs[n.Obj], n.Outputs[0])
+				}
+			}
+		}
+	}
+	for _, objs := range r.objects {
+		sort.Slice(objs, func(i, j int) bool { return objs[i].ID < objs[j].ID })
+	}
+	return r
+}
+
+// objectsFor returns the program objects expression x's name denotes.
+// A `fn:name` qualifier selects locals/params of fn first and falls
+// back to file-scope objects; an unqualified name aggregates every
+// scope's variable of that name (the query is about storage, and
+// same-named locals in different functions are distinct storage that a
+// caller asking about "p" plainly wants covered).
+func (r *resolver) objectsFor(x Expr) ([]*sema.Object, error) {
+	all := r.objects[x.Name]
+	if len(all) == 0 {
+		return nil, fmt.Errorf("unknown variable %q", x.Name)
+	}
+	if x.Func == "" {
+		return all, nil
+	}
+	var local, global []*sema.Object
+	for _, obj := range all {
+		switch {
+		case obj.Owner != nil && obj.Owner.Name == x.Func:
+			local = append(local, obj)
+		case obj.Owner == nil:
+			global = append(global, obj)
+		}
+	}
+	if len(local) > 0 {
+		return local, nil
+	}
+	if len(global) > 0 {
+		return global, nil
+	}
+	return nil, fmt.Errorf("no variable %q in function %q", x.Name, x.Func)
+}
+
+// lookupsOver returns the outputs of KLookup nodes whose location input
+// is fed by a member of set: the values loaded from those addresses.
+func lookupsOver(set []*vdg.Output) []*vdg.Output {
+	var out []*vdg.Output
+	for _, o := range set {
+		for _, in := range o.Consumers {
+			if in.Node.Kind == vdg.KLookup && in.Index == 0 {
+				out = append(out, in.Node.Outputs[0])
+			}
+		}
+	}
+	return out
+}
+
+// fieldAddrsOver returns the outputs of KFieldAddr nodes for member
+// name fed by a member of set.
+func fieldAddrsOver(set []*vdg.Output, name string) []*vdg.Output {
+	var out []*vdg.Output
+	for _, o := range set {
+		for _, in := range o.Consumers {
+			if in.Node.Kind == vdg.KFieldAddr && in.Index == 0 && in.Node.Field == name {
+				out = append(out, in.Node.Outputs[0])
+			}
+		}
+	}
+	return out
+}
+
+// anchors resolves x to the value outputs that carry its value in the
+// analyzed program. The error is reserved for names the program does
+// not declare; a declared expression with no live occurrence resolves
+// to an empty anchor set (the caller answers "unknown").
+//
+// Resolution is structural on the final graph: the bare variable's
+// values come from Graph.VarValues (plus the loads through its address
+// constant, covering compound assignments), a `->f` step follows the
+// KFieldAddr nodes fed by the current values, a `.f` step follows the
+// ones fed by the current addresses, and each prefix `*` re-anchors on
+// the loads through the current values.
+func (r *resolver) anchors(x Expr) ([]*vdg.Output, error) {
+	objs, err := r.objectsFor(x)
+	if err != nil {
+		return nil, err
+	}
+	var vals, addrs []*vdg.Output
+	for _, obj := range objs {
+		vals = append(vals, r.g.VarValues[obj]...)
+		aouts := r.addrs[obj]
+		addrs = append(addrs, aouts...)
+		vals = append(vals, lookupsOver(aouts)...)
+	}
+	for _, f := range x.Fields {
+		base := vals
+		if !f.Arrow {
+			base = addrs
+		}
+		fa := fieldAddrsOver(dedupe(base), f.Name)
+		addrs = fa
+		vals = lookupsOver(fa)
+	}
+	for i := 0; i < x.Derefs; i++ {
+		addrs = dedupe(vals)
+		vals = lookupsOver(addrs)
+	}
+	return dedupe(vals), nil
+}
+
+// dedupe removes duplicates and orders by output ID (creation order),
+// making every downstream iteration deterministic.
+func dedupe(outs []*vdg.Output) []*vdg.Output {
+	seen := make(map[*vdg.Output]bool, len(outs))
+	var uniq []*vdg.Output
+	for _, o := range outs {
+		if o != nil && !seen[o] {
+			seen[o] = true
+			uniq = append(uniq, o)
+		}
+	}
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i].ID < uniq[j].ID })
+	return uniq
+}

@@ -1,0 +1,48 @@
+package query
+
+import (
+	"sort"
+
+	"aliaslab/internal/sema"
+	"aliaslab/internal/vdg"
+)
+
+// VarExprs enumerates one bare expression per variable the graph can
+// anchor (locals qualified by their owning function), in deterministic
+// object-creation order. limit > 0 caps the list. The oracle, the
+// experiments table, and the fuzz corpus use this to derive a query
+// workload from a unit without knowing its source.
+func VarExprs(g *vdg.Graph, limit int) []Expr {
+	seen := make(map[*sema.Object]bool)
+	var objs []*sema.Object
+	note := func(obj *sema.Object) {
+		if obj != nil && !seen[obj] {
+			seen[obj] = true
+			objs = append(objs, obj)
+		}
+	}
+	for obj := range g.VarValues {
+		note(obj)
+	}
+	for obj := range g.BaseOf {
+		note(obj)
+	}
+	for _, fg := range g.Funcs {
+		for _, n := range fg.Nodes {
+			note(n.Obj)
+		}
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].ID < objs[j].ID })
+	if limit > 0 && len(objs) > limit {
+		objs = objs[:limit]
+	}
+	exprs := make([]Expr, 0, len(objs))
+	for _, obj := range objs {
+		x := Expr{Name: obj.Name}
+		if obj.Owner != nil {
+			x.Func = obj.Owner.Name
+		}
+		exprs = append(exprs, x)
+	}
+	return exprs
+}

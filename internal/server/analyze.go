@@ -22,23 +22,28 @@ import (
 	"aliaslab/internal/faults"
 	"aliaslab/internal/limits"
 	"aliaslab/internal/obs"
+	"aliaslab/internal/query"
 	"aliaslab/internal/report"
 	"aliaslab/internal/solver"
 	"aliaslab/internal/stats"
 	"aliaslab/internal/vdg"
 )
 
-// mode distinguishes the two analysis endpoints.
+// mode distinguishes the three analysis endpoints.
 type mode int
 
 const (
 	modeAnalyze mode = iota
 	modeVet
+	modeQuery
 )
 
 func (m mode) String() string {
-	if m == modeVet {
+	switch m {
+	case modeVet:
 		return "vet"
+	case modeQuery:
+		return "query"
 	}
 	return "analyze"
 }
@@ -73,6 +78,13 @@ type request struct {
 
 	// Checkers filters the vet checker suite (default: all).
 	Checkers []string `json:"checkers,omitempty"`
+
+	// Queries is the /v1/query request payload: demand queries like
+	// "mayalias(p, q)" or "pointsto(s.next)", answered by solving only
+	// the slice of the program that can influence the queried
+	// expressions (ci backend only). Answers are byte-identical to
+	// evaluating the same queries on the exhaustive fixpoint.
+	Queries []string `json:"queries,omitempty"`
 
 	// Modular solves the context-insensitive fixpoint by composing
 	// per-procedure summaries from the server's shared summary cache
@@ -240,6 +252,28 @@ func (s *Server) parse(r *http.Request, m mode) (*job, *response) {
 		return nil, errorResponse(http.StatusBadRequest,
 			"modular solving runs on the ci backend, not %s", kind)
 	}
+	if m == modeQuery {
+		if len(req.Queries) == 0 {
+			return nil, errorResponse(http.StatusBadRequest, "queries must not be empty")
+		}
+		if kind != backend.CI {
+			// Demand slicing solves the ci transfer functions; other
+			// backends have no demand host.
+			return nil, errorResponse(http.StatusBadRequest,
+				"queries run on the ci backend, not %s", kind)
+		}
+		if req.Modular {
+			return nil, errorResponse(http.StatusBadRequest,
+				"modular solving does not combine with queries")
+		}
+		for _, src := range req.Queries {
+			if _, err := query.ParseAll(src); err != nil {
+				return nil, errorResponse(http.StatusBadRequest, "%v", err)
+			}
+		}
+	} else if len(req.Queries) > 0 {
+		return nil, errorResponse(http.StatusBadRequest, "queries apply to /v1/query only")
+	}
 
 	j := &job{mode: m, req: req, kind: kind, strategy: strategy,
 		source: canonicalize(req.Source), modular: req.Modular}
@@ -305,6 +339,7 @@ func (j *job) key() cacheKey {
 	put(j.strategy.String())
 	put(strconv.FormatBool(j.modular))
 	put(strings.Join(j.req.Checkers, ","))
+	put(strings.Join(j.req.Queries, "\x00"))
 	put(strconv.Itoa(j.maxSteps))
 	put(strconv.Itoa(j.maxPairs))
 	put(strconv.FormatInt(int64(j.timeout), 10))
@@ -366,8 +401,11 @@ func (s *Server) run(j *job) *response {
 	if err := s.faults.Hit("solve"); err != nil {
 		return s.exhausted(err)
 	}
-	if j.mode == modeVet {
+	switch j.mode {
+	case modeVet:
 		return s.runVet(j, u, budget)
+	case modeQuery:
+		return s.runQuery(j, u, budget)
 	}
 	return s.runAnalyze(j, u, budget)
 }
@@ -517,6 +555,62 @@ func (s *Server) runAnalyze(j *job, u *driver.Unit, budget limits.Budget) *respo
 
 	resp := jsonResponse(status, body)
 	resp.cacheable = status == http.StatusOK
+	return resp
+}
+
+// queryBody is the /v1/query response: the answers in request order,
+// plus the shared envelope recording the demand-analysis mode (the
+// answers are the exact exhaustive-fixpoint answers — the demand
+// oracle enforces equality — so the envelope is not a degradation
+// signal here, it names how the fixpoint was computed).
+type queryBody struct {
+	Unit        string           `json:"unit"`
+	Answers     []query.Answer   `json:"answers"`
+	Degradation *report.Envelope `json:"degradation,omitempty"`
+}
+
+// runQuery answers the request's demand queries over one unit. A
+// budget blown mid-slice yields 503 like every other exhausted solve:
+// the degraded "unknown" stands in for an answer, and serving it as
+// one would be a lie. Semantic unknowns (an expression with no live
+// occurrence) are real answers and serve as 200.
+func (s *Server) runQuery(j *job, u *driver.Unit, budget limits.Budget) *response {
+	if err := s.faults.Hit("query"); err != nil {
+		return s.exhaustedIn(err, "query")
+	}
+	e := query.New(u.Graph, query.Options{Budget: budget, Strategy: j.strategy, Registry: s.reg})
+	var answers []query.Answer
+	for _, src := range j.req.Queries {
+		qs, err := query.ParseAll(src) // re-parse; validated in parse()
+		if err != nil {
+			return errorResponse(http.StatusBadRequest, "%v", err)
+		}
+		for _, q := range qs {
+			ans, err := e.Query(q)
+			if err != nil {
+				// Unresolvable variable: a request problem, not a server one.
+				return errorResponse(http.StatusBadRequest, "%v", err)
+			}
+			if ans.Degraded() {
+				s.degraded.Add(1)
+				env := report.DegradedEnvelope(ans.Reason, "").WithSound(false).WithMode("query")
+				resp := jsonResponse(http.StatusServiceUnavailable, errorBody{
+					Error:       "analysis budget exhausted: " + ans.Reason,
+					Degradation: &env,
+				})
+				resp.retryAfter = 1
+				return resp
+			}
+			answers = append(answers, ans)
+		}
+	}
+
+	if err := s.faults.Hit("render"); err != nil {
+		return s.exhaustedIn(err, "query")
+	}
+	env := report.Envelope{}.WithMode("query")
+	resp := jsonResponse(http.StatusOK, queryBody{Unit: u.Name, Answers: answers, Degradation: &env})
+	resp.cacheable = true
 	return resp
 }
 

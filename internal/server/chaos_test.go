@@ -138,7 +138,7 @@ func TestChaosStorm(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perWorker; i++ {
 				var resp *http.Response
-				switch i % 4 {
+				switch i % 5 {
 				case 0:
 					resp, _ = post(t, ts+"/v1/analyze", map[string]string{"corpus": corpusNames[(w+i)%len(corpusNames)]}, nil)
 				case 1:
@@ -148,6 +148,9 @@ func TestChaosStorm(t *testing.T) {
 				case 3: // unique source per worker to vary cache keys
 					src := fmt.Sprintf("int g%d;\nint main(void) { int *p; p = &g%d; return *p; }\n", w, w)
 					resp, _ = post(t, ts+"/v1/analyze", map[string]string{"source": src}, nil)
+				case 4: // demand queries ride the same pipeline
+					resp, _ = post(t, ts+"/v1/query",
+						map[string]any{"source": cleanSrc, "queries": []string{"mayalias(p, g); pointsto(p)"}}, nil)
 				}
 				mu.Lock()
 				statuses[resp.StatusCode]++

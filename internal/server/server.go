@@ -2,7 +2,11 @@
 // HTTP/JSON service answering points-to, alias, mod/ref, and vet
 // queries over submitted mini-C sources or embedded corpus programs,
 // with per-request backend selection across the four-way frontier
-// (cs, ci, andersen, steensgaard).
+// (cs, ci, andersen, steensgaard). /v1/query answers individual
+// mayalias/pointsto questions demand-driven: only the slice of the
+// program that can influence the queried expressions is solved, under
+// the same budget, admission, and caching discipline as the
+// whole-program endpoints.
 //
 // The design center is robustness under untrusted input and load, built
 // from the governance layers the CLIs already use:
@@ -172,6 +176,9 @@ func New(cfg Config) *Server {
 	})
 	s.mux.HandleFunc("POST /v1/vet", func(w http.ResponseWriter, r *http.Request) {
 		s.serve(w, r, modeVet)
+	})
+	s.mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
+		s.serve(w, r, modeQuery)
 	})
 	s.mux.HandleFunc("GET /v1/corpus", s.handleCorpus)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)

@@ -59,6 +59,7 @@ func Build(prog *sema.Program, opts Options) (*Graph, []*BuildError) {
 			FuncOf:     make(map[*sema.Function]*FuncGraph),
 			FuncByBase: make(map[*paths.Base]*FuncGraph),
 			BaseOf:     make(map[*sema.Object]*paths.Base),
+			VarValues:  make(map[*sema.Object][]*Output),
 		},
 		prog:      prog,
 		opts:      opts,
@@ -267,6 +268,7 @@ func (b *builder) buildFunc(fn *sema.Function) {
 		} else {
 			fb.cur.env[p] = out
 		}
+		fb.recordVar(p, out)
 	}
 
 	// Global initializers run before main's body. Under diagnostics,
@@ -607,7 +609,9 @@ func (fb *fnBuilder) declStmt(s *ast.DeclStmt) {
 		addr := fb.addrOfObj(obj, d.TokPos)
 		if d.Init != nil {
 			if v := fb.expr(d.Init); v != nil {
-				fb.update(addr, fb.maybeNull(v, d.Init, obj.Type, d.TokPos), d.TokPos)
+				nv := fb.maybeNull(v, d.Init, obj.Type, d.TokPos)
+				fb.update(addr, nv, d.TokPos)
+				fb.recordVar(obj, nv)
 			}
 		} else if d.InitList != nil {
 			idx := 0
@@ -619,7 +623,9 @@ func (fb *fnBuilder) declStmt(s *ast.DeclStmt) {
 	}
 	if d.Init != nil {
 		if v := fb.expr(d.Init); v != nil {
-			fb.cur.env[obj] = fb.maybeNull(v, d.Init, obj.Type, d.TokPos)
+			nv := fb.maybeNull(v, d.Init, obj.Type, d.TokPos)
+			fb.cur.env[obj] = nv
+			fb.recordVar(obj, nv)
 			return
 		}
 	}

@@ -251,6 +251,15 @@ func (fb *fnBuilder) stringRef(e *ast.StringLit) *Output {
 	return fb.g.AddOutput(n, ctypes.PointerTo(ctypes.CharType), false)
 }
 
+// recordVar registers v as a value occurrence of obj for the demand
+// query layer (Graph.VarValues).
+func (fb *fnBuilder) recordVar(obj *sema.Object, v *Output) {
+	if obj == nil || v == nil || fb.g.VarValues == nil {
+		return
+	}
+	fb.g.VarValues[obj] = append(fb.g.VarValues[obj], v)
+}
+
 func (fb *fnBuilder) identValue(e *ast.Ident) *Output {
 	if _, isConst := fb.b.prog.IdentConst[e]; isConst {
 		return fb.konst(ctypes.IntType, e.TokPos)
@@ -266,25 +275,32 @@ func (fb *fnBuilder) identValue(e *ast.Ident) *Output {
 			fb.b.errorf(e.TokPos, "internal: unknown function %s", obj.Name)
 			return fb.unknown(fb.typeOf(e), e.TokPos)
 		}
-		return fb.funcRef(fn, e.TokPos)
+		v := fb.funcRef(fn, e.TokPos)
+		fb.recordVar(obj, v)
+		return v
 	case sema.BuiltinObj:
 		fb.b.errorf(e.TokPos, "library function %s may only be called, not used as a value", obj.Name)
 		return fb.unknown(fb.typeOf(e), e.TokPos)
 	}
 	if !fb.b.storeResident(obj) {
 		if v, ok := fb.cur.env[obj]; ok {
+			fb.recordVar(obj, v)
 			return v
 		}
 		// Use before any assignment: undefined scalar value.
 		v := fb.unknown(obj.Type, e.TokPos)
 		fb.cur.env[obj] = v
+		fb.recordVar(obj, v)
 		return v
 	}
 	addr := fb.addrOfObj(obj, e.TokPos)
 	if obj.Type.Kind == ctypes.Array {
+		fb.recordVar(obj, addr)
 		return addr // arrays decay to their address
 	}
-	return fb.lookup(addr, obj.Type, e.TokPos)
+	v := fb.lookup(addr, obj.Type, e.TokPos)
+	fb.recordVar(obj, v)
+	return v
 }
 
 // loadLvalue reads an Index or Member lvalue, handling array decay and
@@ -429,10 +445,16 @@ func (fb *fnBuilder) store(lhs ast.Expr, v *Output, pos token.Pos) {
 		v = fb.unknown(fb.typeOf(lhs), pos)
 	}
 	if id, ok := lhs.(*ast.Ident); ok {
-		if obj := fb.b.prog.IdentObj[id]; obj != nil && !fb.b.storeResident(obj) &&
-			(obj.Kind == sema.LocalVar || obj.Kind == sema.ParamVar) {
-			fb.cur.env[obj] = v
-			return
+		if obj := fb.b.prog.IdentObj[id]; obj != nil {
+			if !fb.b.storeResident(obj) &&
+				(obj.Kind == sema.LocalVar || obj.Kind == sema.ParamVar) {
+				fb.cur.env[obj] = v
+				fb.recordVar(obj, v)
+				return
+			}
+			// Store-resident variable: the assigned value is still a
+			// value occurrence of the variable for the query layer.
+			fb.recordVar(obj, v)
 		}
 	}
 	a := fb.addr(lhs)

@@ -249,6 +249,16 @@ type Graph struct {
 	// BaseOf maps store-resident variables to their base locations.
 	BaseOf map[*sema.Object]*paths.Base
 
+	// VarValues maps each source variable to the outputs that carry its
+	// value somewhere in the program: every rvalue occurrence (the SSA
+	// environment value, or the lookup that loads a store-resident
+	// variable) and every value assigned to it. The demand query layer
+	// anchors MayAlias/PointsTo expressions here. SimplifyGammas remaps
+	// the entries it rewires and RemoveDeadNodes drops entries on
+	// deleted nodes, so the recorded outputs are always live in the
+	// final graph.
+	VarValues map[*sema.Object][]*Output
+
 	// Entry is the graph of main.
 	Entry *FuncGraph
 

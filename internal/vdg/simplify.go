@@ -7,6 +7,10 @@ package vdg
 // whose variable is loop-invariant restores the sparse representation
 // the paper's compiler produces.
 func SimplifyGammas(g *Graph) {
+	// Collapsed gamma outputs are recorded so VarValues entries pointing
+	// at them can be redirected to the surviving source (the collapsed
+	// gamma becomes dead and is deleted by RemoveDeadNodes).
+	redirect := make(map[*Output]*Output)
 	for {
 		changed := false
 		for _, fg := range g.Funcs {
@@ -39,12 +43,31 @@ func SimplifyGammas(g *Graph) {
 				for _, c := range consumers {
 					Rewire(c, src)
 				}
+				redirect[out] = src
 				changed = true
 			}
 		}
 		if !changed {
-			return
+			break
 		}
+	}
+	if len(redirect) == 0 || g.VarValues == nil {
+		return
+	}
+	chase := func(o *Output) *Output {
+		for {
+			next, ok := redirect[o]
+			if !ok {
+				return o
+			}
+			o = next
+		}
+	}
+	for obj, outs := range g.VarValues {
+		for i, o := range outs {
+			outs[i] = chase(o)
+		}
+		g.VarValues[obj] = outs
 	}
 }
 
@@ -134,6 +157,21 @@ func RemoveDeadNodes(g *Graph) {
 		}
 		o.Consumers = kept
 	})
+	// Drop query anchors on deleted nodes: a value occurrence that only
+	// fed dead code is not part of the analyzed program.
+	for obj, outs := range g.VarValues {
+		kept := outs[:0]
+		for _, o := range outs {
+			if !dead[o.Node] {
+				kept = append(kept, o)
+			}
+		}
+		if len(kept) == 0 {
+			delete(g.VarValues, obj)
+			continue
+		}
+		g.VarValues[obj] = kept
+	}
 }
 
 // ClassifyIndirect marks lookup/update nodes whose location input is not
